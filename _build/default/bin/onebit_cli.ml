@@ -1,0 +1,367 @@
+(* Command-line interface to the fault-injection library.
+
+   onebit list                      -- programs and candidate counts
+   onebit dump PROGRAM              -- print a program's IR
+   onebit golden PROGRAM            -- fault-free run summary
+   onebit campaign PROGRAM ...      -- run one campaign
+   onebit plan PROGRAM ...          -- run the 91-campaign plan (CSV)
+   onebit experiment PROGRAM ...    -- replay one experiment verbosely *)
+
+open Cmdliner
+
+let find_entry name =
+  match Bench_suite.Registry.find name with
+  | Some e -> e
+  | None ->
+      Printf.eprintf "unknown program %s; try `onebit list`\n" name;
+      exit 2
+
+let load_workload name =
+  let e = find_entry name in
+  Core.Workload.make ~name:e.name ~expected_output:(e.reference ()) (e.build ())
+
+(* ---- shared arguments ---- *)
+
+let program_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROGRAM")
+
+let tech_conv =
+  Arg.conv
+    ( (fun s ->
+        match Core.Technique.of_string s with
+        | Some t -> Ok t
+        | None -> Error (`Msg "expected `read' or `write'")),
+      fun fmt t -> Format.pp_print_string fmt (Core.Technique.to_string t) )
+
+let technique_arg =
+  Arg.(
+    value
+    & opt tech_conv Core.Technique.Read
+    & info [ "t"; "technique" ] ~docv:"TECH"
+        ~doc:"Fault-injection technique: $(b,read) or $(b,write).")
+
+let win_conv =
+  Arg.conv
+    ( (fun s ->
+        match String.split_on_char ':' s with
+        | [ v ] -> (
+            match int_of_string_opt v with
+            | Some w when w >= 0 -> Ok (Core.Win.Fixed w)
+            | _ -> Error (`Msg "expected N or rnd:LO-HI"))
+        | [ "rnd"; range ] -> (
+            match String.split_on_char '-' range with
+            | [ lo; hi ] -> (
+                match (int_of_string_opt lo, int_of_string_opt hi) with
+                | Some lo, Some hi when 0 <= lo && lo <= hi ->
+                    Ok (Core.Win.Rnd (lo, hi))
+                | _ -> Error (`Msg "expected rnd:LO-HI"))
+            | _ -> Error (`Msg "expected rnd:LO-HI"))
+        | _ -> Error (`Msg "expected N or rnd:LO-HI")),
+      fun fmt w -> Format.pp_print_string fmt (Core.Win.to_string w) )
+
+let win_arg =
+  Arg.(
+    value
+    & opt win_conv (Core.Win.Fixed 0)
+    & info [ "w"; "win" ] ~docv:"WIN"
+        ~doc:
+          "Dynamic window size between injections: a number, or \
+           $(b,rnd:LO-HI) for a uniform draw per injection.")
+
+let mbf_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "m"; "max-mbf" ] ~docv:"N"
+        ~doc:"Maximum number of bit-flips per experiment (1 = single-bit).")
+
+let n_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "n" ] ~docv:"N" ~doc:"Number of experiments in the campaign.")
+
+let seed_arg =
+  Arg.(
+    value & opt int64 20170626L
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed for the campaign PRNG.")
+
+let spec_of technique max_mbf win =
+  if max_mbf <= 1 then Core.Spec.single technique
+  else Core.Spec.multi technique ~max_mbf ~win
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    let body =
+      List.map
+        (fun (e : Bench_suite.Desc.t) ->
+          let w = load_workload e.name in
+          [
+            e.name;
+            e.suite;
+            e.package;
+            string_of_int w.golden.dyn_count;
+            string_of_int w.golden.read_cands;
+            string_of_int w.golden.write_cands;
+          ])
+        Bench_suite.Registry.all
+    in
+    print_string
+      (Report.Table.render
+         ~header:
+           [ "program"; "suite"; "package"; "dyn-instrs"; "cand-read"; "cand-write" ]
+         body)
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List benchmark programs and their candidate counts.")
+    Term.(const run $ const ())
+
+(* ---- dump ---- *)
+
+let dump_cmd =
+  let run program =
+    let e = find_entry program in
+    print_string (Ir.Pp.modl (e.build ()))
+  in
+  Cmd.v
+    (Cmd.info "dump" ~doc:"Print a program's intermediate representation.")
+    Term.(const run $ program_arg)
+
+(* ---- golden ---- *)
+
+let golden_cmd =
+  let run program =
+    let w = load_workload program in
+    Printf.printf "program:       %s\n" w.name;
+    Printf.printf "status:        finished (output matches native reference)\n";
+    Printf.printf "dyn instrs:    %d\n" w.golden.dyn_count;
+    Printf.printf "read cands:    %d\n" w.golden.read_cands;
+    Printf.printf "write cands:   %d\n" w.golden.write_cands;
+    Printf.printf "output bytes:  %d\n" (String.length w.golden.output);
+    Printf.printf "hang budget:   %d\n" w.budget
+  in
+  Cmd.v
+    (Cmd.info "golden" ~doc:"Run the fault-free (golden) execution.")
+    Term.(const run $ program_arg)
+
+(* ---- campaign ---- *)
+
+let campaign_cmd =
+  let run program technique max_mbf win n seed csv =
+    let w = load_workload program in
+    let spec = spec_of technique max_mbf win in
+    let r = Core.Campaign.run w spec ~n ~seed in
+    if csv then (
+      print_endline Core.Csv.header;
+      print_endline (Core.Csv.row r))
+    else begin
+      let ci = Core.Campaign.sdc_ci r in
+      Printf.printf "campaign:   %s on %s (n=%d, seed=%Ld)\n"
+        (Core.Spec.label spec) program n seed;
+      Printf.printf "benign:     %d\n" r.benign;
+      Printf.printf "detected:   %d" r.detected;
+      if r.traps <> [] then
+        Printf.printf "  (%s)"
+          (String.concat ", "
+             (List.map
+                (fun (t, c) -> Printf.sprintf "%s:%d" (Vm.Trap.to_string t) c)
+                r.traps));
+      print_newline ();
+      Printf.printf "hang:       %d\n" r.hang;
+      Printf.printf "no-output:  %d\n" r.no_output;
+      Printf.printf "sdc:        %d  (%.2f%% ±%.2f)\n" r.sdc
+        (Core.Campaign.sdc_pct r)
+        (100. *. Stats.Proportion.half_width ci);
+      Printf.printf "activated:  %s\n"
+        (String.concat ", "
+           (List.map
+              (fun (k, c) -> Printf.sprintf "%d->%d" k c)
+              (Stats.Histogram.to_alist r.activation)))
+    end
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit a CSV row instead of text.")
+  in
+  Cmd.v
+    (Cmd.info "campaign" ~doc:"Run one fault-injection campaign.")
+    Term.(
+      const run $ program_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
+      $ seed_arg $ csv_arg)
+
+(* ---- plan ---- *)
+
+let plan_cmd =
+  let run program n seed both technique =
+    let w = load_workload program in
+    let specs =
+      if both then Core.Table1.all_specs else Core.Table1.specs technique
+    in
+    print_endline Core.Csv.header;
+    List.iter
+      (fun spec ->
+        let r = Core.Campaign.run w spec ~n ~seed in
+        print_endline (Core.Csv.row r))
+      specs
+  in
+  let both_arg =
+    Arg.(
+      value & flag
+      & info [ "both" ] ~doc:"Run both techniques (182 campaigns).")
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Run the paper's campaign plan for one program (91 campaigns per \
+          technique), emitting CSV.")
+    Term.(const run $ program_arg $ n_arg $ seed_arg $ both_arg $ technique_arg)
+
+(* ---- experiment ---- *)
+
+let experiment_cmd =
+  let run program technique max_mbf win index seed =
+    let w = load_workload program in
+    let spec = spec_of technique max_mbf win in
+    let base = Prng.of_seed seed in
+    let rng = Prng.split_at base index in
+    (* Re-run with an inspectable injector. *)
+    let candidates = Core.Workload.candidates w technique in
+    let inj = Core.Injector.create ~spec ~candidates rng in
+    let res =
+      Vm.Exec.run ~hooks:(Core.Injector.hooks inj) ~budget:w.budget w.prog
+    in
+    let outcome = Core.Outcome.classify ~golden_output:w.golden.output res in
+    Printf.printf "experiment %d of %s on %s\n" index (Core.Spec.label spec)
+      program;
+    Printf.printf "outcome:    %s\n" (Core.Outcome.to_string outcome);
+    Printf.printf "dyn count:  %d (golden %d)\n" res.dyn_count
+      w.golden.dyn_count;
+    Printf.printf "activated:  %d of %d\n"
+      (Core.Injector.activated inj)
+      max_mbf;
+    List.iteri
+      (fun i (inj : Core.Injector.injection) ->
+        Printf.printf
+          "  flip %d: dyn=%d cand=%d reg=%%%d slot=%d bit=%d\n" i inj.inj_dyn
+          inj.inj_cand inj.inj_reg inj.inj_slot inj.inj_bit)
+      (Core.Injector.injections inj)
+  in
+  let index_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "i"; "index" ] ~docv:"I"
+          ~doc:"Experiment index within the campaign stream.")
+  in
+  Cmd.v
+    (Cmd.info "experiment"
+       ~doc:"Replay a single experiment and show each injection.")
+    Term.(
+      const run $ program_arg $ technique_arg $ mbf_arg $ win_arg $ index_arg
+      $ seed_arg)
+
+(* ---- run-ir ---- *)
+
+let run_ir_cmd =
+  let run file technique max_mbf win n seed =
+    let text = In_channel.with_open_text file In_channel.input_all in
+    let m =
+      match Ir.Parse.modl text with
+      | Ok m -> m
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" file msg;
+          exit 1
+    in
+    let w = Core.Workload.make ~name:(Filename.basename file) m in
+    Printf.printf "golden: %d dynamic instructions, %d output bytes, %d/%d candidates (read/write)\n"
+      w.golden.dyn_count
+      (String.length w.golden.output)
+      w.golden.read_cands w.golden.write_cands;
+    if n > 0 then begin
+      let spec = spec_of technique max_mbf win in
+      let r = Core.Campaign.run w spec ~n ~seed in
+      Printf.printf "%s over %d experiments:\n" (Core.Spec.label spec) n;
+      Printf.printf
+        "  benign=%d detected=%d hang=%d no-output=%d sdc=%d (%.1f%%)\n"
+        r.benign r.detected r.hang r.no_output r.sdc (Core.Campaign.sdc_pct r)
+    end
+  in
+  let file_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Also run an N-experiment campaign (0 = golden run only).")
+  in
+  Cmd.v
+    (Cmd.info "run-ir"
+       ~doc:
+         "Parse a textual IR file (the `dump' format), run it, and \
+          optionally inject faults into it.")
+    Term.(
+      const run $ file_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
+      $ seed_arg)
+
+(* ---- harden ---- *)
+
+let harden_cmd =
+  let run program light dump n seed =
+    let e = find_entry program in
+    let level = if light then `Light else `Full in
+    let base_modl = e.build () in
+    let hard_modl = Harden.Swift.apply ~level base_modl in
+    if dump then print_string (Ir.Pp.modl hard_modl)
+    else begin
+      let expected = e.reference () in
+      let base =
+        Core.Workload.make ~name:program ~expected_output:expected base_modl
+      in
+      let hard =
+        Core.Workload.make ~name:(program ^ "+swift") ~expected_output:expected
+          hard_modl
+      in
+      Printf.printf "static overhead:  x%.2f\n"
+        (Harden.Swift.static_overhead base_modl hard_modl);
+      Printf.printf "dynamic overhead: x%.2f\n"
+        (float_of_int hard.golden.dyn_count
+        /. float_of_int base.golden.dyn_count);
+      List.iter
+        (fun (name, w) ->
+          let r = Core.Campaign.run w (Core.Spec.single Write) ~n ~seed in
+          Printf.printf
+            "%-18s single/write: sdc=%.1f%%  detection=%.1f%%  benign=%.1f%%\n"
+            name (Core.Campaign.sdc_pct r)
+            (100.
+            *. float_of_int (r.detected + r.hang + r.no_output)
+            /. float_of_int r.n)
+            (100. *. float_of_int r.benign /. float_of_int r.n))
+        [ (program, base); (program ^ "+swift", hard) ]
+    end
+  in
+  let light_arg =
+    Arg.(
+      value & flag
+      & info [ "light" ] ~doc:"Use light check placement (outputs/stores only).")
+  in
+  let dump_arg =
+    Arg.(
+      value & flag
+      & info [ "dump" ] ~doc:"Print the hardened IR instead of measuring it.")
+  in
+  Cmd.v
+    (Cmd.info "harden"
+       ~doc:
+         "Apply SWIFT-style duplication to a program and compare its \
+          resilience against the baseline.")
+    Term.(const run $ program_arg $ light_arg $ dump_arg $ n_arg $ seed_arg)
+
+let () =
+  let doc = "single/multiple bit-flip fault injection (DSN'17 reproduction)" in
+  let info = Cmd.info "onebit" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; dump_cmd; golden_cmd; campaign_cmd; plan_cmd;
+            experiment_cmd; run_ir_cmd; harden_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/custom_program.ml: Bench_suite Core Ir List Printf

@@ -1,0 +1,1 @@
+examples/hardening.ml: Bench_suite Core Harden List Option Printf Report

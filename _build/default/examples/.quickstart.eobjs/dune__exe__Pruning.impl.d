@@ -1,0 +1,1 @@
+examples/pruning.ml: Array Bench_suite Core List Option Printf Prng

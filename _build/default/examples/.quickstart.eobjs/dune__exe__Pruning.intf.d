@@ -1,0 +1,1 @@
+examples/pruning.mli:

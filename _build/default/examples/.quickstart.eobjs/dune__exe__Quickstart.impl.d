@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bench_suite Core Option Printf Stats String

@@ -1,0 +1,1 @@
+examples/single_vs_multi.ml: Bench_suite Core List Option Report

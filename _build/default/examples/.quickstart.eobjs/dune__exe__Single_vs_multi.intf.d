@@ -1,0 +1,1 @@
+examples/single_vs_multi.mli:

@@ -1,0 +1,55 @@
+(* Hardening a program with SWIFT-style duplication and measuring its
+   coverage — the paper's named future-work experiment.
+
+   Run with:  dune exec examples/hardening.exe
+
+   Harden.Swift.apply duplicates every computation into shadow registers and
+   inserts Guard checks at stores, loads, outputs, calls, branches and
+   returns.  Fault-free behaviour is unchanged (the hardened golden run
+   still matches the native reference); under injection, most would-be
+   SDCs become guard-violation detections.  Comparing single- against
+   multi-bit campaigns shows whether the single-bit model is an adequate
+   proxy when evaluating such a mechanism. *)
+
+let program = "sha"
+let n = 400
+
+let () =
+  let entry = Option.get (Bench_suite.Registry.find program) in
+  let base_modl = entry.build () in
+  let hard_modl = Harden.Swift.apply ~level:`Full base_modl in
+  Printf.printf "static instruction overhead: x%.2f\n"
+    (Harden.Swift.static_overhead base_modl hard_modl);
+  let expected = entry.reference () in
+  let base = Core.Workload.make ~name:program ~expected_output:expected base_modl in
+  let hard =
+    Core.Workload.make ~name:(program ^ "+swift") ~expected_output:expected
+      hard_modl
+  in
+  Printf.printf "dynamic overhead: x%.2f (%d -> %d instructions)\n\n"
+    (float_of_int hard.golden.dyn_count /. float_of_int base.golden.dyn_count)
+    base.golden.dyn_count hard.golden.dyn_count;
+  let specs =
+    [
+      ("single/write", Core.Spec.single Write);
+      ("m=2,w=1/write", Core.Spec.multi Write ~max_mbf:2 ~win:(Fixed 1));
+      ("m=3,w=1/write", Core.Spec.multi Write ~max_mbf:3 ~win:(Fixed 1));
+    ]
+  in
+  let row w =
+    List.map
+      (fun (_, spec) ->
+        let r = Core.Campaign.run w spec ~n ~seed:13L in
+        Printf.sprintf "%.1f" (Core.Campaign.sdc_pct r))
+      specs
+  in
+  let header = "workload" :: List.map fst specs in
+  print_string
+    (Report.Table.render ~header
+       [ (program :: row base); ((program ^ "+swift") :: row hard) ]);
+  Printf.printf
+    "\nSDC%% per fault model (n=%d).  Duplication-based checking turns most\n\
+     SDCs into guard-violation detections under both fault models; what\n\
+     remains are faults that strike after the last check of a value (e.g.\n\
+     in the output instruction's own operand read).\n"
+    n

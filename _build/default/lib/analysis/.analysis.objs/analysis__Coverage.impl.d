@@ -1,0 +1,1 @@
+lib/analysis/coverage.ml: Bench_suite Core Harden List

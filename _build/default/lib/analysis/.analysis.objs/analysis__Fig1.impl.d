@@ -1,0 +1,1 @@
+lib/analysis/fig1.ml: Core List Study

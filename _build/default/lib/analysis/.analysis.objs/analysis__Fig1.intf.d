@@ -1,0 +1,1 @@
+lib/analysis/fig1.mli: Core Study

@@ -1,0 +1,1 @@
+lib/analysis/fig2.ml: Core List Study

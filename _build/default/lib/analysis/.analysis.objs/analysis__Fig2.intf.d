@@ -1,0 +1,1 @@
+lib/analysis/fig2.mli: Core Study

@@ -1,0 +1,1 @@
+lib/analysis/fig3.ml: Core List Stats Study

@@ -1,0 +1,1 @@
+lib/analysis/fig3.mli: Core Stats Study

@@ -1,0 +1,1 @@
+lib/analysis/grid.ml: Core Float List Stats Study

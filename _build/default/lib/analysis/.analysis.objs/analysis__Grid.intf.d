@@ -1,0 +1,1 @@
+lib/analysis/grid.mli: Core Study

@@ -1,0 +1,1 @@
+lib/analysis/rq.ml: Core Fig3 Float Grid List

@@ -1,0 +1,1 @@
+lib/analysis/rq.mli: Core Study

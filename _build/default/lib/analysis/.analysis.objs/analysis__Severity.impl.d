@@ -1,0 +1,1 @@
+lib/analysis/severity.ml: Array Core Hashtbl List Option String Study

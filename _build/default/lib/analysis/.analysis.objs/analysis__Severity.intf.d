@@ -1,0 +1,1 @@
+lib/analysis/severity.mli: Core Study

@@ -1,0 +1,1 @@
+lib/analysis/study.ml: Bench_suite Core List

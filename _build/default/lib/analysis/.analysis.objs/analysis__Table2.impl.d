@@ -1,0 +1,1 @@
+lib/analysis/table2.ml: Bench_suite Core List Study

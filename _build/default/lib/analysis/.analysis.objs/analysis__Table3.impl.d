@@ -1,0 +1,1 @@
+lib/analysis/table3.ml: Core Grid List

@@ -1,0 +1,1 @@
+lib/analysis/table3.mli: Core Grid Study

@@ -1,0 +1,1 @@
+lib/analysis/targets.ml: Array Core Hashtbl Ir List Option Study

@@ -1,0 +1,1 @@
+lib/analysis/targets.mli: Core Ir Study

@@ -1,0 +1,1 @@
+lib/analysis/transition.ml: Array Core Grid Hashtbl Int64 List Prng Study

@@ -1,0 +1,1 @@
+lib/analysis/transition.mli: Core Study

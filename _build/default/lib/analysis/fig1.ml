@@ -1,0 +1,15 @@
+type row = {
+  program : string;
+  technique : Core.Technique.t;
+  result : Core.Campaign.result;
+}
+
+let compute (study : Study.t) technique =
+  List.map
+    (fun (w : Core.Workload.t) ->
+      {
+        program = w.name;
+        technique;
+        result = Core.Runner.campaign study.runner w (Core.Spec.single technique);
+      })
+    study.workloads

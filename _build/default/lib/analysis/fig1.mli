@@ -1,0 +1,7 @@
+(** Figure 1 analogue: outcome classification under the single bit-flip
+    model, per program and technique. *)
+
+type row = { program : string; technique : Core.Technique.t; result : Core.Campaign.result }
+
+val compute : Study.t -> Core.Technique.t -> row list
+(** One row per program, in registry order. *)

@@ -1,0 +1,21 @@
+type row = {
+  program : string;
+  technique : Core.Technique.t;
+  by_mbf : (int * Core.Campaign.result) list;
+}
+
+let compute (study : Study.t) technique =
+  List.map
+    (fun (w : Core.Workload.t) ->
+      let single =
+        (1, Core.Runner.campaign study.runner w (Core.Spec.single technique))
+      in
+      let multi =
+        List.map
+          (fun max_mbf ->
+            let spec = Core.Spec.multi technique ~max_mbf ~win:(Fixed 0) in
+            (max_mbf, Core.Runner.campaign study.runner w spec))
+          Core.Table1.max_mbf_values
+      in
+      { program = w.name; technique; by_mbf = single :: multi })
+    study.workloads

@@ -1,0 +1,11 @@
+(** Figure 2 analogue: SDC percentage when flipping 1..30 bits of the same
+    register (win-size = 0), per program. *)
+
+type row = {
+  program : string;
+  technique : Core.Technique.t;
+  by_mbf : (int * Core.Campaign.result) list;
+      (** max-MBF (1 first, then Table I values) paired with its campaign *)
+}
+
+val compute : Study.t -> Core.Technique.t -> row list

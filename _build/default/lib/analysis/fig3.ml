@@ -1,0 +1,26 @@
+type dist = {
+  technique : Core.Technique.t;
+  histogram : Stats.Histogram.t;
+  total : int;
+}
+
+let compute (study : Study.t) technique =
+  let histogram =
+    List.fold_left
+      (fun acc (w : Core.Workload.t) ->
+        List.fold_left
+          (fun acc win ->
+            let spec = Core.Spec.multi technique ~max_mbf:30 ~win in
+            let r = Core.Runner.campaign study.runner w spec in
+            Stats.Histogram.merge acc r.activation)
+          acc Core.Table1.win_positive)
+      (Stats.Histogram.create ())
+      study.workloads
+  in
+  { technique; histogram; total = Stats.Histogram.total histogram }
+
+let share d ~lo ~hi =
+  if d.total = 0 then 0.
+  else
+    float_of_int (Stats.Histogram.range_count d.histogram ~lo ~hi)
+    /. float_of_int d.total

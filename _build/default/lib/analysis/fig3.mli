@@ -1,0 +1,16 @@
+(** Figure 3 analogue: distribution of the number of activated errors when
+    attempting 30 bit-flips (max-MBF = 30), pooled over every positive
+    window size and every program.  RQ1's pruning argument rests on this
+    distribution being front-loaded. *)
+
+type dist = {
+  technique : Core.Technique.t;
+  histogram : Stats.Histogram.t;  (** activated-flip count per experiment *)
+  total : int;
+}
+
+val compute : Study.t -> Core.Technique.t -> dist
+
+val share : dist -> lo:int -> hi:int -> float
+(** Fraction of experiments whose activated count lies in the inclusive
+    range, in \[0, 1\]. *)

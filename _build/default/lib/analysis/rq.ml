@@ -1,0 +1,98 @@
+type activation_summary = {
+  share_le5 : float;
+  share_6_10 : float;
+  share_gt10 : float;
+}
+
+type rq3_summary = {
+  pairs_total : int;
+  pairs_le3 : int;
+  max_needed : int;
+}
+
+type t = {
+  rq1_read : activation_summary;
+  rq1_write : activation_summary;
+  rq2_campaigns_total : int;
+  rq2_campaigns_single_pessimistic : int;
+  rq2_programs_read_pessimistic : int;
+  rq2_programs_write_pessimistic : int;
+  rq3_read : rq3_summary;
+  rq3_write : rq3_summary;
+  rq4_read_best_wins : (string * Core.Win.t) list;
+  rq4_write_best_wins : (string * Core.Win.t) list;
+}
+
+let activation_summary dist =
+  {
+    share_le5 = Fig3.share dist ~lo:0 ~hi:5;
+    share_6_10 = Fig3.share dist ~lo:6 ~hi:10;
+    share_gt10 = Fig3.share dist ~lo:11 ~hi:max_int;
+  }
+
+(* A multi-bit campaign counts as covered by the single-bit model when its
+   SDC percentage does not significantly exceed the single-bit campaign's
+   (tolerance: the campaign's own CI half-width, at least 1 pp — the
+   resolution the paper works at). *)
+let rq2_counts grids =
+  List.fold_left
+    (fun (total, covered) (row : Grid.row) ->
+      let single_pct = Core.Campaign.sdc_pct row.single in
+      List.fold_left
+        (fun (total, covered) (_, r) ->
+          let tol = Float.max 1.0 (Grid.ci_half_pp r) in
+          ( total + 1,
+            if Core.Campaign.sdc_pct r <= single_pct +. tol then covered + 1
+            else covered ))
+        (total, covered) row.cells)
+    (0, 0) grids
+
+let rq3_summary grids =
+  let pairs =
+    List.concat_map
+      (fun (row : Grid.row) ->
+        List.filter_map
+          (fun win -> Grid.min_mbf_reaching_best row ~win)
+          Core.Table1.win_positive)
+      grids
+  in
+  {
+    pairs_total = List.length pairs;
+    pairs_le3 = List.length (List.filter (fun m -> m <= 3) pairs);
+    max_needed = List.fold_left max 0 pairs;
+  }
+
+let best_wins grids =
+  List.map
+    (fun (row : Grid.row) ->
+      let spec, _ = Grid.best_multi row in
+      (row.program, spec.win))
+    grids
+
+let compute study =
+  let read = Grid.compute study Core.Technique.Read in
+  let write = Grid.compute study Core.Technique.Write in
+  let rt, rc = rq2_counts read in
+  let wt, wc = rq2_counts write in
+  let count_pessimistic = List.filter Grid.single_is_pessimistic in
+  {
+    rq1_read = activation_summary (Fig3.compute study Core.Technique.Read);
+    rq1_write = activation_summary (Fig3.compute study Core.Technique.Write);
+    rq2_campaigns_total = rt + wt;
+    rq2_campaigns_single_pessimistic = rc + wc;
+    rq2_programs_read_pessimistic = List.length (count_pessimistic read);
+    rq2_programs_write_pessimistic = List.length (count_pessimistic write);
+    rq3_read = rq3_summary read;
+    rq3_write = rq3_summary write;
+    rq4_read_best_wins = best_wins read;
+    rq4_write_best_wins = best_wins write;
+  }
+
+let winsize_at_most wins bound =
+  List.length
+    (List.filter
+       (fun (_, w) ->
+         match (w : Core.Win.t) with
+         | Fixed v -> v <= bound
+         | Rnd (lo, _) -> lo <= bound)
+       wins)

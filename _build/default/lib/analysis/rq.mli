@@ -1,0 +1,39 @@
+(** Aggregate answers to the paper's five research questions (§III-F,
+    result-summary boxes of §IV). *)
+
+type activation_summary = {
+  share_le5 : float;  (** experiments activating at most 5 errors *)
+  share_6_10 : float;
+  share_gt10 : float;
+}
+
+type rq3_summary = {
+  pairs_total : int;  (** program x positive-window pairs *)
+  pairs_le3 : int;  (** pairs where <= 3 errors reach the peak SDC *)
+  max_needed : int;  (** worst-case errors needed over all pairs *)
+}
+
+type t = {
+  (* RQ1: activated errors at max-MBF = 30 *)
+  rq1_read : activation_summary;
+  rq1_write : activation_summary;
+  (* RQ2: how often is the single-bit model pessimistic? *)
+  rq2_campaigns_total : int;  (** multi-bit campaigns counted *)
+  rq2_campaigns_single_pessimistic : int;
+      (** campaigns whose SDC%% does not exceed the program's single-bit
+          SDC%% (the paper's 92%% statistic) *)
+  rq2_programs_read_pessimistic : int;  (** of 15, under inject-on-read *)
+  rq2_programs_write_pessimistic : int;
+  (* RQ3: errors needed for the pessimistic estimate *)
+  rq3_read : rq3_summary;
+  rq3_write : rq3_summary;
+  (* RQ4: window sizes that yield each program's peak SDC *)
+  rq4_read_best_wins : (string * Core.Win.t) list;
+  rq4_write_best_wins : (string * Core.Win.t) list;
+}
+
+val compute : Study.t -> t
+
+val winsize_at_most : (string * Core.Win.t) list -> int -> int
+(** How many programs peak at a window whose minimum value is at most the
+    given bound (RND ranges count by their lower end). *)

@@ -1,0 +1,113 @@
+type row = {
+  program : string;
+  technique : Core.Technique.t;
+  n_sdc : int;
+  mean_extent : float;
+  mean_onset : float;
+  single_byte : int;
+  wholesale : int;
+}
+
+let extent ~golden faulty =
+  let lg = String.length golden and lf = String.length faulty in
+  let longer = max lg lf in
+  if longer = 0 then 0.
+  else begin
+    let diff = ref 0 in
+    for i = 0 to longer - 1 do
+      let g = if i < lg then Some golden.[i] else None in
+      let f = if i < lf then Some faulty.[i] else None in
+      if g <> f then incr diff
+    done;
+    float_of_int !diff /. float_of_int longer
+  end
+
+let onset ~golden faulty =
+  let lg = String.length golden and lf = String.length faulty in
+  let common = min lg lf in
+  let rec first i =
+    if i >= common then if lg = lf then None else Some common
+    else if golden.[i] <> faulty.[i] then Some i
+    else first (i + 1)
+  in
+  match first 0 with
+  | None -> 1.0
+  | Some i ->
+      let longer = max lg lf in
+      if longer = 0 then 1.0 else float_of_int i /. float_of_int longer
+
+let diff_bytes ~golden faulty =
+  let lg = String.length golden and lf = String.length faulty in
+  let longer = max lg lf in
+  let diff = ref 0 in
+  for i = 0 to longer - 1 do
+    let g = if i < lg then Some golden.[i] else None in
+    let f = if i < lf then Some faulty.[i] else None in
+    if g <> f then incr diff
+  done;
+  !diff
+
+let compute (study : Study.t) technique =
+  List.map
+    (fun (w : Core.Workload.t) ->
+      let c =
+        Core.Runner.campaign_kept study.runner w (Core.Spec.single technique)
+      in
+      let golden = w.golden.output in
+      let sdcs =
+        Array.to_list c.experiments
+        |> List.filter (fun (e : Core.Experiment.t) ->
+               Core.Outcome.is_sdc e.outcome)
+      in
+      let n_sdc = List.length sdcs in
+      let sum f = List.fold_left (fun acc e -> acc +. f e) 0.0 sdcs in
+      let mean f = if n_sdc = 0 then 0.0 else sum f /. float_of_int n_sdc in
+      {
+        program = w.name;
+        technique;
+        n_sdc;
+        mean_extent = mean (fun (e : Core.Experiment.t) -> extent ~golden e.output);
+        mean_onset = mean (fun (e : Core.Experiment.t) -> onset ~golden e.output);
+        single_byte =
+          List.length
+            (List.filter
+               (fun (e : Core.Experiment.t) -> diff_bytes ~golden e.output = 1)
+               sdcs);
+        wholesale =
+          List.length
+            (List.filter
+               (fun (e : Core.Experiment.t) ->
+                 extent ~golden e.output > 0.5)
+               sdcs);
+      })
+    study.workloads
+
+type bit_row = { bit_bucket : int; n : int; sdc : int; detected : int }
+
+let by_bit (study : Study.t) technique =
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (w : Core.Workload.t) ->
+      let c =
+        Core.Runner.campaign_kept study.runner w (Core.Spec.single technique)
+      in
+      Array.iter
+        (fun (e : Core.Experiment.t) ->
+          match e.first with
+          | None -> ()
+          | Some inj ->
+              let bucket = inj.inj_bit / 8 in
+              let n, sdc, det =
+                Option.value ~default:(0, 0, 0) (Hashtbl.find_opt counts bucket)
+              in
+              Hashtbl.replace counts bucket
+                ( n + 1,
+                  (if Core.Outcome.is_sdc e.outcome then sdc + 1 else sdc),
+                  if Core.Outcome.is_detection e.outcome then det + 1 else det ))
+        c.experiments)
+    study.workloads;
+  Hashtbl.fold
+    (fun bit_bucket (n, sdc, detected) acc ->
+      { bit_bucket; n; sdc; detected } :: acc)
+    counts []
+  |> List.sort (fun a b -> compare a.bit_bucket b.bit_bucket)

@@ -1,0 +1,50 @@
+(** Severity of silent data corruptions.
+
+    The paper motivates SDCs as the failure class "producing unacceptable
+    or catastrophic system failures", but treats all SDCs alike.  This
+    analysis grades them: for every SDC experiment of a single-bit
+    campaign, compare the faulty output stream against the golden one and
+    measure
+
+    - {e extent}: the fraction of output bytes that differ (how much of
+      the result is damaged), including length mismatches;
+    - {e onset}: the relative position of the first divergent byte (how
+      early the corruption becomes visible).
+
+    A program whose SDCs are single-byte blips near the end of the stream
+    fails very differently from one whose output is wholesale garbage;
+    bit-position sensitivity ({!by_bit}) separates low-order arithmetic
+    noise from high-order/control corruption. *)
+
+type row = {
+  program : string;
+  technique : Core.Technique.t;
+  n_sdc : int;
+  mean_extent : float;  (** mean corrupted-byte fraction over SDCs, 0..1 *)
+  mean_onset : float;  (** mean first-divergence position, 0..1 *)
+  single_byte : int;  (** SDCs corrupting exactly one output byte *)
+  wholesale : int;  (** SDCs corrupting more than half the output *)
+}
+
+val compute : Study.t -> Core.Technique.t -> row list
+
+val extent : golden:string -> string -> float
+(** Fraction of positions (over the longer stream) whose bytes differ;
+    positions past the shorter stream's end count as corrupted. *)
+
+val onset : golden:string -> string -> float
+(** Relative position of the first difference, in [0, 1]; 1.0 when the
+    streams are equal. *)
+
+type bit_row = {
+  bit_bucket : int;  (** flipped-bit position / 8 (byte within the word) *)
+  n : int;
+  sdc : int;
+  detected : int;
+}
+
+val by_bit : Study.t -> Core.Technique.t -> bit_row list
+(** Pooled over all programs: outcome mix by the byte-position of the
+    flipped bit within its register (bucket 0 = bits 0-7, etc.).  Low
+    buckets are arithmetic noise; high buckets hit sign bits, address high
+    bits and exponents. *)

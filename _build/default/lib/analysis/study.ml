@@ -1,0 +1,31 @@
+type t = { runner : Core.Runner.t; workloads : Core.Workload.t list }
+
+let make ?n ?seed ?programs () =
+  let entries =
+    match programs with
+    | None -> Bench_suite.Registry.all
+    | Some names ->
+        List.map
+          (fun name ->
+            match Bench_suite.Registry.find name with
+            | Some e -> e
+            | None -> invalid_arg ("Study.make: unknown program " ^ name))
+          names
+  in
+  let workloads =
+    List.map
+      (fun (e : Bench_suite.Desc.t) ->
+        Core.Workload.make ~name:e.name ~expected_output:(e.reference ())
+          (e.build ()))
+      entries
+  in
+  { runner = Core.Runner.create ?n ?seed (); workloads }
+
+let workload t name =
+  match
+    List.find_opt (fun (w : Core.Workload.t) -> w.name = name) t.workloads
+  with
+  | Some w -> w
+  | None -> invalid_arg ("Study.workload: unknown program " ^ name)
+
+let names t = List.map (fun (w : Core.Workload.t) -> w.name) t.workloads

@@ -1,0 +1,17 @@
+(** Study context: the 15 workloads plus a memoising campaign runner.
+
+    Every figure/table analysis takes a [Study.t], so a bench or test can
+    scale the per-campaign experiment count without touching the
+    analyses. *)
+
+type t = { runner : Core.Runner.t; workloads : Core.Workload.t list }
+
+val make : ?n:int -> ?seed:int64 -> ?programs:string list -> unit -> t
+(** Build workloads for the named programs (default: all 15), asserting
+    each golden run matches its native reference.  [n] is the per-campaign
+    experiment count (default 200). *)
+
+val workload : t -> string -> Core.Workload.t
+(** @raise Invalid_argument on unknown name. *)
+
+val names : t -> string list

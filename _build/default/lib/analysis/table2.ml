@@ -1,0 +1,26 @@
+type row = {
+  program : string;
+  package : string;
+  suite : string;
+  dyn_count : int;
+  read_cands : int;
+  write_cands : int;
+}
+
+let compute (study : Study.t) =
+  List.map
+    (fun (w : Core.Workload.t) ->
+      let package, suite =
+        match Bench_suite.Registry.find w.name with
+        | Some e -> (e.package, e.suite)
+        | None -> ("?", "?")
+      in
+      {
+        program = w.name;
+        package;
+        suite;
+        dyn_count = w.golden.dyn_count;
+        read_cands = w.golden.read_cands;
+        write_cands = w.golden.write_cands;
+      })
+    study.workloads

@@ -1,0 +1,18 @@
+(** Table II analogue: per-program candidate-instruction counts.
+
+    Reports each workload's dynamic instruction count and the number of
+    inject-on-read / inject-on-write candidates in the golden run.  The
+    paper's structural property — read candidates exceed write candidates
+    because stores, branches and outputs have no destination register —
+    must hold for every program. *)
+
+type row = {
+  program : string;
+  package : string;
+  suite : string;
+  dyn_count : int;
+  read_cands : int;
+  write_cands : int;
+}
+
+val compute : Study.t -> row list

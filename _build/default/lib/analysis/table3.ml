@@ -1,0 +1,28 @@
+type row = {
+  program : string;
+  read_best : Core.Spec.t;
+  read_sdc_pct : float;
+  write_best : Core.Spec.t;
+  write_sdc_pct : float;
+}
+
+let of_grids ~read ~write =
+  List.map2
+    (fun (r : Grid.row) (w : Grid.row) ->
+      if r.program <> w.program then
+        invalid_arg "Table3.of_grids: program order mismatch";
+      let rspec, rres = Grid.best_multi r in
+      let wspec, wres = Grid.best_multi w in
+      {
+        program = r.program;
+        read_best = rspec;
+        read_sdc_pct = Core.Campaign.sdc_pct rres;
+        write_best = wspec;
+        write_sdc_pct = Core.Campaign.sdc_pct wres;
+      })
+    read write
+
+let compute study =
+  of_grids
+    ~read:(Grid.compute study Core.Technique.Read)
+    ~write:(Grid.compute study Core.Technique.Write)

@@ -1,0 +1,17 @@
+(** Table III analogue: per program and technique, the multi-bit cluster
+    (max-MBF, win-size) with the highest SDC percentage. *)
+
+type row = {
+  program : string;
+  read_best : Core.Spec.t;
+  read_sdc_pct : float;
+  write_best : Core.Spec.t;
+  write_sdc_pct : float;
+}
+
+val compute : Study.t -> row list
+
+val of_grids :
+  read:Grid.row list -> write:Grid.row list -> row list
+(** Derive the table from precomputed grids (avoids recomputation when the
+    caller already produced Fig. 4/5). *)

@@ -1,0 +1,84 @@
+type cls = Address | Integer_data | Float_data | Condition
+
+type row = {
+  cls : cls;
+  n : int;
+  sdc : int;
+  detected : int;
+  benign : int;
+}
+
+let cls_of_ty (ty : Ir.Ty.t) =
+  match ty with
+  | Ptr -> Address
+  | I1 -> Condition
+  | F64 -> Float_data
+  | I8 | I16 | I32 | I64 -> Integer_data
+
+let cls_name = function
+  | Address -> "address"
+  | Integer_data -> "int-data"
+  | Float_data -> "float-data"
+  | Condition -> "condition"
+
+let all_classes = [ Address; Integer_data; Float_data; Condition ]
+
+let rows_of_experiments (experiments : Core.Experiment.t array) =
+  let counts = Hashtbl.create 4 in
+  Array.iter
+    (fun (e : Core.Experiment.t) ->
+      match e.first with
+      | None -> ()
+      | Some inj ->
+          let cls = cls_of_ty inj.inj_ty in
+          let n, sdc, det, ben =
+            Option.value ~default:(0, 0, 0, 0) (Hashtbl.find_opt counts cls)
+          in
+          let sdc = if Core.Outcome.is_sdc e.outcome then sdc + 1 else sdc in
+          let det =
+            if Core.Outcome.is_detection e.outcome then det + 1 else det
+          in
+          let ben = if e.outcome = Core.Outcome.Benign then ben + 1 else ben in
+          Hashtbl.replace counts cls (n + 1, sdc, det, ben))
+    experiments;
+  List.filter_map
+    (fun cls ->
+      match Hashtbl.find_opt counts cls with
+      | Some (n, sdc, detected, benign) ->
+          Some { cls; n; sdc; detected; benign }
+      | None -> None)
+    all_classes
+
+let compute (study : Study.t) technique =
+  List.map
+    (fun (w : Core.Workload.t) ->
+      let r =
+        Core.Runner.campaign_kept study.runner w (Core.Spec.single technique)
+      in
+      (w.name, rows_of_experiments r.experiments))
+    study.workloads
+
+let pooled study technique =
+  let merged = Hashtbl.create 4 in
+  List.iter
+    (fun (_, rows) ->
+      List.iter
+        (fun r ->
+          let n, sdc, det, ben =
+            Option.value ~default:(0, 0, 0, 0) (Hashtbl.find_opt merged r.cls)
+          in
+          Hashtbl.replace merged r.cls
+            (n + r.n, sdc + r.sdc, det + r.detected, ben + r.benign))
+        rows)
+    (compute study technique);
+  List.filter_map
+    (fun cls ->
+      match Hashtbl.find_opt merged cls with
+      | Some (n, sdc, detected, benign) ->
+          Some { cls; n; sdc; detected; benign }
+      | None -> None)
+    all_classes
+
+let pct part whole = if whole = 0 then 0. else 100. *. float_of_int part /. float_of_int whole
+let sdc_pct r = pct r.sdc r.n
+let detection_pct r = pct r.detected r.n

@@ -1,0 +1,35 @@
+(** Outcome sensitivity by targeted register class.
+
+    The paper explains its headline asymmetries — inject-on-read yields
+    fewer SDCs than inject-on-write, and low-detection programs yield more
+    SDCs — by the kind of data the flipped register holds: errors in
+    memory addresses mostly raise hardware exceptions, errors in data
+    values mostly end Benign or SDC (§IV-A, §IV-C2).  This analysis makes
+    that mechanism measurable: single-bit experiments are grouped by the
+    flipped register's type class and each class's outcome mix reported. *)
+
+type cls = Address | Integer_data | Float_data | Condition
+
+type row = {
+  cls : cls;
+  n : int;
+  sdc : int;
+  detected : int;  (** hardware exceptions + hang + no-output *)
+  benign : int;
+}
+
+val cls_of_ty : Ir.Ty.t -> cls
+(** [Ptr] is [Address]; [I1] is [Condition]; [F64] is [Float_data];
+    everything else is [Integer_data]. *)
+
+val cls_name : cls -> string
+
+val compute : Study.t -> Core.Technique.t -> (string * row list) list
+(** Per program (registry order), the per-class outcome rows for the
+    single bit-flip campaign; classes with no experiments are omitted. *)
+
+val pooled : Study.t -> Core.Technique.t -> row list
+(** All programs pooled. *)
+
+val sdc_pct : row -> float
+val detection_pct : row -> float

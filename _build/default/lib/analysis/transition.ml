@@ -1,0 +1,67 @@
+type row = {
+  program : string;
+  technique : Core.Technique.t;
+  best : Core.Spec.t;
+  n_detection : int;
+  tran1 : int;
+  n_benign : int;
+  tran2 : int;
+}
+
+let replay (w : Core.Workload.t) best ~locations =
+  (* Deterministic per-location generators, independent of the campaign
+     streams. *)
+  let base = Prng.of_seed (Int64.of_int (Hashtbl.hash (w.name, "transition"))) in
+  let _, sdc =
+    List.fold_left
+      (fun (i, sdc) first ->
+        let rng = Prng.split_at base i in
+        let e = Core.Experiment.run_at w best ~first rng in
+        (i + 1, if Core.Outcome.is_sdc e.outcome then sdc + 1 else sdc))
+      (0, 0) locations
+  in
+  sdc
+
+let take n l =
+  let rec go acc n = function
+    | [] -> List.rev acc
+    | _ when n = 0 -> List.rev acc
+    | x :: tl -> go (x :: acc) (n - 1) tl
+  in
+  go [] n l
+
+let compute ?(cap = 400) (study : Study.t) technique =
+  let grid = Grid.compute study technique in
+  List.map2
+    (fun (w : Core.Workload.t) (g : Grid.row) ->
+      let best, _ = Grid.best_multi g in
+      let single =
+        Core.Runner.campaign_kept study.runner w (Core.Spec.single technique)
+      in
+      let locations_of pred =
+        Array.to_list single.experiments
+        |> List.filter_map (fun (e : Core.Experiment.t) ->
+               match e.first with
+               | Some inj when pred e.outcome ->
+                   Some (inj.inj_cand, inj.inj_slot, inj.inj_bit)
+               | Some _ | None -> None)
+        |> take cap
+      in
+      let detection_locs = locations_of Core.Outcome.is_detection in
+      let benign_locs =
+        locations_of (function Core.Outcome.Benign -> true | _ -> false)
+      in
+      {
+        program = w.name;
+        technique;
+        best;
+        n_detection = List.length detection_locs;
+        tran1 = replay w best ~locations:detection_locs;
+        n_benign = List.length benign_locs;
+        tran2 = replay w best ~locations:benign_locs;
+      })
+    study.workloads grid
+
+let pct num den = if den = 0 then 0. else 100. *. float_of_int num /. float_of_int den
+let tran1_pct r = pct r.tran1 r.n_detection
+let tran2_pct r = pct r.tran2 r.n_benign

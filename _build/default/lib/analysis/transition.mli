@@ -1,0 +1,32 @@
+(** Table IV analogue: sensitivity of fault-injection locations to
+    multiple-bit errors (§IV-C3, Fig. 6).
+
+    For every single bit-flip experiment we know its location — the
+    (candidate ordinal, operand slot, bit) of the injection — and its
+    outcome.  Replaying each location under the program's worst-case
+    multi-bit cluster (Table III) measures the two transitions that would
+    add SDCs:
+
+    - Transition I:  single-bit outcome was Detection, multi-bit yields SDC;
+    - Transition II: single-bit outcome was Benign, multi-bit yields SDC.
+
+    The paper's pruning rule (RQ5) follows from Transition I being rare:
+    multi-bit campaigns need only seed their first error at locations that
+    were Benign under the single-bit model. *)
+
+type row = {
+  program : string;
+  technique : Core.Technique.t;
+  best : Core.Spec.t;  (** the multi-bit cluster used for the replay *)
+  n_detection : int;  (** single-bit Detection locations replayed *)
+  tran1 : int;  (** of those, how many became SDC *)
+  n_benign : int;  (** single-bit Benign locations replayed *)
+  tran2 : int;  (** of those, how many became SDC *)
+}
+
+val compute : ?cap:int -> Study.t -> Core.Technique.t -> row list
+(** [cap] bounds the number of locations replayed per class (default 400).
+    The best cluster per program is taken from the same study's grids. *)
+
+val tran1_pct : row -> float
+val tran2_pct : row -> float

@@ -1,0 +1,1 @@
+lib/bench_suite/basicmath.ml: Array Desc Ir Util

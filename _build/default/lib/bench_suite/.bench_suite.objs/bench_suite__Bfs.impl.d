@@ -1,0 +1,1 @@
+lib/bench_suite/bfs.ml: Array Desc Ir List Printf Queue Util

@@ -1,0 +1,1 @@
+lib/bench_suite/crc32.ml: Array Desc Ir Printf Util

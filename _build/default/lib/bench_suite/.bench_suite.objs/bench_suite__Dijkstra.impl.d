@@ -1,0 +1,1 @@
+lib/bench_suite/dijkstra.ml: Array Desc Ir Printf Util

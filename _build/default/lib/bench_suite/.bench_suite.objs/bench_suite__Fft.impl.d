@@ -1,0 +1,1 @@
+lib/bench_suite/fft.ml: Array Desc Ir Printf Util

@@ -1,0 +1,1 @@
+lib/bench_suite/histo.ml: Array Desc Ir Printf Util

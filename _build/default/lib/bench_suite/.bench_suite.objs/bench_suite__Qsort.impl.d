@@ -1,0 +1,1 @@
+lib/bench_suite/qsort.ml: Array Desc Ir Printf Util

@@ -1,0 +1,1 @@
+lib/bench_suite/registry.ml: Basicmath Bfs Crc32 Desc Dijkstra Fft Histo List Qsort Sad Sha Spmv Stringsearch Susan

@@ -1,0 +1,1 @@
+lib/bench_suite/sad.ml: Array Desc Ir Printf Util

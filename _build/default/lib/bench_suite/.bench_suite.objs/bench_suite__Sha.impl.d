@@ -1,0 +1,1 @@
+lib/bench_suite/sha.ml: Array Desc Ir Printf Util

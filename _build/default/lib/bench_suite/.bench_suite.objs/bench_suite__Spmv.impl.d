@@ -1,0 +1,1 @@
+lib/bench_suite/spmv.ml: Array Desc Ir Printf Util

@@ -1,0 +1,1 @@
+lib/bench_suite/stringsearch.ml: Array Bytes Char Desc Ir List Printf String Util

@@ -1,0 +1,1 @@
+lib/bench_suite/susan.ml: Array Desc Ir Printf Util

@@ -1,0 +1,1 @@
+lib/bench_suite/util.ml: Array Buffer Int32 Int64

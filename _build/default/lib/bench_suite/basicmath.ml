@@ -1,0 +1,160 @@
+(* MiBench automotive/basicmath: cubic equation solving, integer square
+   roots and angle conversions, as in the original's small input.  The IR
+   and the native reference compute the same floating-point expression
+   trees, so outputs match bit for bit. *)
+
+module B = Ir.Build
+
+let two_pi = 6.283185307179586
+let deg_to_rad = 0.017453292519943295
+let rad_to_deg = 57.29577951308232
+
+let make ~name ~n_cubics ~n_usqrt ~n_angles =
+  (* Normalised cubics x^3 + b x^2 + c x + d; coefficients in [-8, 8). *)
+  let coeffs =
+    let raw = Util.gen ~seed:3 ~n:(3 * n_cubics) ~bound:64 in
+    Array.map (fun v -> (float_of_int v /. 4.0) -. 8.0) raw
+  in
+  let usqrt_inputs = Util.gen ~seed:4 ~n:n_usqrt ~bound:0x3FFFFFFF in
+  let build () =
+  let m = B.create () in
+  B.global_f64s m "coeffs" coeffs;
+  B.global_i32s m "squares" usqrt_inputs;
+  (* Solve one cubic and emit the root count followed by the roots. *)
+  B.func m "cubic" ~params:[ F64; F64; F64 ] ~ret:None (fun f ->
+      let b = B.param f 0 and c = B.param f 1 and d = B.param f 2 in
+      let q =
+        B.fdiv f (B.fsub f (B.fmul f b b) (B.fmul f (B.cf 3.0) c)) (B.cf 9.0)
+      in
+      let t1 = B.fmul f (B.fmul f (B.cf 2.0) (B.fmul f b b)) b in
+      let t2 = B.fmul f (B.fmul f (B.cf 9.0) b) c in
+      let t3 = B.fmul f (B.cf 27.0) d in
+      let rr = B.fdiv f (B.fadd f (B.fsub f t1 t2) t3) (B.cf 54.0) in
+      let q3 = B.fmul f (B.fmul f q q) q in
+      let r2 = B.fmul f rr rr in
+      let b3 = B.fdiv f b (B.cf 3.0) in
+      B.if_ f (B.flt f r2 q3)
+        ~then_:(fun () ->
+          (* three real roots *)
+          let th = B.call1 f "acos" [ B.fdiv f rr (B.call1 f "sqrt" [ q3 ]) ] in
+          let mag = B.fmul f (B.cf (-2.0)) (B.call1 f "sqrt" [ q ]) in
+          let root offset =
+            let ang =
+              if offset = 0.0 then B.fdiv f th (B.cf 3.0)
+              else B.fdiv f (B.fadd f th (B.cf offset)) (B.cf 3.0)
+            in
+            B.fsub f (B.fmul f mag (B.call1 f "cos" [ ang ])) b3
+          in
+          B.output f I32 (B.ci 3);
+          B.output f F64 (root 0.0);
+          B.output f F64 (root two_pi);
+          B.output f F64 (root (-.two_pi)))
+        ~else_:(fun () ->
+          (* one real root *)
+          let disc = B.call1 f "sqrt" [ B.fsub f r2 q3 ] in
+          let base = B.fadd f disc (B.call1 f "fabs" [ rr ]) in
+          let e = B.call1 f "pow" [ base; B.cf (1.0 /. 3.0) ] in
+          let neg = B.select f F64 ~cond:(B.flt f rr (B.cf 0.0)) (B.cf (-1.0)) (B.cf 0.0) in
+          let sgn = B.select f F64 ~cond:(B.fgt f rr (B.cf 0.0)) (B.cf 1.0) neg in
+          let a = B.fmul f (B.fsub f (B.cf 0.0) sgn) e in
+          let bb =
+            B.select f F64 ~cond:(B.fne f a (B.cf 0.0)) (B.fdiv f q a) (B.cf 0.0)
+          in
+          B.output f I32 (B.ci 1);
+          B.output f F64 (B.fsub f (B.fadd f a bb) b3));
+      B.ret f None);
+  (* Bit-by-bit integer square root. *)
+  B.func m "usqrt" ~params:[ I32 ] ~ret:(Some I32) (fun f ->
+      let x = B.param f 0 in
+      let root = B.local_init f I32 (B.ci 0) in
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci 16) (fun i ->
+          let shift = B.sub f I32 (B.ci 15) i in
+          let tmp = B.bor f I32 (B.r root) (B.shl f I32 (B.ci 1) shift) in
+          let sq = B.mul f I32 tmp tmp in
+          B.if_then f (B.ule f I32 sq x) (fun () -> B.set f root tmp));
+      B.ret f (Some (B.r root)));
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci n_cubics) (fun i ->
+          let base = B.mul f I32 i (B.ci 3) in
+          let at k =
+            let p =
+              B.gep f ~base:(B.glob "coeffs") ~index:(B.add f I32 base (B.ci k))
+                ~scale:8
+            in
+            B.load f F64 p
+          in
+          B.callv f "cubic" [ at 0; at 1; at 2 ]);
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci n_usqrt) (fun i ->
+          let p = B.gep f ~base:(B.glob "squares") ~index:i ~scale:4 in
+          B.output f I32 (B.call1 f "usqrt" [ B.load f I32 p ]));
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci n_angles) (fun i ->
+          let deg = B.cast f Sitofp ~from_ty:I32 ~to_ty:F64 (B.mul f I32 i (B.ci 10)) in
+          let rad = B.fmul f deg (B.cf deg_to_rad) in
+          B.output f F64 rad;
+          B.output f F64 (B.fmul f rad (B.cf rad_to_deg))));
+    B.finish m
+  in
+  let reference () =
+  let out = Util.Out.create () in
+  for i = 0 to n_cubics - 1 do
+    let b = coeffs.(3 * i) and c = coeffs.((3 * i) + 1) and d = coeffs.((3 * i) + 2) in
+    let q = ((b *. b) -. (3.0 *. c)) /. 9.0 in
+    let t1 = 2.0 *. (b *. b) *. b in
+    let t2 = 9.0 *. b *. c in
+    let t3 = 27.0 *. d in
+    let rr = (t1 -. t2 +. t3) /. 54.0 in
+    let q3 = q *. q *. q in
+    let r2 = rr *. rr in
+    let b3 = b /. 3.0 in
+    if r2 < q3 then begin
+      let th = acos (rr /. sqrt q3) in
+      let mag = -2.0 *. sqrt q in
+      Util.Out.i32 out 3;
+      Util.Out.f64 out ((mag *. cos (th /. 3.0)) -. b3);
+      Util.Out.f64 out ((mag *. cos ((th +. two_pi) /. 3.0)) -. b3);
+      Util.Out.f64 out ((mag *. cos ((th -. two_pi) /. 3.0)) -. b3)
+    end
+    else begin
+      let disc = sqrt (r2 -. q3) in
+      let base = disc +. abs_float rr in
+      let e = base ** (1.0 /. 3.0) in
+      let sgn = if rr > 0.0 then 1.0 else if rr < 0.0 then -1.0 else 0.0 in
+      let a = (0.0 -. sgn) *. e in
+      let bb = if a <> 0.0 then q /. a else 0.0 in
+      Util.Out.i32 out 1;
+      Util.Out.f64 out (a +. bb -. b3)
+    end
+  done;
+  Array.iter
+    (fun x ->
+      let root = ref 0 in
+      for i = 0 to 15 do
+        let shift = 15 - i in
+        let tmp = !root lor (1 lsl shift) in
+        if tmp * tmp <= x then root := tmp
+      done;
+      Util.Out.i32 out !root)
+    usqrt_inputs;
+  for i = 0 to n_angles - 1 do
+    let deg = float_of_int (i * 10) in
+    let rad = deg *. deg_to_rad in
+    Util.Out.f64 out rad;
+    Util.Out.f64 out (rad *. rad_to_deg)
+  done;
+    Util.Out.contents out
+  in
+  {
+    Desc.name;
+    suite = "mibench";
+    package = "automotive";
+    description =
+      "cubic equation solving (both real-root branches), bit-by-bit integer \
+       square roots, and degree/radian conversions";
+    build;
+    reference;
+  }
+
+let entry = make ~name:"basicmath" ~n_cubics:20 ~n_usqrt:32 ~n_angles:36
+
+let entry_large =
+  make ~name:"basicmath-large" ~n_cubics:80 ~n_usqrt:128 ~n_angles:144

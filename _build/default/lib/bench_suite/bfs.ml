@@ -1,0 +1,96 @@
+(* Parboil base/bfs: breadth-first search over an irregular CSR graph with
+   uniform edge weights, from a single source; outputs the cost (depth) of
+   every node, -1 for unreachable ones.  The graph mixes a sparse chain
+   with pseudo-random long-range edges, giving the irregular degree
+   distribution of the original's road-network input. *)
+
+module B = Ir.Build
+
+let make ~name ~n =
+  let edges_of node =
+  (* deterministic irregular adjacency *)
+  let e1 = ((node * 7) + 1) mod n in
+  let e2 = ((node * 13) + 5) mod n in
+  let e3 = ((node * 29) + 17) mod n in
+  let base = if node mod 3 = 0 then [ e1; e2; e3 ] else [ e1; e2 ] in
+  let with_chain = if node + 1 < n && node mod 5 <> 4 then (node + 1) :: base else base in
+    List.sort_uniq compare (List.filter (fun e -> e <> node) with_chain)
+  in
+  let csr_offsets, csr_edges =
+    let offsets = Array.make (n + 1) 0 in
+    let all = ref [] in
+    for node = 0 to n - 1 do
+      let es = edges_of node in
+      offsets.(node + 1) <- offsets.(node) + List.length es;
+      all := List.rev_append es !all
+    done;
+    (offsets, Array.of_list (List.rev !all))
+  in
+  let build () =
+  let m = B.create () in
+  B.global_i32s m "offsets" csr_offsets;
+  B.global_i32s m "edges" csr_edges;
+  B.global_zeros m "cost" (n * 4);
+  B.global_zeros m "queue" (4 * n * 4);
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let at name idx = B.gep f ~base:(B.glob name) ~index:idx ~scale:4 in
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci n) (fun v ->
+          B.store f I32 ~value:(B.ci (-1)) ~addr:(at "cost" v));
+      B.store f I32 ~value:(B.ci 0) ~addr:(at "cost" (B.ci 0));
+      B.store f I32 ~value:(B.ci 0) ~addr:(at "queue" (B.ci 0));
+      let head = B.local_init f I32 (B.ci 0) in
+      let tail = B.local_init f I32 (B.ci 1) in
+      B.while_ f
+        ~cond:(fun () -> B.slt f I32 (B.r head) (B.r tail))
+        ~body:(fun () ->
+          let u = B.load f I32 (at "queue" (B.r head)) in
+          B.set f head (B.add f I32 (B.r head) (B.ci 1));
+          let cu = B.load f I32 (at "cost" u) in
+          let lo = B.load f I32 (at "offsets" u) in
+          let hi = B.load f I32 (at "offsets" (B.add f I32 u (B.ci 1))) in
+          B.for_ f ~from_:lo ~below:hi (fun e ->
+              let v = B.load f I32 (at "edges" e) in
+              let cv = B.load f I32 (at "cost" v) in
+              B.if_then f (B.slt f I32 cv (B.ci 0)) (fun () ->
+                  B.store f I32 ~value:(B.add f I32 cu (B.ci 1))
+                    ~addr:(at "cost" v);
+                  B.store f I32 ~value:v ~addr:(at "queue" (B.r tail));
+                  B.set f tail (B.add f I32 (B.r tail) (B.ci 1)))));
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci n) (fun v ->
+          B.output f I32 (B.load f I32 (at "cost" v))));
+    B.finish m
+  in
+  let reference () =
+  let cost = Array.make n (-1) in
+  let queue = Queue.create () in
+  cost.(0) <- 0;
+  Queue.add 0 queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    List.iter
+      (fun v ->
+        if cost.(v) < 0 then begin
+          cost.(v) <- cost.(u) + 1;
+          Queue.add v queue
+        end)
+      (edges_of u)
+  done;
+    let out = Util.Out.create () in
+    Array.iter (Util.Out.i32 out) cost;
+    Util.Out.contents out
+  in
+  {
+    Desc.name;
+    suite = "parboil";
+    package = "base";
+    description =
+      Printf.sprintf
+        "breadth-first search over an irregular %d-node CSR graph from node \
+         0; outputs every node's depth (-1 if unreachable)"
+        n;
+    build;
+    reference;
+  }
+
+let entry = make ~name:"bfs" ~n:128
+let entry_large = make ~name:"bfs-large" ~n:512

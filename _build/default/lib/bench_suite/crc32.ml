@@ -1,0 +1,84 @@
+(* MiBench telecomm/CRC32: table-driven 32-bit cyclic redundancy check over
+   a pseudo-random byte buffer.  The reflected polynomial table is built at
+   run time (as in the original), so the table construction itself is
+   exposed to fault injection.  A running CRC is emitted every 256 bytes,
+   then the final value.
+
+   Like MiBench, two input sizes are provided: the paper's campaigns use
+   the small input; [entry_large] processes an 8x larger buffer. *)
+
+module B = Ir.Build
+
+let poly = 0xEDB88320
+
+let make ~name ~input_len =
+  let input = Util.gen ~seed:32 ~n:input_len ~bound:256 in
+  let build () =
+    let m = B.create () in
+    B.global_u8s m "input" input;
+    B.global_zeros m "table" (256 * 4);
+    B.func m "main" ~params:[] ~ret:None (fun f ->
+        (* Build the reflected CRC table. *)
+        B.for_ f ~from_:(B.ci 0) ~below:(B.ci 256) (fun n ->
+            let c = B.local_init f I32 n in
+            B.for_ f ~from_:(B.ci 0) ~below:(B.ci 8) (fun _k ->
+                let lsb = B.band f I32 (B.r c) (B.ci 1) in
+                let half = B.lshr f I32 (B.r c) (B.ci 1) in
+                let x = B.bxor f I32 half (B.ci poly) in
+                let nz = B.ne f I32 lsb (B.ci 0) in
+                B.set f c (B.select f I32 ~cond:nz x half));
+            let slot = B.gep f ~base:(B.glob "table") ~index:n ~scale:4 in
+            B.store f I32 ~value:(B.r c) ~addr:slot);
+        (* Stream the buffer through the CRC. *)
+        let crc = B.local_init f I32 (B.ci 0xFFFFFFFF) in
+        B.for_ f ~from_:(B.ci 0) ~below:(B.ci input_len) (fun i ->
+            let bp = B.gep f ~base:(B.glob "input") ~index:i ~scale:1 in
+            let byte = B.load f I8 bp in
+            let byte32 = B.cast f Zext ~from_ty:I8 ~to_ty:I32 byte in
+            let idx = B.band f I32 (B.bxor f I32 (B.r crc) byte32) (B.ci 0xFF) in
+            let tp = B.gep f ~base:(B.glob "table") ~index:idx ~scale:4 in
+            let te = B.load f I32 tp in
+            B.set f crc (B.bxor f I32 te (B.lshr f I32 (B.r crc) (B.ci 8)));
+            let at_mark = B.eq f I32 (B.band f I32 i (B.ci 255)) (B.ci 255) in
+            B.if_then f at_mark (fun () ->
+                B.output f I32 (B.bxor f I32 (B.r crc) (B.ci 0xFFFFFFFF))));
+        B.output f I32 (B.bxor f I32 (B.r crc) (B.ci 0xFFFFFFFF)));
+    B.finish m
+  in
+  let reference () =
+    let mask = 0xFFFFFFFF in
+    let table = Array.make 256 0 in
+    for n = 0 to 255 do
+      let c = ref n in
+      for _ = 0 to 7 do
+        let half = !c lsr 1 in
+        c := (if !c land 1 <> 0 then half lxor poly else half) land mask
+      done;
+      table.(n) <- !c
+    done;
+    let out = Util.Out.create () in
+    let crc = ref mask in
+    Array.iteri
+      (fun i byte ->
+        let idx = (!crc lxor byte) land 0xFF in
+        crc := (table.(idx) lxor (!crc lsr 8)) land mask;
+        if i land 255 = 255 then Util.Out.i32 out (!crc lxor mask))
+      input;
+    Util.Out.i32 out (!crc lxor mask);
+    Util.Out.contents out
+  in
+  {
+    Desc.name;
+    suite = "mibench";
+    package = "telecomm";
+    description =
+      Printf.sprintf
+        "32-bit cyclic redundancy check over a %d-byte pseudo-random buffer \
+         (table built at run time; running CRC every 256 bytes)"
+        input_len;
+    build;
+    reference;
+  }
+
+let entry = make ~name:"crc32" ~input_len:1024
+let entry_large = make ~name:"crc32-large" ~input_len:8192

@@ -1,0 +1,8 @@
+type t = {
+  name : string;
+  suite : string;
+  package : string;
+  description : string;
+  build : unit -> Ir.Func.modl;
+  reference : unit -> string;
+}

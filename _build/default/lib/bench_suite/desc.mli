@@ -1,0 +1,16 @@
+(** A benchmark program: an IR module plus a native reference.
+
+    Each of the 15 programs (Table II of the paper) provides [build], the IR
+    module the fault injector targets, and [reference], a plain OCaml
+    implementation producing the byte-exact expected output of a fault-free
+    run.  Tests assert that the VM's golden run matches the reference, which
+    validates both the program and the interpreter. *)
+
+type t = {
+  name : string;
+  suite : string;  (** "mibench" or "parboil" *)
+  package : string;  (** e.g. "automotive", "telecomm", "base", "cpu" *)
+  description : string;
+  build : unit -> Ir.Func.modl;
+  reference : unit -> string;
+}

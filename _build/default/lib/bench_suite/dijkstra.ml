@@ -1,0 +1,94 @@
+(* MiBench network/dijkstra: single-source shortest paths over a dense
+   adjacency-matrix graph (as in the original's input, an NxN weight
+   matrix), run from six different sources; outputs every distance
+   vector. *)
+
+module B = Ir.Build
+
+let inf = 0x3FFFFFFF
+
+let make ~name ~n ~n_sources =
+  (* Dense weight matrix, weights 1..20; diagonal zero. *)
+  let adj =
+    let raw = Util.gen ~seed:13 ~n:(n * n) ~bound:20 in
+    Array.init (n * n) (fun i -> if i / n = i mod n then 0 else raw.(i) + 1)
+  in
+  let build () =
+  let m = B.create () in
+  B.global_i32s m "adj" adj;
+  B.global_zeros m "dist" (n * 4);
+  B.global_zeros m "visited" (n * 4);
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let at name idx = B.gep f ~base:(B.glob name) ~index:idx ~scale:4 in
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci n_sources) (fun src ->
+          B.for_ f ~from_:(B.ci 0) ~below:(B.ci n) (fun v ->
+              B.store f I32 ~value:(B.ci inf) ~addr:(at "dist" v);
+              B.store f I32 ~value:(B.ci 0) ~addr:(at "visited" v));
+          B.store f I32 ~value:(B.ci 0) ~addr:(at "dist" src);
+          B.for_ f ~from_:(B.ci 0) ~below:(B.ci n) (fun _round ->
+              (* select the closest unvisited node *)
+              let u = B.local_init f I32 (B.ci (-1)) in
+              let best = B.local_init f I32 (B.ci inf) in
+              B.for_ f ~from_:(B.ci 0) ~below:(B.ci n) (fun v ->
+                  let unvisited =
+                    B.eq f I32 (B.load f I32 (at "visited" v)) (B.ci 0)
+                  in
+                  let dv = B.load f I32 (at "dist" v) in
+                  let closer = B.slt f I32 dv (B.r best) in
+                  B.if_then f (B.band f I1 unvisited closer) (fun () ->
+                      B.set f best dv;
+                      B.set f u v));
+              B.if_then f (B.sge f I32 (B.r u) (B.ci 0)) (fun () ->
+                  B.store f I32 ~value:(B.ci 1) ~addr:(at "visited" (B.r u));
+                  let du = B.load f I32 (at "dist" (B.r u)) in
+                  let row = B.mul f I32 (B.r u) (B.ci n) in
+                  B.for_ f ~from_:(B.ci 0) ~below:(B.ci n) (fun v ->
+                      let wuv = B.load f I32 (at "adj" (B.add f I32 row v)) in
+                      let nd = B.add f I32 du wuv in
+                      let dv = B.load f I32 (at "dist" v) in
+                      B.if_then f (B.slt f I32 nd dv) (fun () ->
+                          B.store f I32 ~value:nd ~addr:(at "dist" v)))));
+          B.for_ f ~from_:(B.ci 0) ~below:(B.ci n) (fun v ->
+              B.output f I32 (B.load f I32 (at "dist" v)))));
+    B.finish m
+  in
+  let reference () =
+  let out = Util.Out.create () in
+  for src = 0 to n_sources - 1 do
+    let dist = Array.make n inf and visited = Array.make n false in
+    dist.(src) <- 0;
+    for _ = 1 to n do
+      let u = ref (-1) and best = ref inf in
+      for v = 0 to n - 1 do
+        if (not visited.(v)) && dist.(v) < !best then begin
+          best := dist.(v);
+          u := v
+        end
+      done;
+      if !u >= 0 then begin
+        visited.(!u) <- true;
+        for v = 0 to n - 1 do
+          let nd = dist.(!u) + adj.((!u * n) + v) in
+          if nd < dist.(v) then dist.(v) <- nd
+        done
+      end
+    done;
+    Array.iter (Util.Out.i32 out) dist
+  done;
+    Util.Out.contents out
+  in
+  {
+    Desc.name;
+    suite = "mibench";
+    package = "network";
+    description =
+      Printf.sprintf
+        "Dijkstra shortest paths over a dense %d-node adjacency matrix from \
+         %d sources; outputs all distance vectors"
+        n n_sources;
+    build;
+    reference;
+  }
+
+let entry = make ~name:"dijkstra" ~n:20 ~n_sources:6
+let entry_large = make ~name:"dijkstra-large" ~n:40 ~n_sources:8

@@ -1,0 +1,177 @@
+(* MiBench telecomm/FFT and IFFT: iterative radix-2 Cooley-Tukey transform
+   over 64 complex points.  FFT runs the forward transform on a synthetic
+   waveform; IFFT runs the inverse transform (conjugate twiddles, 1/n
+   scaling) on synthetic frequency-domain data, mirroring MiBench's
+   separate fft/fft -i workloads.  Twiddle factors are computed at run time
+   with the sin/cos builtins, so the twiddle computation is itself a fault
+   target. *)
+
+module B = Ir.Build
+
+let minus_two_pi = -6.283185307179586
+let two_pi = 6.283185307179586
+
+let build_transform ~n ~log2n ~re0 ~im0 ~inverse () =
+  let m = B.create () in
+  B.global_f64s m "re" re0;
+  B.global_f64s m "im" im0;
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let elem name idx = B.gep f ~base:(B.glob name) ~index:idx ~scale:8 in
+      let ld name idx = B.load f F64 (elem name idx) in
+      let st name idx v = B.store f F64 ~value:v ~addr:(elem name idx) in
+      (* Bit-reversal permutation. *)
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci n) (fun i ->
+          let j = B.local_init f I32 (B.ci 0) in
+          let t = B.local_init f I32 i in
+          B.for_ f ~from_:(B.ci 0) ~below:(B.ci log2n) (fun _ ->
+              B.set f j
+                (B.bor f I32
+                   (B.shl f I32 (B.r j) (B.ci 1))
+                   (B.band f I32 (B.r t) (B.ci 1)));
+              B.set f t (B.lshr f I32 (B.r t) (B.ci 1)));
+          B.if_then f (B.slt f I32 i (B.r j)) (fun () ->
+              let ri = ld "re" i and rj = ld "re" (B.r j) in
+              st "re" i rj;
+              st "re" (B.r j) ri;
+              let ii = ld "im" i and ij = ld "im" (B.r j) in
+              st "im" i ij;
+              st "im" (B.r j) ii));
+      (* Butterfly stages. *)
+      let len = B.local_init f I32 (B.ci 2) in
+      B.while_ f
+        ~cond:(fun () -> B.sle f I32 (B.r len) (B.ci n))
+        ~body:(fun () ->
+          let lenf = B.cast f Sitofp ~from_ty:I32 ~to_ty:F64 (B.r len) in
+          let ang0 =
+            B.fdiv f (B.cf (if inverse then two_pi else minus_two_pi)) lenf
+          in
+          let half = B.sdiv f I32 (B.r len) (B.ci 2) in
+          let i = B.local_init f I32 (B.ci 0) in
+          B.while_ f
+            ~cond:(fun () -> B.slt f I32 (B.r i) (B.ci n))
+            ~body:(fun () ->
+              B.for_ f ~from_:(B.ci 0) ~below:half (fun k ->
+                  let kf = B.cast f Sitofp ~from_ty:I32 ~to_ty:F64 k in
+                  let ang = B.fmul f ang0 kf in
+                  let wr = B.call1 f "cos" [ ang ] in
+                  let wi = B.call1 f "sin" [ ang ] in
+                  let a = B.add f I32 (B.r i) k in
+                  let b = B.add f I32 a half in
+                  let reb = ld "re" b and imb = ld "im" b in
+                  let tr = B.fsub f (B.fmul f wr reb) (B.fmul f wi imb) in
+                  let ti = B.fadd f (B.fmul f wr imb) (B.fmul f wi reb) in
+                  let rea = ld "re" a and ima = ld "im" a in
+                  st "re" b (B.fsub f rea tr);
+                  st "im" b (B.fsub f ima ti);
+                  st "re" a (B.fadd f rea tr);
+                  st "im" a (B.fadd f ima ti));
+              B.set f i (B.add f I32 (B.r i) (B.r len)));
+          B.set f len (B.shl f I32 (B.r len) (B.ci 1)));
+      (* Emit (optionally 1/n-scaled) spectrum, interleaved re/im. *)
+      let scale = B.cf (1.0 /. float_of_int n) in
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci n) (fun i ->
+          let re = ld "re" i and im = ld "im" i in
+          if inverse then begin
+            B.output f F64 (B.fmul f re scale);
+            B.output f F64 (B.fmul f im scale)
+          end
+          else begin
+            B.output f F64 re;
+            B.output f F64 im
+          end));
+  B.finish m
+
+let ref_transform ~n ~log2n ~re0 ~im0 ~inverse () =
+  let re = Array.copy re0 and im = Array.copy im0 in
+  for i = 0 to n - 1 do
+    let j = ref 0 and t = ref i in
+    for _ = 1 to log2n do
+      j := (!j lsl 1) lor (!t land 1);
+      t := !t lsr 1
+    done;
+    let j = !j in
+    if i < j then begin
+      let r = re.(i) in
+      re.(i) <- re.(j);
+      re.(j) <- r;
+      let x = im.(i) in
+      im.(i) <- im.(j);
+      im.(j) <- x
+    end
+  done;
+  let len = ref 2 in
+  while !len <= n do
+    let ang0 =
+      (if inverse then two_pi else minus_two_pi) /. float_of_int !len
+    in
+    let half = !len / 2 in
+    let i = ref 0 in
+    while !i < n do
+      for k = 0 to half - 1 do
+        let ang = ang0 *. float_of_int k in
+        let wr = cos ang and wi = sin ang in
+        let a = !i + k in
+        let b = a + half in
+        let tr = (wr *. re.(b)) -. (wi *. im.(b)) in
+        let ti = (wr *. im.(b)) +. (wi *. re.(b)) in
+        re.(b) <- re.(a) -. tr;
+        im.(b) <- im.(a) -. ti;
+        re.(a) <- re.(a) +. tr;
+        im.(a) <- im.(a) +. ti
+      done;
+      i := !i + !len
+    done;
+    len := !len lsl 1
+  done;
+  let out = Util.Out.create () in
+  let scale = 1.0 /. float_of_int n in
+  for i = 0 to n - 1 do
+    if inverse then begin
+      Util.Out.f64 out (re.(i) *. scale);
+      Util.Out.f64 out (im.(i) *. scale)
+    end
+    else begin
+      Util.Out.f64 out re.(i);
+      Util.Out.f64 out im.(i)
+    end
+  done;
+  Util.Out.contents out
+
+let make_fft ~name ~log2n =
+  let n = 1 lsl log2n in
+  let re0 = Util.gen_floats ~seed:21 ~n ~scale:4.0 in
+  let im0 = Array.make n 0.0 in
+  {
+    Desc.name;
+    suite = "mibench";
+    package = "telecomm";
+    description =
+      Printf.sprintf
+        "%d-point radix-2 FFT of a synthetic waveform; run-time twiddle \
+         factors; outputs the interleaved complex spectrum"
+        n;
+    build = build_transform ~n ~log2n ~re0 ~im0 ~inverse:false;
+    reference = ref_transform ~n ~log2n ~re0 ~im0 ~inverse:false;
+  }
+
+let make_ifft ~name ~log2n =
+  let n = 1 lsl log2n in
+  let re0 = Util.gen_floats ~seed:22 ~n ~scale:2.0 in
+  let im0 = Util.gen_floats ~seed:23 ~n ~scale:2.0 in
+  {
+    Desc.name;
+    suite = "mibench";
+    package = "telecomm";
+    description =
+      Printf.sprintf
+        "%d-point radix-2 inverse FFT of synthetic frequency-domain data \
+         (conjugate twiddles, 1/n scaling)"
+        n;
+    build = build_transform ~n ~log2n ~re0 ~im0 ~inverse:true;
+    reference = ref_transform ~n ~log2n ~re0 ~im0 ~inverse:true;
+  }
+
+let fft = make_fft ~name:"fft" ~log2n:6
+let ifft = make_ifft ~name:"ifft" ~log2n:6
+let fft_large = make_fft ~name:"fft-large" ~log2n:8
+let ifft_large = make_ifft ~name:"ifft-large" ~log2n:8

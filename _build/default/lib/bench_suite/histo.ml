@@ -1,0 +1,71 @@
+(* Parboil base/histo: saturating histogram.  2048 input samples are binned
+   into a 2-D histogram (16 x 16 = 256 bins) whose 8-bit counters saturate
+   at 255, exactly the original's saturation semantics; the input is skewed
+   so several bins do saturate.  Output is the 256-byte histogram. *)
+
+module B = Ir.Build
+
+let bins_x = 16
+let bins_y = 16
+let n_bins = bins_x * bins_y
+
+let make ~name ~n_samples =
+  let samples =
+    (* Two populations: a uniform background and a hot cluster that drives
+       some bins past 255. *)
+    let uniform = Util.gen ~seed:77 ~n:(n_samples / 2) ~bound:n_bins in
+    let hot = Util.gen ~seed:78 ~n:(n_samples / 2) ~bound:4 in
+    Array.init n_samples (fun i ->
+        if i land 1 = 0 then uniform.(i / 2) else 34 + hot.(i / 2))
+  in
+  let build () =
+  let m = B.create () in
+  B.global_i32s m "samples" samples;
+  B.global_zeros m "hist" n_bins;
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci n_samples) (fun i ->
+          let sp = B.gep f ~base:(B.glob "samples") ~index:i ~scale:4 in
+          let v = B.load f I32 sp in
+          (* decompose into (row, col) then recompose: mirrors the 2-D
+             indexing of the original *)
+          let row = B.sdiv f I32 v (B.ci bins_x) in
+          let col = B.srem f I32 v (B.ci bins_x) in
+          let bin = B.add f I32 (B.mul f I32 row (B.ci bins_x)) col in
+          let hp = B.gep f ~base:(B.glob "hist") ~index:bin ~scale:1 in
+          let c = B.cast f Zext ~from_ty:I8 ~to_ty:I32 (B.load f I8 hp) in
+          B.if_then f (B.slt f I32 c (B.ci 255)) (fun () ->
+              let inc = B.add f I32 c (B.ci 1) in
+              let byte = B.cast f Trunc ~from_ty:I32 ~to_ty:I8 inc in
+              B.store f I8 ~value:byte ~addr:hp));
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci n_bins) (fun b ->
+          let hp = B.gep f ~base:(B.glob "hist") ~index:b ~scale:1 in
+          B.output f I8 (B.load f I8 hp)));
+    B.finish m
+  in
+  let reference () =
+  let hist = Array.make n_bins 0 in
+  Array.iter
+    (fun v ->
+      let row = v / bins_x and col = v mod bins_x in
+      let bin = (row * bins_x) + col in
+      if hist.(bin) < 255 then hist.(bin) <- hist.(bin) + 1)
+    samples;
+    let out = Util.Out.create () in
+    Array.iter (Util.Out.u8 out) hist;
+    Util.Out.contents out
+  in
+  {
+    Desc.name;
+    suite = "parboil";
+    package = "base";
+    description =
+      Printf.sprintf
+        "2-D saturating histogram (256 bins, counters capped at 255) of %d \
+         skewed samples; outputs the histogram bytes"
+        n_samples;
+    build;
+    reference;
+  }
+
+let entry = make ~name:"histo" ~n_samples:2048
+let entry_large = make ~name:"histo-large" ~n_samples:12288

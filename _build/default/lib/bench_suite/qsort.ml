@@ -1,0 +1,67 @@
+(* MiBench automotive/qsort: recursive quicksort (Lomuto partition, last
+   element as pivot) over a pseudo-random i32 array; the sorted array is the
+   output.  Exercises recursion, heavy pointer traffic and data-dependent
+   branches.  [entry] sorts 120 elements (the paper's small-input scale),
+   [entry_large] 600. *)
+
+module B = Ir.Build
+
+let make ~name ~n =
+  let input = Array.map (fun v -> v - 50_000) (Util.gen ~seed:7 ~n ~bound:100_000) in
+  let build () =
+    let m = B.create () in
+    B.global_i32s m "arr" input;
+    B.func m "qsortr" ~params:[ I32; I32 ] ~ret:None (fun f ->
+        let lo = B.param f 0 and hi = B.param f 1 in
+        B.if_then f (B.slt f I32 lo hi) (fun () ->
+            let pp = B.gep f ~base:(B.glob "arr") ~index:hi ~scale:4 in
+            let pivot = B.load f I32 pp in
+            let i = B.local_init f I32 lo in
+            B.for_ f ~from_:lo ~below:hi (fun j ->
+                let jp = B.gep f ~base:(B.glob "arr") ~index:j ~scale:4 in
+                let vj = B.load f I32 jp in
+                B.if_then f (B.slt f I32 vj pivot) (fun () ->
+                    let ip =
+                      B.gep f ~base:(B.glob "arr") ~index:(B.r i) ~scale:4
+                    in
+                    let vi = B.load f I32 ip in
+                    B.store f I32 ~value:vj ~addr:ip;
+                    B.store f I32 ~value:vi ~addr:jp;
+                    B.set f i (B.add f I32 (B.r i) (B.ci 1))));
+            (* swap arr[i] and arr[hi] *)
+            let ip = B.gep f ~base:(B.glob "arr") ~index:(B.r i) ~scale:4 in
+            let vi = B.load f I32 ip in
+            B.store f I32 ~value:pivot ~addr:ip;
+            B.store f I32 ~value:vi ~addr:pp;
+            B.callv f "qsortr" [ lo; B.sub f I32 (B.r i) (B.ci 1) ];
+            B.callv f "qsortr" [ B.add f I32 (B.r i) (B.ci 1); hi ]);
+        B.ret f None);
+    B.func m "main" ~params:[] ~ret:None (fun f ->
+        B.callv f "qsortr" [ B.ci 0; B.ci (n - 1) ];
+        B.for_ f ~from_:(B.ci 0) ~below:(B.ci n) (fun i ->
+            let p = B.gep f ~base:(B.glob "arr") ~index:i ~scale:4 in
+            B.output f I32 (B.load f I32 p)));
+    B.finish m
+  in
+  let reference () =
+    let a = Array.copy input in
+    Array.sort compare a;
+    let out = Util.Out.create () in
+    Array.iter (Util.Out.i32 out) a;
+    Util.Out.contents out
+  in
+  {
+    Desc.name;
+    suite = "mibench";
+    package = "automotive";
+    description =
+      Printf.sprintf
+        "recursive quicksort (Lomuto partition) of %d pseudo-random 32-bit \
+         integers; outputs the sorted array"
+        n;
+    build;
+    reference;
+  }
+
+let entry = make ~name:"qsort" ~n:120
+let entry_large = make ~name:"qsort-large" ~n:600

@@ -1,0 +1,42 @@
+let all =
+  [
+    Basicmath.entry;
+    Qsort.entry;
+    Susan.corners;
+    Susan.edges;
+    Susan.smoothing;
+    Fft.fft;
+    Fft.ifft;
+    Crc32.entry;
+    Dijkstra.entry;
+    Sha.entry;
+    Stringsearch.entry;
+    Bfs.entry;
+    Histo.entry;
+    Sad.entry;
+    Spmv.entry;
+  ]
+
+let large =
+  [
+    Basicmath.entry_large;
+    Qsort.entry_large;
+    Susan.corners_large;
+    Susan.edges_large;
+    Susan.smoothing_large;
+    Fft.fft_large;
+    Fft.ifft_large;
+    Crc32.entry_large;
+    Dijkstra.entry_large;
+    Sha.entry_large;
+    Stringsearch.entry_large;
+    Bfs.entry_large;
+    Histo.entry_large;
+    Sad.entry_large;
+    Spmv.entry_large;
+  ]
+
+let names = List.map (fun (e : Desc.t) -> e.name) all
+
+let find name =
+  List.find_opt (fun (e : Desc.t) -> e.name = name) (all @ large)

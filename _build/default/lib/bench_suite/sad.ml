@@ -1,0 +1,115 @@
+(* Parboil cpu/sad: sum of absolute differences for motion estimation.
+   A 16x16 reference frame is compared against a shifted/noised current
+   frame; for each 8x8 block and each of the 9 search offsets in
+   [-1, 1]^2 (window clamped to the frame), the SAD is emitted. *)
+
+module B = Ir.Build
+
+let blk = 8
+
+let clamp v lo hi = if v < lo then lo else if v > hi then hi else v
+
+let make ~name ~dim =
+  let blocks_per_side = dim / blk in
+  let ref_frame =
+    let noise = Util.gen ~seed:91 ~n:(dim * dim) ~bound:9 in
+    Array.init (dim * dim) (fun i ->
+        let y = i / dim and x = i mod dim in
+        let base = if (x / 4) + (y / 4) land 1 = 1 then 150 else 60 in
+        base + noise.(i) - 4)
+  in
+  let cur_frame =
+    (* the reference frame shifted by (1, 1) plus fresh noise *)
+    let noise = Util.gen ~seed:92 ~n:(dim * dim) ~bound:7 in
+    Array.init (dim * dim) (fun i ->
+        let y = i / dim and x = i mod dim in
+        let sy = min (dim - 1) (y + 1) and sx = min (dim - 1) (x + 1) in
+        let v = ref_frame.((sy * dim) + sx) + noise.(i) - 3 in
+        if v < 0 then 0 else if v > 255 then 255 else v)
+  in
+  let build () =
+  let m = B.create () in
+  B.global_u8s m "reff" ref_frame;
+  B.global_u8s m "curf" cur_frame;
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let pixel name idx =
+        let p = B.gep f ~base:(B.glob name) ~index:idx ~scale:1 in
+        B.cast f Zext ~from_ty:I8 ~to_ty:I32 (B.load f I8 p)
+      in
+      let clamp_ir v lim =
+        let low = B.select f I32 ~cond:(B.slt f I32 v (B.ci 0)) (B.ci 0) v in
+        B.select f I32 ~cond:(B.sgt f I32 low (B.ci (lim - 1))) (B.ci (lim - 1)) low
+      in
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci blocks_per_side) (fun by ->
+          B.for_ f ~from_:(B.ci 0) ~below:(B.ci blocks_per_side) (fun bx ->
+              B.for_ f ~from_:(B.ci (-1)) ~below:(B.ci 2) (fun dy ->
+                  B.for_ f ~from_:(B.ci (-1)) ~below:(B.ci 2) (fun dx ->
+                      let sad = B.local_init f I32 (B.ci 0) in
+                      B.for_ f ~from_:(B.ci 0) ~below:(B.ci blk) (fun py ->
+                          B.for_ f ~from_:(B.ci 0) ~below:(B.ci blk) (fun px ->
+                              let y =
+                                B.add f I32 (B.mul f I32 by (B.ci blk)) py
+                              in
+                              let x =
+                                B.add f I32 (B.mul f I32 bx (B.ci blk)) px
+                              in
+                              let cy = clamp_ir (B.add f I32 y dy) dim in
+                              let cx = clamp_ir (B.add f I32 x dx) dim in
+                              let a =
+                                pixel "curf"
+                                  (B.add f I32 (B.mul f I32 cy (B.ci dim)) cx)
+                              in
+                              let b =
+                                pixel "reff"
+                                  (B.add f I32 (B.mul f I32 y (B.ci dim)) x)
+                              in
+                              let d = B.sub f I32 a b in
+                              let ad =
+                                B.select f I32
+                                  ~cond:(B.slt f I32 d (B.ci 0))
+                                  (B.sub f I32 (B.ci 0) d)
+                                  d
+                              in
+                              B.set f sad (B.add f I32 (B.r sad) ad)));
+                      B.output f I32 (B.r sad))))));
+    B.finish m
+  in
+  let reference () =
+  let out = Util.Out.create () in
+  for by = 0 to blocks_per_side - 1 do
+    for bx = 0 to blocks_per_side - 1 do
+      for dy = -1 to 1 do
+        for dx = -1 to 1 do
+          let sad = ref 0 in
+          for py = 0 to blk - 1 do
+            for px = 0 to blk - 1 do
+              let y = (by * blk) + py and x = (bx * blk) + px in
+              let cy = clamp (y + dy) 0 (dim - 1) in
+              let cx = clamp (x + dx) 0 (dim - 1) in
+              let a = cur_frame.((cy * dim) + cx) in
+              let b = ref_frame.((y * dim) + x) in
+              sad := !sad + abs (a - b)
+            done
+          done;
+          Util.Out.i32 out !sad
+        done
+      done
+    done
+  done;
+    Util.Out.contents out
+  in
+  {
+    Desc.name;
+    suite = "parboil";
+    package = "cpu";
+    description =
+      Printf.sprintf
+        "sum of absolute differences: 8x8 blocks of a %dx%d frame against a \
+         shifted noisy frame over a [-1,1]^2 search window"
+        dim dim;
+    build;
+    reference;
+  }
+
+let entry = make ~name:"sad" ~dim:16
+let entry_large = make ~name:"sad-large" ~dim:32

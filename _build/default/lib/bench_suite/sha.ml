@@ -1,0 +1,192 @@
+(* MiBench security/sha: SHA-1 over a 192-byte pseudo-random message
+   (pre-padded at build time to 4 × 64-byte blocks).  The full 80-round
+   compression and message schedule run in IR; output is the 160-bit
+   digest as five i32 words. *)
+
+module B = Ir.Build
+
+let h_init = [| 0x67452301; 0xEFCDAB89; 0x98BADCFE; 0x10325476; 0xC3D2E1F0 |]
+
+let pad msg_len message =
+  (* room for the 0x80 marker and the 8-byte length, rounded to a block *)
+  let padded_len = (msg_len + 9 + 63) / 64 * 64 in
+  let p = Array.make padded_len 0 in
+  Array.blit message 0 p 0 msg_len;
+  p.(msg_len) <- 0x80;
+  (* 64-bit big-endian bit length in the last 8 bytes *)
+  let bits = msg_len * 8 in
+  p.(padded_len - 3) <- (bits lsr 16) land 0xFF;
+  p.(padded_len - 2) <- (bits lsr 8) land 0xFF;
+  p.(padded_len - 1) <- bits land 0xFF;
+  p
+
+let make ~name ~msg_len =
+  let message = Util.gen ~seed:160 ~n:msg_len ~bound:256 in
+  let padded = pad msg_len message in
+  let padded_len = Array.length padded in
+  let build () =
+  let m = B.create () in
+  B.global_u8s m "msg" padded;
+  B.global_zeros m "w" (80 * 4);
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let rotl r x =
+        B.bor f I32 (B.shl f I32 x (B.ci r)) (B.lshr f I32 x (B.ci (32 - r)))
+      in
+      let h = Array.map (fun v -> B.local_init f I32 (B.ci v)) h_init in
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci (padded_len / 64)) (fun blk ->
+          let base = B.mul f I32 blk (B.ci 64) in
+          (* message schedule, words 0-15: big-endian load *)
+          B.for_ f ~from_:(B.ci 0) ~below:(B.ci 16) (fun t ->
+              let off = B.add f I32 base (B.mul f I32 t (B.ci 4)) in
+              let word = B.local_init f I32 (B.ci 0) in
+              B.for_ f ~from_:(B.ci 0) ~below:(B.ci 4) (fun k ->
+                  let p =
+                    B.gep f ~base:(B.glob "msg") ~index:(B.add f I32 off k)
+                      ~scale:1
+                  in
+                  let byte = B.cast f Zext ~from_ty:I8 ~to_ty:I32 (B.load f I8 p) in
+                  B.set f word
+                    (B.bor f I32 (B.shl f I32 (B.r word) (B.ci 8)) byte));
+              let wp = B.gep f ~base:(B.glob "w") ~index:t ~scale:4 in
+              B.store f I32 ~value:(B.r word) ~addr:wp);
+          (* words 16-79 *)
+          B.for_ f ~from_:(B.ci 16) ~below:(B.ci 80) (fun t ->
+              let wat d =
+                let p =
+                  B.gep f ~base:(B.glob "w") ~index:(B.sub f I32 t (B.ci d))
+                    ~scale:4
+                in
+                B.load f I32 p
+              in
+              let x =
+                B.bxor f I32
+                  (B.bxor f I32 (wat 3) (wat 8))
+                  (B.bxor f I32 (wat 14) (wat 16))
+              in
+              let wp = B.gep f ~base:(B.glob "w") ~index:t ~scale:4 in
+              B.store f I32 ~value:(rotl 1 x) ~addr:wp);
+          (* compression *)
+          let a = B.local_init f I32 (B.r h.(0)) in
+          let b = B.local_init f I32 (B.r h.(1)) in
+          let c = B.local_init f I32 (B.r h.(2)) in
+          let d = B.local_init f I32 (B.r h.(3)) in
+          let e = B.local_init f I32 (B.r h.(4)) in
+          B.for_ f ~from_:(B.ci 0) ~below:(B.ci 80) (fun t ->
+              let fk = B.local f I32 and kk = B.local f I32 in
+              B.if_ f
+                (B.slt f I32 t (B.ci 20))
+                ~then_:(fun () ->
+                  (* (b & c) | (~b & d) *)
+                  let nb = B.bxor f I32 (B.r b) (B.ci 0xFFFFFFFF) in
+                  B.set f fk
+                    (B.bor f I32
+                       (B.band f I32 (B.r b) (B.r c))
+                       (B.band f I32 nb (B.r d)));
+                  B.set f kk (B.ci 0x5A827999))
+                ~else_:(fun () ->
+                  B.if_ f
+                    (B.slt f I32 t (B.ci 40))
+                    ~then_:(fun () ->
+                      B.set f fk
+                        (B.bxor f I32 (B.bxor f I32 (B.r b) (B.r c)) (B.r d));
+                      B.set f kk (B.ci 0x6ED9EBA1))
+                    ~else_:(fun () ->
+                      B.if_ f
+                        (B.slt f I32 t (B.ci 60))
+                        ~then_:(fun () ->
+                          B.set f fk
+                            (B.bor f I32
+                               (B.bor f I32
+                                  (B.band f I32 (B.r b) (B.r c))
+                                  (B.band f I32 (B.r b) (B.r d)))
+                               (B.band f I32 (B.r c) (B.r d)));
+                          B.set f kk (B.ci 0x8F1BBCDC))
+                        ~else_:(fun () ->
+                          B.set f fk
+                            (B.bxor f I32
+                               (B.bxor f I32 (B.r b) (B.r c))
+                               (B.r d));
+                          B.set f kk (B.ci 0xCA62C1D6))));
+              let wp = B.gep f ~base:(B.glob "w") ~index:t ~scale:4 in
+              let wt = B.load f I32 wp in
+              let temp =
+                B.add f I32
+                  (B.add f I32
+                     (B.add f I32 (rotl 5 (B.r a)) (B.r fk))
+                     (B.add f I32 (B.r e) (B.r kk)))
+                  wt
+              in
+              B.set f e (B.r d);
+              B.set f d (B.r c);
+              B.set f c (rotl 30 (B.r b));
+              B.set f b (B.r a);
+              B.set f a temp);
+          B.set f h.(0) (B.add f I32 (B.r h.(0)) (B.r a));
+          B.set f h.(1) (B.add f I32 (B.r h.(1)) (B.r b));
+          B.set f h.(2) (B.add f I32 (B.r h.(2)) (B.r c));
+          B.set f h.(3) (B.add f I32 (B.r h.(3)) (B.r d));
+          B.set f h.(4) (B.add f I32 (B.r h.(4)) (B.r e)));
+      Array.iter (fun hr -> B.output f I32 (B.r hr)) h);
+    B.finish m
+  in
+  let reference () =
+  let mask = 0xFFFFFFFF in
+  let rotl r x = ((x lsl r) lor (x lsr (32 - r))) land mask in
+  let h = Array.copy h_init in
+  let w = Array.make 80 0 in
+  for blk = 0 to (padded_len / 64) - 1 do
+    let base = blk * 64 in
+    for t = 0 to 15 do
+      let word = ref 0 in
+      for k = 0 to 3 do
+        word := ((!word lsl 8) lor padded.(base + (t * 4) + k)) land mask
+      done;
+      w.(t) <- !word
+    done;
+    for t = 16 to 79 do
+      w.(t) <- rotl 1 (w.(t - 3) lxor w.(t - 8) lxor w.(t - 14) lxor w.(t - 16))
+    done;
+    let a = ref h.(0) and b = ref h.(1) and c = ref h.(2) in
+    let d = ref h.(3) and e = ref h.(4) in
+    for t = 0 to 79 do
+      let fk, kk =
+        if t < 20 then
+          ((!b land !c) lor (!b lxor mask land !d), 0x5A827999)
+        else if t < 40 then (!b lxor !c lxor !d, 0x6ED9EBA1)
+        else if t < 60 then
+          ( (!b land !c) lor (!b land !d) lor (!c land !d),
+            0x8F1BBCDC )
+        else (!b lxor !c lxor !d, 0xCA62C1D6)
+      in
+      let temp = (rotl 5 !a + fk + !e + kk + w.(t)) land mask in
+      e := !d;
+      d := !c;
+      c := rotl 30 !b;
+      b := !a;
+      a := temp
+    done;
+    h.(0) <- (h.(0) + !a) land mask;
+    h.(1) <- (h.(1) + !b) land mask;
+    h.(2) <- (h.(2) + !c) land mask;
+    h.(3) <- (h.(3) + !d) land mask;
+    h.(4) <- (h.(4) + !e) land mask
+  done;
+    let out = Util.Out.create () in
+    Array.iter (Util.Out.i32 out) h;
+    Util.Out.contents out
+  in
+  {
+    Desc.name;
+    suite = "mibench";
+    package = "security";
+    description =
+      Printf.sprintf
+        "SHA-1 digest of a %d-byte pseudo-random message (%d blocks, full \
+         80-round compression in IR); outputs the 160-bit digest"
+        msg_len (padded_len / 64);
+    build;
+    reference;
+  }
+
+let entry = make ~name:"sha" ~msg_len:192
+let entry_large = make ~name:"sha-large" ~msg_len:1984

@@ -1,0 +1,80 @@
+(* Parboil cpu/spmv: product of a sparse matrix (CSR, from a deterministic
+   coordinate-format generator) with a dense vector, in double precision;
+   outputs the result vector.  Accumulation order matches the reference
+   exactly, so the output is bit-exact. *)
+
+module B = Ir.Build
+
+let nnz_per_row = 6
+
+let make ~name ~rows =
+  let nnz = rows * nnz_per_row in
+  let col_idx =
+  let raw = Util.gen ~seed:101 ~n:nnz ~bound:rows in
+  (* Sort the column indices within each row, as a CSR conversion would. *)
+  Array.init nnz (fun i -> i)
+  |> Array.map (fun i ->
+         let r = i / nnz_per_row in
+         ignore r;
+         raw.(i))
+  |> fun a ->
+  for r = 0 to rows - 1 do
+    let seg = Array.sub a (r * nnz_per_row) nnz_per_row in
+    Array.sort compare seg;
+    Array.blit seg 0 a (r * nnz_per_row) nnz_per_row
+  done;
+    a
+  in
+  let values = Util.gen_floats ~seed:102 ~n:nnz ~scale:4.0 in
+  let x_vec = Util.gen_floats ~seed:103 ~n:rows ~scale:2.0 in
+  let row_ptr = Array.init (rows + 1) (fun r -> r * nnz_per_row) in
+  let build () =
+  let m = B.create () in
+  B.global_i32s m "row_ptr" row_ptr;
+  B.global_i32s m "col_idx" col_idx;
+  B.global_f64s m "values" values;
+  B.global_f64s m "x" x_vec;
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let i32_at name idx =
+        B.load f I32 (B.gep f ~base:(B.glob name) ~index:idx ~scale:4)
+      in
+      let f64_at name idx =
+        B.load f F64 (B.gep f ~base:(B.glob name) ~index:idx ~scale:8)
+      in
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci rows) (fun row ->
+          let acc = B.local_init f F64 (B.cf 0.0) in
+          let lo = i32_at "row_ptr" row in
+          let hi = i32_at "row_ptr" (B.add f I32 row (B.ci 1)) in
+          B.for_ f ~from_:lo ~below:hi (fun k ->
+              let c = i32_at "col_idx" k in
+              let prod = B.fmul f (f64_at "values" k) (f64_at "x" c) in
+              B.set f acc (B.fadd f (B.r acc) prod));
+          B.output f F64 (B.r acc)));
+    B.finish m
+  in
+  let reference () =
+  let out = Util.Out.create () in
+  for row = 0 to rows - 1 do
+    let acc = ref 0.0 in
+    for k = row_ptr.(row) to row_ptr.(row + 1) - 1 do
+      acc := !acc +. (values.(k) *. x_vec.(col_idx.(k)))
+    done;
+    Util.Out.f64 out !acc
+  done;
+    Util.Out.contents out
+  in
+  {
+    Desc.name;
+    suite = "parboil";
+    package = "cpu";
+    description =
+      Printf.sprintf
+        "sparse matrix (%dx%d CSR, %d nnz/row) times dense vector in double \
+         precision; outputs the result vector"
+        rows rows nnz_per_row;
+    build;
+    reference;
+  }
+
+let entry = make ~name:"spmv" ~rows:64
+let entry_large = make ~name:"spmv-large" ~rows:256

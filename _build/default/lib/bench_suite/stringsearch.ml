@@ -1,0 +1,167 @@
+(* MiBench office/stringsearch: case-insensitive Boyer-Moore-Horspool
+   search of several patterns over a synthetic text.  Four patterns occur
+   in the text (some repeatedly), two do not.  For each pattern the first
+   match position and the total match count are emitted. *)
+
+module B = Ir.Build
+
+let patterns =
+  [ "sensor"; "Engine"; "BRAKE"; "torque"; "gearbox"; "manifold" ]
+
+let make ~name ~text_len =
+  let text =
+    (* Lowercase word soup with planted occurrences in mixed case; plant
+       positions scale with the text so larger inputs search further. *)
+    let b = Bytes.make text_len ' ' in
+    let raw = Util.gen ~seed:55 ~n:text_len ~bound:27 in
+    for i = 0 to text_len - 1 do
+      let c = if raw.(i) = 26 then ' ' else Char.chr (Char.code 'a' + raw.(i)) in
+      Bytes.set b i c
+    done;
+    let plant pos s = String.iteri (fun i c -> Bytes.set b (pos + i) c) s in
+    let sc pos = pos * text_len / 800 in
+    plant (sc 40) "SENSOR";
+    plant (sc 123) "sensor";
+    plant (sc 300) "senSor";
+    plant (sc 200) "engine";
+    plant (sc 571) "ENGINE";
+    plant (sc 660) "brake";
+    plant (sc 737) "Torque";
+    Bytes.to_string b
+  in
+  let pat_blob = String.concat "" patterns in
+  let pat_offsets =
+    let off = ref 0 in
+    List.map
+      (fun p ->
+        let o = !off in
+        off := o + String.length p;
+        o)
+      patterns
+  in
+  let build () =
+  let m = B.create () in
+  B.global_string m "text" text;
+  B.global_string m "pats" pat_blob;
+  B.global_i32s m "offs" (Array.of_list pat_offsets);
+  B.global_i32s m "lens"
+    (Array.of_list (List.map String.length patterns));
+  B.global_zeros m "shift" (256 * 4);
+  (* tolower for ASCII *)
+  B.func m "lower" ~params:[ I32 ] ~ret:(Some I32) (fun f ->
+      let c = B.param f 0 in
+      let is_upper =
+        B.band f I1
+          (B.sge f I32 c (B.ci 65))
+          (B.sle f I32 c (B.ci 90))
+      in
+      B.ret f (Some (B.select f I32 ~cond:is_upper (B.add f I32 c (B.ci 32)) c)));
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let n_pats = List.length patterns in
+      let text_at idx =
+        let p = B.gep f ~base:(B.glob "text") ~index:idx ~scale:1 in
+        B.cast f Zext ~from_ty:I8 ~to_ty:I32 (B.load f I8 p)
+      in
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci n_pats) (fun pi ->
+          let plen = B.load f I32 (B.gep f ~base:(B.glob "lens") ~index:pi ~scale:4) in
+          let poff = B.load f I32 (B.gep f ~base:(B.glob "offs") ~index:pi ~scale:4) in
+          let pat_at k =
+            let idx = B.add f I32 poff k in
+            let p = B.gep f ~base:(B.glob "pats") ~index:idx ~scale:1 in
+            B.call1 f "lower"
+              [ B.cast f Zext ~from_ty:I8 ~to_ty:I32 (B.load f I8 p) ]
+          in
+          (* Horspool shift table *)
+          B.for_ f ~from_:(B.ci 0) ~below:(B.ci 256) (fun c ->
+              B.store f I32 ~value:plen
+                ~addr:(B.gep f ~base:(B.glob "shift") ~index:c ~scale:4));
+          B.for_ f ~from_:(B.ci 0) ~below:(B.sub f I32 plen (B.ci 1)) (fun k ->
+              let c = pat_at k in
+              let v = B.sub f I32 (B.sub f I32 plen (B.ci 1)) k in
+              B.store f I32 ~value:v
+                ~addr:(B.gep f ~base:(B.glob "shift") ~index:c ~scale:4));
+          (* scan *)
+          let count = B.local_init f I32 (B.ci 0) in
+          let first = B.local_init f I32 (B.ci (-1)) in
+          let pos = B.local_init f I32 (B.ci 0) in
+          let limit = B.sub f I32 (B.ci text_len) plen in
+          B.while_ f
+            ~cond:(fun () -> B.sle f I32 (B.r pos) limit)
+            ~body:(fun () ->
+              let k = B.local_init f I32 (B.sub f I32 plen (B.ci 1)) in
+              let go = B.local_init f I1 (B.ci 1) in
+              B.while_ f
+                ~cond:(fun () ->
+                  B.band f I1 (B.r go) (B.sge f I32 (B.r k) (B.ci 0)))
+                ~body:(fun () ->
+                  let tc =
+                    B.call1 f "lower" [ text_at (B.add f I32 (B.r pos) (B.r k)) ]
+                  in
+                  let pc = pat_at (B.r k) in
+                  B.if_ f (B.eq f I32 tc pc)
+                    ~then_:(fun () -> B.set f k (B.sub f I32 (B.r k) (B.ci 1)))
+                    ~else_:(fun () -> B.set f go (B.ci 0)));
+              B.if_then f (B.slt f I32 (B.r k) (B.ci 0)) (fun () ->
+                  B.set f count (B.add f I32 (B.r count) (B.ci 1));
+                  B.if_then f (B.slt f I32 (B.r first) (B.ci 0)) (fun () ->
+                      B.set f first (B.r pos)));
+              (* advance by the shift of the window's last character *)
+              let last =
+                B.call1 f "lower"
+                  [
+                    text_at
+                      (B.add f I32 (B.r pos) (B.sub f I32 plen (B.ci 1)));
+                  ]
+              in
+              let s =
+                B.load f I32 (B.gep f ~base:(B.glob "shift") ~index:last ~scale:4)
+              in
+              B.set f pos (B.add f I32 (B.r pos) s));
+          B.output f I32 (B.r first);
+          B.output f I32 (B.r count)));
+    B.finish m
+  in
+  let reference () =
+  let lower c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c in
+  let out = Util.Out.create () in
+  List.iter
+    (fun pat ->
+      let plen = String.length pat in
+      let shift = Array.make 256 plen in
+      for k = 0 to plen - 2 do
+        shift.(Char.code (lower pat.[k])) <- plen - 1 - k
+      done;
+      let count = ref 0 and first = ref (-1) in
+      let pos = ref 0 in
+      while !pos <= text_len - plen do
+        let k = ref (plen - 1) in
+        while !k >= 0 && lower text.[!pos + !k] = lower pat.[!k] do
+          decr k
+        done;
+        if !k < 0 then begin
+          incr count;
+          if !first < 0 then first := !pos
+        end;
+        let last = lower text.[!pos + plen - 1] in
+        pos := !pos + shift.(Char.code last)
+      done;
+      Util.Out.i32 out !first;
+      Util.Out.i32 out !count)
+    patterns;
+    Util.Out.contents out
+  in
+  {
+    Desc.name;
+    suite = "mibench";
+    package = "office";
+    description =
+      Printf.sprintf
+        "case-insensitive Horspool search of six patterns over a %d-byte \
+         synthetic text; outputs first match and match count per pattern"
+        text_len;
+    build;
+    reference;
+  }
+
+let entry = make ~name:"stringsearch" ~text_len:800
+let entry_large = make ~name:"stringsearch-large" ~text_len:4000

@@ -1,0 +1,226 @@
+(* MiBench automotive/susan (corners, edges, smoothing): simplified SUSAN
+   image operators over a 20x20 grayscale image of a rectangle with small
+   deterministic noise — the same input family the paper uses.  The
+   brightness-similarity kernel uses a hard threshold instead of the
+   original's exponential LUT; the USAN-area structure (and thus the
+   control- and data-flow the injector sees) is preserved.
+
+   - smoothing: threshold-weighted 3x3 mean;
+   - edges:     USAN area over the 8-neighbourhood, response g - n;
+   - corners:   USAN area over the 5x5 neighbourhood, response g - n. *)
+
+module B = Ir.Build
+
+let threshold = 27
+let edge_g = 6
+let corner_g = 12
+
+(* A rectangle covering the middle of the frame, plus mild noise. *)
+let make_image w h =
+  let noise = Util.gen ~seed:9 ~n:(w * h) ~bound:7 in
+  Array.init (w * h) (fun i ->
+      let y = i / w and x = i mod w in
+      let rect =
+        y >= h / 4 && y <= h * 3 / 4 && x >= w / 5 && x <= w * 4 / 5
+      in
+      let base = if rect then 200 else 20 in
+      base + noise.(i) - 3)
+
+(* Emit |img[idx] - centre| <= threshold as an I1 plus the pixel value. *)
+let load_pixel f idx =
+  let p = B.gep f ~base:(B.glob "img") ~index:idx ~scale:1 in
+  B.cast f Zext ~from_ty:I8 ~to_ty:I32 (B.load f I8 p)
+
+let abs_diff f a b =
+  let d = B.sub f I32 a b in
+  B.select f I32 ~cond:(B.slt f I32 d (B.ci 0)) (B.sub f I32 (B.ci 0) d) d
+
+let build_smoothing ~w ~h ~image () =
+  let m = B.create () in
+  B.global_u8s m "img" image;
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci h) (fun y ->
+          B.for_ f ~from_:(B.ci 0) ~below:(B.ci w) (fun x ->
+              let border y x =
+                let at_edge v lim = B.bor f I1
+                  (B.eq f I32 v (B.ci 0))
+                  (B.eq f I32 v (B.ci (lim - 1)))
+                in
+                B.bor f I1 (at_edge y h) (at_edge x w)
+              in
+              let idx = B.add f I32 (B.mul f I32 y (B.ci w)) x in
+              let centre = load_pixel f idx in
+              B.if_ f (border y x)
+                ~then_:(fun () ->
+                  B.output f I8 (B.cast f Trunc ~from_ty:I32 ~to_ty:I8 centre))
+                ~else_:(fun () ->
+                  let sum = B.local_init f I32 (B.ci 0) in
+                  let cnt = B.local_init f I32 (B.ci 0) in
+                  B.for_ f ~from_:(B.ci (-1)) ~below:(B.ci 2) (fun dy ->
+                      B.for_ f ~from_:(B.ci (-1)) ~below:(B.ci 2) (fun dx ->
+                          let ni =
+                            B.add f I32
+                              (B.mul f I32 (B.add f I32 y dy) (B.ci w))
+                              (B.add f I32 x dx)
+                          in
+                          let pix = load_pixel f ni in
+                          let close =
+                            B.sle f I32 (abs_diff f pix centre)
+                              (B.ci threshold)
+                          in
+                          B.if_then f close (fun () ->
+                              B.set f sum (B.add f I32 (B.r sum) pix);
+                              B.set f cnt (B.add f I32 (B.r cnt) (B.ci 1)))));
+                  let mean = B.sdiv f I32 (B.r sum) (B.r cnt) in
+                  B.output f I8 (B.cast f Trunc ~from_ty:I32 ~to_ty:I8 mean)))));
+  B.finish m
+
+let build_usan ~w ~h ~image ~radius ~g =
+  let m = B.create () in
+  B.global_u8s m "img" image;
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci h) (fun y ->
+          B.for_ f ~from_:(B.ci 0) ~below:(B.ci w) (fun x ->
+              let interior v lim =
+                B.band f I1
+                  (B.sge f I32 v (B.ci radius))
+                  (B.slt f I32 v (B.ci (lim - radius)))
+              in
+              let inside = B.band f I1 (interior y h) (interior x w) in
+              B.if_ f inside
+                ~then_:(fun () ->
+                  let idx = B.add f I32 (B.mul f I32 y (B.ci w)) x in
+                  let centre = load_pixel f idx in
+                  let n = B.local_init f I32 (B.ci 0) in
+                  B.for_ f ~from_:(B.ci (-radius)) ~below:(B.ci (radius + 1))
+                    (fun dy ->
+                      B.for_ f ~from_:(B.ci (-radius))
+                        ~below:(B.ci (radius + 1))
+                        (fun dx ->
+                          let is_centre =
+                            B.band f I1
+                              (B.eq f I32 dy (B.ci 0))
+                              (B.eq f I32 dx (B.ci 0))
+                          in
+                          B.if_ f is_centre
+                            ~then_:(fun () -> ())
+                            ~else_:(fun () ->
+                              let ni =
+                                B.add f I32
+                                  (B.mul f I32 (B.add f I32 y dy) (B.ci w))
+                                  (B.add f I32 x dx)
+                              in
+                              let pix = load_pixel f ni in
+                              let close =
+                                B.sle f I32 (abs_diff f pix centre)
+                                  (B.ci threshold)
+                              in
+                              B.if_then f close (fun () ->
+                                  B.set f n (B.add f I32 (B.r n) (B.ci 1))))));
+                  let resp = B.sub f I32 (B.ci g) (B.r n) in
+                  let pos = B.sgt f I32 resp (B.ci 0) in
+                  let r8 =
+                    B.cast f Trunc ~from_ty:I32 ~to_ty:I8
+                      (B.select f I32 ~cond:pos resp (B.ci 0))
+                  in
+                  B.output f I8 r8)
+                ~else_:(fun () -> B.output f I8 (B.ci 0)))));
+  B.finish m
+
+let ref_smoothing ~w ~h ~image () =
+  let out = Util.Out.create () in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      let centre = image.((y * w) + x) in
+      if y = 0 || y = h - 1 || x = 0 || x = w - 1 then Util.Out.u8 out centre
+      else begin
+        let sum = ref 0 and cnt = ref 0 in
+        for dy = -1 to 1 do
+          for dx = -1 to 1 do
+            let pix = image.(((y + dy) * w) + x + dx) in
+            if abs (pix - centre) <= threshold then begin
+              sum := !sum + pix;
+              incr cnt
+            end
+          done
+        done;
+        Util.Out.u8 out (!sum / !cnt)
+      end
+    done
+  done;
+  Util.Out.contents out
+
+let ref_usan ~w ~h ~image ~radius ~g () =
+  let out = Util.Out.create () in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if y < radius || y >= h - radius || x < radius || x >= w - radius then
+        Util.Out.u8 out 0
+      else begin
+        let centre = image.((y * w) + x) in
+        let n = ref 0 in
+        for dy = -radius to radius do
+          for dx = -radius to radius do
+            if not (dy = 0 && dx = 0) then begin
+              let pix = image.(((y + dy) * w) + x + dx) in
+              if abs (pix - centre) <= threshold then incr n
+            end
+          done
+        done;
+        Util.Out.u8 out (max 0 (g - !n))
+      end
+    done
+  done;
+  Util.Out.contents out
+
+let make_smoothing ~name ~w ~h =
+  let image = make_image w h in
+  {
+    Desc.name;
+    suite = "mibench";
+    package = "automotive";
+    description =
+      Printf.sprintf
+        "threshold-weighted 3x3 smoothing of a %dx%d rectangle image with \
+         deterministic noise"
+        w h;
+    build = build_smoothing ~w ~h ~image;
+    reference = ref_smoothing ~w ~h ~image;
+  }
+
+let make_edges ~name ~w ~h =
+  let image = make_image w h in
+  {
+    Desc.name;
+    suite = "mibench";
+    package = "automotive";
+    description =
+      Printf.sprintf
+        "USAN edge response (8-neighbourhood area vs. geometric threshold) \
+         on a %dx%d rectangle image"
+        w h;
+    build = (fun () -> build_usan ~w ~h ~image ~radius:1 ~g:edge_g);
+    reference = ref_usan ~w ~h ~image ~radius:1 ~g:edge_g;
+  }
+
+let make_corners ~name ~w ~h =
+  let image = make_image w h in
+  {
+    Desc.name;
+    suite = "mibench";
+    package = "automotive";
+    description =
+      Printf.sprintf
+        "USAN corner response (5x5 neighbourhood area vs. geometric \
+         threshold) on a %dx%d rectangle image"
+        w h;
+    build = (fun () -> build_usan ~w ~h ~image ~radius:2 ~g:corner_g);
+    reference = ref_usan ~w ~h ~image ~radius:2 ~g:corner_g;
+  }
+
+let smoothing = make_smoothing ~name:"susan_smoothing" ~w:20 ~h:20
+let edges = make_edges ~name:"susan_edges" ~w:20 ~h:20
+let corners = make_corners ~name:"susan_corners" ~w:20 ~h:20
+let smoothing_large = make_smoothing ~name:"susan_smoothing-large" ~w:40 ~h:40
+let edges_large = make_edges ~name:"susan_edges-large" ~w:40 ~h:40
+let corners_large = make_corners ~name:"susan_corners-large" ~w:40 ~h:40

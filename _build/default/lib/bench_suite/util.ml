@@ -1,0 +1,21 @@
+let gen ~seed ~n ~bound =
+  if bound <= 0 then invalid_arg "Util.gen: bound must be positive";
+  let s = ref (((seed * 2654435761) land 0x3FFFFFFF) + 12345) in
+  Array.init n (fun _ ->
+      s := ((!s * 1103515245) + 12345) land 0x3FFFFFFF;
+      (!s lsr 7) mod bound)
+
+let gen_floats ~seed ~n ~scale =
+  let ints = gen ~seed ~n ~bound:65536 in
+  Array.map (fun v -> (float_of_int v /. 32768.0 -. 1.0) *. scale) ints
+
+module Out = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let u8 b v = Buffer.add_uint8 b (v land 0xFF)
+  let i16 b v = Buffer.add_uint16_le b (v land 0xFFFF)
+  let i32 b v = Buffer.add_int32_le b (Int32.of_int v)
+  let f64 b v = Buffer.add_int64_le b (Int64.bits_of_float v)
+  let contents = Buffer.contents
+end

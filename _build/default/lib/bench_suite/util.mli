@@ -1,0 +1,27 @@
+(** Deterministic input generation and output encoding shared by the IR
+    programs and their native references.
+
+    Inputs are generated once at module-build time by [gen] and baked into
+    IR globals; the reference implementation consumes the same array, so IR
+    and reference always agree on the workload. *)
+
+val gen : seed:int -> n:int -> bound:int -> int array
+(** Deterministic pseudo-random integers in \[0, bound).  A fixed LCG —
+    not statistically strong, but stable across platforms, which is what
+    matters for reproducibility. *)
+
+val gen_floats : seed:int -> n:int -> scale:float -> float array
+(** Deterministic floats in \[-scale, scale), derived from [gen]. *)
+
+(** Output accumulator whose encodings are byte-identical to the VM's
+    [Output] instruction. *)
+module Out : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val i16 : t -> int -> unit
+  val i32 : t -> int -> unit
+  val f64 : t -> float -> unit
+  val contents : t -> string
+end

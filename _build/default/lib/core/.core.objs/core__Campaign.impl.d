@@ -1,0 +1,1 @@
+lib/core/campaign.ml: Array Experiment Hashtbl Option Outcome Prng Spec Stats Vm Workload

@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Experiment Spec Stats Vm Workload

@@ -1,0 +1,1 @@
+lib/core/csv.ml: Campaign List Printf Stats Technique Win

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Injector Outcome Spec Vm Workload

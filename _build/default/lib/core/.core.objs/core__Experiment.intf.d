@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Injector Outcome Prng Spec Workload

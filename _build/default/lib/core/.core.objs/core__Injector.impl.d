@@ -1,0 +1,1 @@
+lib/core/injector.ml: Array Ir List Prng Spec Technique Vm Win

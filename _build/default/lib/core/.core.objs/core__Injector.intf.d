@@ -1,0 +1,1 @@
+lib/core/injector.mli: Ir Prng Spec Vm

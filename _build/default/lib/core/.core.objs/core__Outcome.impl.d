@@ -1,0 +1,1 @@
+lib/core/outcome.ml: String Vm

@@ -1,0 +1,1 @@
+lib/core/runner.ml: Campaign Char Hashtbl Int64 Printf Spec String Workload

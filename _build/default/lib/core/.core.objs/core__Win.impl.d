@@ -1,0 +1,1 @@
+lib/core/win.ml: Printf Prng

@@ -1,0 +1,1 @@
+lib/core/workload.mli: Ir Technique Vm

@@ -1,0 +1,82 @@
+type result = {
+  workload_name : string;
+  spec : Spec.t;
+  n : int;
+  seed : int64;
+  benign : int;
+  detected : int;
+  hang : int;
+  no_output : int;
+  sdc : int;
+  traps : (Vm.Trap.t * int) list;
+  activation : Stats.Histogram.t;
+  experiments : Experiment.t array;
+  weighted_sdc : float;
+  weighted_total : float;
+}
+
+let run ?(keep_experiments = false) ?spacing workload spec ~n ~seed =
+  if n <= 0 then invalid_arg "Campaign.run: n must be positive";
+  let base = Prng.of_seed seed in
+  let benign = ref 0
+  and detected = ref 0
+  and hang = ref 0
+  and no_output = ref 0
+  and sdc = ref 0 in
+  let traps = Hashtbl.create 8 in
+  let activation = Stats.Histogram.create () in
+  let weighted_sdc = ref 0.0 and weighted_total = ref 0.0 in
+  let kept = if keep_experiments then Array.make n None else [||] in
+  for i = 0 to n - 1 do
+    let rng = Prng.split_at base i in
+    let e = Experiment.run ?spacing workload spec rng in
+    (match e.outcome with
+    | Benign -> incr benign
+    | Detected trap ->
+        incr detected;
+        Hashtbl.replace traps trap (1 + Option.value ~default:0 (Hashtbl.find_opt traps trap))
+    | Hang -> incr hang
+    | No_output -> incr no_output
+    | Sdc -> incr sdc);
+    Stats.Histogram.add activation e.activated;
+    (match e.first with
+    | Some inj ->
+        let w = float_of_int inj.inj_weight in
+        weighted_total := !weighted_total +. w;
+        if Outcome.is_sdc e.outcome then weighted_sdc := !weighted_sdc +. w
+    | None -> ());
+    if keep_experiments then kept.(i) <- Some e
+  done;
+  let experiments =
+    if keep_experiments then
+      Array.map (function Some e -> e | None -> assert false) kept
+    else [||]
+  in
+  {
+    workload_name = workload.Workload.name;
+    spec;
+    n;
+    seed;
+    benign = !benign;
+    detected = !detected;
+    hang = !hang;
+    no_output = !no_output;
+    sdc = !sdc;
+    traps = Hashtbl.fold (fun t c acc -> (t, c) :: acc) traps [];
+    activation;
+    experiments;
+    weighted_sdc = !weighted_sdc;
+    weighted_total = !weighted_total;
+  }
+
+let sdc_ci r = Stats.Proportion.wald ~successes:r.sdc ~trials:r.n ()
+
+let detection_ci r =
+  Stats.Proportion.wald ~successes:(r.detected + r.hang + r.no_output) ~trials:r.n ()
+
+let benign_ci r = Stats.Proportion.wald ~successes:r.benign ~trials:r.n ()
+let sdc_pct r = 100. *. float_of_int r.sdc /. float_of_int r.n
+
+let weighted_sdc_pct r =
+  if r.weighted_total <= 0.0 then 0.0
+  else 100. *. r.weighted_sdc /. r.weighted_total

@@ -1,0 +1,46 @@
+(** A fault-injection campaign: [n] independent experiments of one fault
+    model on one workload (§III-E).
+
+    Each experiment [i] uses the private generator [Prng.split_at base i],
+    so campaigns are deterministic in [(seed, i)] and any experiment can be
+    replayed in isolation. *)
+
+type result = {
+  workload_name : string;
+  spec : Spec.t;
+  n : int;
+  seed : int64;
+  benign : int;
+  detected : int;  (** by hardware exception *)
+  hang : int;
+  no_output : int;
+  sdc : int;
+  traps : (Vm.Trap.t * int) list;  (** breakdown of [detected] *)
+  activation : Stats.Histogram.t;  (** activated flips per experiment *)
+  experiments : Experiment.t array;  (** empty unless [keep_experiments] *)
+  weighted_sdc : float;
+      (** sum of first-injection equivalence-class weights over SDC
+          experiments (see {!Injector.injection}) *)
+  weighted_total : float;  (** sum of weights over all experiments *)
+}
+
+val run :
+  ?keep_experiments:bool ->
+  ?spacing:[ `Faulty | `Golden ] ->
+  Workload.t -> Spec.t -> n:int -> seed:int64 -> result
+(** Requires [n > 0].  [?spacing] as in {!Injector.create}. *)
+
+val sdc_ci : result -> Stats.Proportion.ci
+val detection_ci : result -> Stats.Proportion.ci
+(** Detected + Hang + No_output, the paper's Detection super-category. *)
+
+val benign_ci : result -> Stats.Proportion.ci
+val sdc_pct : result -> float
+(** SDC percentage (0..100). *)
+
+val weighted_sdc_pct : result -> float
+(** Equivalence-class-weighted SDC percentage.  The paper deliberately
+    reports unweighted percentages (§III-A1: the aim is comparing fault
+    models, not absolute dependability); the weighted estimator is what
+    pre-injection-analysis tools would report, provided for the ablation
+    study. *)

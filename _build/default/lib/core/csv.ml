@@ -1,0 +1,20 @@
+let header =
+  "workload,technique,max_mbf,win_size,n,benign,detected,hang,no_output,sdc,sdc_pct,sdc_ci95"
+
+let row (r : Campaign.result) =
+  let ci = Campaign.sdc_ci r in
+  Printf.sprintf "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%.4f,%.4f" r.workload_name
+    (Technique.to_string r.spec.technique)
+    r.spec.max_mbf
+    (Win.to_string r.spec.win)
+    r.n r.benign r.detected r.hang r.no_output r.sdc (Campaign.sdc_pct r)
+    (100. *. Stats.Proportion.half_width ci)
+
+let write oc results =
+  output_string oc header;
+  output_char oc '\n';
+  List.iter
+    (fun r ->
+      output_string oc (row r);
+      output_char oc '\n')
+    results

@@ -1,0 +1,11 @@
+(** CSV serialisation of campaign results, for offline analysis. *)
+
+val header : string
+(** Column names for {!row}. *)
+
+val row : Campaign.result -> string
+(** One comma-separated line per campaign: workload, technique, max-MBF,
+    win-size, n, outcome counts, SDC%, and the 95% CI half-width. *)
+
+val write : out_channel -> Campaign.result list -> unit
+(** Header plus one row per result. *)

@@ -1,0 +1,30 @@
+type t = {
+  outcome : Outcome.t;
+  activated : int;
+  first : Injector.injection option;
+  dyn_count : int;
+  output : string;
+}
+
+let run_inj workload (spec : Spec.t) inj =
+  let res = Vm.Exec.run ~hooks:(Injector.hooks inj) ~budget:workload.Workload.budget
+      workload.prog
+  in
+  ignore spec;
+  {
+    outcome = Outcome.classify ~golden_output:workload.golden.output res;
+    activated = Injector.activated inj;
+    first = Injector.first_injection inj;
+    dyn_count = res.dyn_count;
+    output = res.output;
+  }
+
+let run ?spacing workload spec rng =
+  let candidates = Workload.candidates workload spec.Spec.technique in
+  let inj = Injector.create ~spec ~candidates ?spacing rng in
+  run_inj workload spec inj
+
+let run_at workload spec ~first rng =
+  let candidates = Workload.candidates workload spec.Spec.technique in
+  let inj = Injector.create ~spec ~candidates ~first rng in
+  run_inj workload spec inj

@@ -1,0 +1,21 @@
+(** One fault-injection experiment: a single faulty run of a workload. *)
+
+type t = {
+  outcome : Outcome.t;
+  activated : int;  (** flips actually performed (RQ1) *)
+  first : Injector.injection option;
+      (** the first injection, or [None] if even it was never reached
+          (cannot happen for the first injection by construction, but kept
+          total for robustness) *)
+  dyn_count : int;  (** dynamic length of the faulty run *)
+  output : string;  (** the faulty run's output stream *)
+}
+
+val run :
+  ?spacing:[ `Faulty | `Golden ] -> Workload.t -> Spec.t -> Prng.t -> t
+(** Run one experiment with a private generator ([?spacing] as in
+    {!Injector.create}). *)
+
+val run_at : Workload.t -> Spec.t -> first:int * int * int -> Prng.t -> t
+(** Like {!run} but forcing the first injection's (candidate ordinal,
+    slot, bit) — the RQ5 location-replay mode. *)

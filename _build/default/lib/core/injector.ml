@@ -1,0 +1,191 @@
+type injection = {
+  inj_dyn : int;
+  inj_cand : int;
+  inj_reg : int;
+  inj_ty : Ir.Ty.t;
+  inj_slot : int;
+  inj_bit : int;
+  inj_weight : int;
+}
+
+type state = Wait_first of int | Wait_next of int | Done
+
+type t = {
+  spec : Spec.t;
+  rng : Prng.t;
+  forced_first : (int * int * int) option;
+  spacing : [ `Faulty | `Golden ];
+  mutable state : state;
+  mutable cand_seen : int;
+  mutable last_target : int; (* scheduled dyn of the previous injection *)
+  mutable performed : injection list; (* reversed *)
+  mutable n_performed : int;
+}
+
+let create ~spec ~candidates ?(spacing = `Faulty) ?first rng =
+  if candidates <= 0 then invalid_arg "Injector.create: no candidates";
+  let target =
+    match first with
+    | Some (cand, _, _) ->
+        if cand < 0 || cand >= candidates then
+          invalid_arg "Injector.create: forced candidate out of range";
+        cand
+    | None -> Prng.int rng candidates
+  in
+  {
+    spec;
+    rng;
+    forced_first = first;
+    spacing;
+    state = Wait_first target;
+    cand_seen = 0;
+    last_target = -1;
+    performed = [];
+    n_performed = 0;
+  }
+
+let reg_width (frame : Vm.Exec.frame) reg =
+  let ty = frame.reg_ty.(reg) in
+  if Ir.Ty.is_float ty then 64 else Ir.Ty.width ty
+
+let flip_reg (frame : Vm.Exec.frame) reg bit =
+  let ty = frame.reg_ty.(reg) in
+  if Ir.Ty.is_float ty then
+    frame.flts.(reg) <- Ir.Bits.flip_float ~bit frame.flts.(reg)
+  else frame.ints.(reg) <- Ir.Bits.flip ty ~bit frame.ints.(reg)
+
+(* Which register does an injection of this technique target, given the
+   instruction metadata?  Read -> one of the source slots; Write -> dst. *)
+let choose_target t (meta : Vm.Meta.t) ~forced_slot =
+  match t.spec.technique with
+  | Technique.Read ->
+      let n = Array.length meta.srcs in
+      let slot =
+        match forced_slot with
+        | Some s when s >= 0 && s < n -> s
+        | Some _ | None -> if n = 1 then 0 else Prng.int t.rng n
+      in
+      (meta.srcs.(slot), slot)
+  | Technique.Write -> (meta.dst, -1)
+
+(* Equivalence-class weight of an injection (Barbosa et al., the paper's
+   §III-A1): for inject-on-read, the number of dynamic instructions the
+   register stayed unmodified before this read — every fault arriving in
+   that span is equivalent to this one; for inject-on-write the class is
+   the write event itself. *)
+let weight_of t (frame : Vm.Exec.frame) ~dyn reg =
+  match t.spec.technique with
+  | Technique.Write -> 1
+  | Technique.Read ->
+      let lw = frame.last_write.(reg) in
+      if lw < 0 then dyn + 1 else max 1 (dyn - lw)
+
+let record t frame ~dyn ~cand ~reg ~ty ~slot ~bit =
+  t.performed <-
+    {
+      inj_dyn = dyn;
+      inj_cand = cand;
+      inj_reg = reg;
+      inj_ty = ty;
+      inj_slot = slot;
+      inj_bit = bit;
+      inj_weight = weight_of t frame ~dyn reg;
+    }
+    :: t.performed;
+  t.n_performed <- t.n_performed + 1
+
+let after_injection t ~dyn =
+  if t.n_performed >= t.spec.max_mbf then t.state <- Done
+  else begin
+    let w = Win.sample t.spec.win t.rng in
+    (* `Faulty (the default, and the model of the paper) spaces windows
+       from where the previous flip actually landed in the perturbed run;
+       `Golden pre-commits the schedule from the first flip onward, as if
+       distances were measured on the fault-free trace. *)
+    let base =
+      match t.spacing with
+      | `Faulty -> dyn
+      | `Golden -> if t.last_target >= 0 then t.last_target else dyn
+    in
+    t.last_target <- base + w;
+    t.state <- Wait_next (base + w)
+  end
+
+let fire_first t ~dyn frame meta =
+  let forced_slot, forced_bit =
+    match t.forced_first with
+    | Some (_, slot, bit) -> (Some slot, Some bit)
+    | None -> (None, None)
+  in
+  let reg, slot = choose_target t meta ~forced_slot in
+  let width = reg_width frame reg in
+  let win0_multi =
+    t.spec.max_mbf > 1 && Win.equal t.spec.win (Fixed 0)
+  in
+  if win0_multi then begin
+    (* All flips at once: distinct bits of the same register operand,
+       capped by the register width. *)
+    let k = min t.spec.max_mbf width in
+    let bits =
+      match forced_bit with
+      | Some b ->
+          let rest =
+            Prng.sample_distinct t.rng ~k:(k - 1) ~n:(width - 1)
+            |> List.map (fun x -> if x >= b then x + 1 else x)
+          in
+          b :: rest
+      | None -> Prng.sample_distinct t.rng ~k ~n:width
+    in
+    List.iteri
+      (fun i bit ->
+        flip_reg frame reg bit;
+        record t frame ~dyn
+          ~cand:(if i = 0 then t.cand_seen else -1)
+          ~reg ~ty:frame.reg_ty.(reg) ~slot ~bit)
+      bits;
+    t.state <- Done
+  end
+  else begin
+    let bit =
+      match forced_bit with Some b -> b | None -> Prng.int t.rng width
+    in
+    flip_reg frame reg bit;
+    record t frame ~dyn ~cand:t.cand_seen ~reg ~ty:frame.reg_ty.(reg) ~slot
+      ~bit;
+    after_injection t ~dyn
+  end
+
+let fire_next t ~dyn frame meta =
+  let reg, slot = choose_target t meta ~forced_slot:None in
+  let width = reg_width frame reg in
+  let bit = Prng.int t.rng width in
+  flip_reg frame reg bit;
+  record t frame ~dyn ~cand:(-1) ~reg ~ty:frame.reg_ty.(reg) ~slot ~bit;
+  after_injection t ~dyn
+
+let on_candidate t ~dyn frame meta =
+  match t.state with
+  | Done -> ()
+  | Wait_first target ->
+      if t.cand_seen = target then fire_first t ~dyn frame meta;
+      t.cand_seen <- t.cand_seen + 1
+  | Wait_next target_dyn -> if dyn >= target_dyn then fire_next t ~dyn frame meta
+
+let hooks t : Vm.Exec.hooks =
+  match t.spec.technique with
+  | Technique.Read ->
+      {
+        pre = (fun ~dyn frame meta -> on_candidate t ~dyn frame meta);
+        post = (fun ~dyn:_ _ _ -> ());
+      }
+  | Technique.Write ->
+      {
+        pre = (fun ~dyn:_ _ _ -> ());
+        post = (fun ~dyn frame meta -> on_candidate t ~dyn frame meta);
+      }
+
+let activated t = t.n_performed
+let injections t = List.rev t.performed
+
+let first_injection t =
+  match List.rev t.performed with [] -> None | first :: _ -> Some first

@@ -1,0 +1,57 @@
+(** The bit-flip injector: LLFI's time-location model extended to multiple
+    bit-flips (§III-C).
+
+    One injector instance drives one experiment.  The {e first} injection
+    is a time-location pair drawn over the golden run's candidate set: a
+    uniform candidate ordinal, a uniform register operand slot of that
+    instruction, and a uniform bit of that register.  Because execution is
+    deterministic up to the first flip, the ordinal computed against the
+    golden run is reached exactly in the faulty run.
+
+    Subsequent injections are placed in the {e faulty} execution: after an
+    injection at dynamic index [d] with window [w > 0], the next flip hits
+    the first candidate instruction at dynamic index [>= d + w].  With
+    [w = 0] all [max-MBF] flips target distinct bits of the same register
+    operand at the same dynamic instruction (capped by the register width).
+    A flip only counts as {e activated} if its instruction is actually
+    reached, which is how crashes truncate multi-bit injections (RQ1). *)
+
+type injection = {
+  inj_dyn : int;  (** dynamic index of the targeted instruction *)
+  inj_cand : int;  (** candidate ordinal (first injection only, else -1) *)
+  inj_reg : int;  (** register flipped *)
+  inj_ty : Ir.Ty.t;  (** the flipped register's type (Ptr = address) *)
+  inj_slot : int;  (** operand slot (read) or -1 (write: destination) *)
+  inj_bit : int;
+  inj_weight : int;
+      (** size of the injection's pre-injection equivalence class: for
+          inject-on-read, the dynamic distance since the register was last
+          written (Barbosa et al.'s weight, §III-A1 of the paper); 1 for
+          inject-on-write *)
+}
+
+type t
+
+val create :
+  spec:Spec.t ->
+  candidates:int ->
+  ?spacing:[ `Faulty | `Golden ] ->
+  ?first:int * int * int ->
+  Prng.t ->
+  t
+(** [create ~spec ~candidates rng] prepares an injector; [candidates] is
+    the golden candidate count for [spec.technique].  [?first] forces the
+    first injection's (candidate ordinal, slot, bit) — used by the
+    location-sensitivity study (RQ5) to replay a single-bit location under
+    a multi-bit model.  Requires [candidates > 0]. *)
+
+val hooks : t -> Vm.Exec.hooks
+(** VM hooks implementing the injection state machine. *)
+
+val activated : t -> int
+(** Number of flips actually performed so far. *)
+
+val injections : t -> injection list
+(** All performed injections, in order. *)
+
+val first_injection : t -> injection option

@@ -1,0 +1,28 @@
+type t =
+  | Benign
+  | Detected of Vm.Trap.t
+  | Hang
+  | No_output
+  | Sdc
+
+let classify ~golden_output (r : Vm.Exec.result) =
+  match r.status with
+  | Trapped t -> Detected t
+  | Hung -> Hang
+  | Finished ->
+      if String.equal r.output golden_output then Benign
+      else if String.length r.output = 0 then No_output
+      else Sdc
+
+let is_sdc = function Sdc -> true | Benign | Detected _ | Hang | No_output -> false
+
+let is_detection = function
+  | Detected _ | Hang | No_output -> true
+  | Benign | Sdc -> false
+
+let to_string = function
+  | Benign -> "benign"
+  | Detected t -> "detected:" ^ Vm.Trap.to_string t
+  | Hang -> "hang"
+  | No_output -> "no-output"
+  | Sdc -> "sdc"

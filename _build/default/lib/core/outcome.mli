@@ -1,0 +1,20 @@
+(** Outcome classification of a fault-injection experiment (§III-E).
+
+    [Benign], [Detected], [Hang] and [No_output] all contribute to error
+    resilience; [Sdc] — normal termination with a bitwise-different output
+    — is the failure class the study measures. *)
+
+type t =
+  | Benign
+  | Detected of Vm.Trap.t  (** detected by a hardware exception *)
+  | Hang  (** exceeded the watchdog budget *)
+  | No_output  (** terminated normally but produced no output *)
+  | Sdc  (** silent data corruption *)
+
+val classify : golden_output:string -> Vm.Exec.result -> t
+
+val is_sdc : t -> bool
+val is_detection : t -> bool
+(** Detected, Hang or No_output — the paper's "Detection" super-category. *)
+
+val to_string : t -> string

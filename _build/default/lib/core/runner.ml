@@ -1,0 +1,40 @@
+type t = {
+  n : int;
+  seed : int64;
+  cache : (string, Campaign.result) Hashtbl.t;
+}
+
+let create ?(n = 200) ?(seed = 20170626L) () =
+  { n; seed; cache = Hashtbl.create 512 }
+
+let n t = t.n
+
+let derived_seed t workload_name spec =
+  (* Stable, collision-resistant enough for seeding: hash the identifying
+     string into the base seed. *)
+  let s = workload_name ^ "|" ^ Spec.label spec in
+  let h = ref t.seed in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    s;
+  !h
+
+let run_key kept workload_name spec n =
+  Printf.sprintf "%s|%s|%d|%b" workload_name (Spec.label spec) n kept
+
+let get t ~kept workload spec =
+  let key = run_key kept workload.Workload.name spec t.n in
+  match Hashtbl.find_opt t.cache key with
+  | Some r -> r
+  | None ->
+      let seed = derived_seed t workload.Workload.name spec in
+      let r =
+        Campaign.run ~keep_experiments:kept workload spec ~n:t.n ~seed
+      in
+      Hashtbl.replace t.cache key r;
+      r
+
+let campaign t workload spec = get t ~kept:false workload spec
+let campaign_kept t workload spec = get t ~kept:true workload spec
+let cache_size t = Hashtbl.length t.cache

@@ -1,0 +1,25 @@
+(** Memoising campaign runner.
+
+    The analyses reuse many campaigns (the Fig. 4/5 grids feed Table III,
+    whose best configurations feed Table IV), so the runner caches results
+    keyed by (workload, spec, n, seed).  Results are deterministic, which
+    makes the cache semantically transparent. *)
+
+type t
+
+val create : ?n:int -> ?seed:int64 -> unit -> t
+(** Default experiment count per campaign and base seed (defaults: 200
+    experiments, seed 20170626 — the DSN'17 conference date).  The seed of
+    a given campaign is derived from the base seed, the workload name and
+    the spec label, so distinct campaigns never share experiment streams. *)
+
+val n : t -> int
+
+val campaign : t -> Workload.t -> Spec.t -> Campaign.result
+(** Run (or recall) one campaign. *)
+
+val campaign_kept : t -> Workload.t -> Spec.t -> Campaign.result
+(** Like {!campaign} but with per-experiment records retained; cached
+    separately. *)
+
+val cache_size : t -> int

@@ -1,0 +1,17 @@
+type t = { technique : Technique.t; max_mbf : int; win : Win.t }
+
+let single technique = { technique; max_mbf = 1; win = Fixed 0 }
+
+let multi technique ~max_mbf ~win =
+  if max_mbf < 2 then invalid_arg "Spec.multi: max_mbf must be >= 2";
+  { technique; max_mbf; win }
+
+let is_single t = t.max_mbf = 1
+
+let label t =
+  let tech = match t.technique with Technique.Read -> "read" | Write -> "write" in
+  if is_single t then Printf.sprintf "%s/single" tech
+  else Printf.sprintf "%s/m=%d/w=%s" tech t.max_mbf (Win.to_string t.win)
+
+let equal a b =
+  a.technique = b.technique && a.max_mbf = b.max_mbf && Win.equal a.win b.win

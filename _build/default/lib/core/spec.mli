@@ -1,0 +1,18 @@
+(** A fault-model specification: one error cluster of the study.
+
+    The paper clusters the multiple-bit error space by (max-MBF, win-size);
+    together with the technique this identifies a campaign's fault model.
+    [max_mbf = 1] is the single bit-flip model (win-size is irrelevant and
+    normalised to [Fixed 0]). *)
+
+type t = { technique : Technique.t; max_mbf : int; win : Win.t }
+
+val single : Technique.t -> t
+val multi : Technique.t -> max_mbf:int -> win:Win.t -> t
+(** @raise Invalid_argument if [max_mbf < 2]. *)
+
+val is_single : t -> bool
+val label : t -> string
+(** e.g. ["read/m=3/w=RND(2-10)"]. *)
+
+val equal : t -> t -> bool

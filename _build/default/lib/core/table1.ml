@@ -1,0 +1,25 @@
+let max_mbf_values = [ 2; 3; 4; 5; 6; 7; 8; 9; 10; 30 ]
+
+let win_values =
+  [
+    Win.Fixed 0;
+    Fixed 1;
+    Fixed 4;
+    Rnd (2, 10);
+    Fixed 10;
+    Rnd (11, 100);
+    Fixed 100;
+    Rnd (101, 1000);
+    Fixed 1000;
+  ]
+
+let win_positive = List.filter (fun w -> not (Win.equal w (Fixed 0))) win_values
+
+let multi_specs technique =
+  List.concat_map
+    (fun max_mbf ->
+      List.map (fun win -> Spec.multi technique ~max_mbf ~win) win_values)
+    max_mbf_values
+
+let specs technique = Spec.single technique :: multi_specs technique
+let all_specs = specs Technique.Read @ specs Technique.Write

@@ -1,0 +1,10 @@
+type t = Read | Write
+
+let to_string = function Read -> "inject-on-read" | Write -> "inject-on-write"
+
+let of_string = function
+  | "read" | "inject-on-read" -> Some Read
+  | "write" | "inject-on-write" -> Some Write
+  | _ -> None
+
+let all = [ Read; Write ]

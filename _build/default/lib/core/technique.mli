@@ -1,0 +1,15 @@
+(** The two fault-injection techniques of the study (§III-A).
+
+    [Read] (inject-on-read) flips bits of a register source operand just
+    before an instruction reads it — emulating an error that propagated
+    into a live register, e.g. a direct particle hit.  [Write]
+    (inject-on-write) flips bits of the destination register right after an
+    instruction writes it — emulating computation errors in ALUs and
+    pipeline registers.  Both only ever touch live registers, which is what
+    keeps fault activation near 100%. *)
+
+type t = Read | Write
+
+val to_string : t -> string
+val of_string : string -> t option
+val all : t list

@@ -1,0 +1,12 @@
+type t = Fixed of int | Rnd of int * int
+
+let sample t rng =
+  match t with
+  | Fixed w -> w
+  | Rnd (lo, hi) -> Prng.int_in_range rng ~lo ~hi
+
+let to_string = function
+  | Fixed w -> string_of_int w
+  | Rnd (lo, hi) -> Printf.sprintf "RND(%d-%d)" lo hi
+
+let equal (a : t) b = a = b

@@ -1,0 +1,17 @@
+(** The dynamic window size (win-size) between consecutive injections
+    (§III-C, Table I).
+
+    A window of 0 means every flip of the experiment lands in the same
+    register at the same dynamic instruction.  A window of [w > 0] means
+    the next flip targets the first candidate instruction at dynamic
+    distance at least [w] from the previous injection, in the {e faulty}
+    execution.  The randomised variants draw a fresh value per injection
+    from their inclusive range, as the paper's RND(α, β) configurations. *)
+
+type t = Fixed of int | Rnd of int * int
+
+val sample : t -> Prng.t -> int
+val to_string : t -> string
+(** e.g. ["0"], ["100"], ["RND(2-10)"] — matching the paper's figures. *)
+
+val equal : t -> t -> bool

@@ -1,0 +1,28 @@
+type t = {
+  name : string;
+  prog : Vm.Program.t;
+  golden : Vm.Exec.result;
+  budget : int;
+}
+
+let make ?(hang_factor = 10) ?expected_output ~name m =
+  let prog = Vm.Program.load m in
+  let golden = Vm.Exec.run ~budget:Vm.Exec.golden_budget prog in
+  (match golden.status with
+  | Finished -> ()
+  | Trapped trap ->
+      invalid_arg
+        (Printf.sprintf "Workload.make: %s golden run trapped (%s)" name
+           (Vm.Trap.to_string trap))
+  | Hung -> invalid_arg ("Workload.make: " ^ name ^ " golden run hung"));
+  (match expected_output with
+  | Some expected when not (String.equal expected golden.output) ->
+      invalid_arg ("Workload.make: " ^ name ^ " golden output mismatch")
+  | Some _ | None -> ());
+  if golden.read_cands = 0 || golden.write_cands = 0 then
+    invalid_arg ("Workload.make: " ^ name ^ " has no injection candidates");
+  { name; prog; golden; budget = (hang_factor * golden.dyn_count) + 1000 }
+
+let candidates t = function
+  | Technique.Read -> t.golden.read_cands
+  | Technique.Write -> t.golden.write_cands

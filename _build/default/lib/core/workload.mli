@@ -1,0 +1,25 @@
+(** A workload: a loaded program plus its fault-free (golden) run.
+
+    The golden run provides the reference output for SDC detection, the
+    candidate counts the injector samples time-location pairs from
+    (Table II), and the dynamic instruction count the watchdog budget is
+    derived from. *)
+
+type t = {
+  name : string;
+  prog : Vm.Program.t;
+  golden : Vm.Exec.result;
+  budget : int;  (** watchdog budget for faulty runs *)
+}
+
+val make : ?hang_factor:int -> ?expected_output:string -> name:string ->
+  Ir.Func.modl -> t
+(** Load the module, execute the golden run and derive the budget
+    ([hang_factor] x golden dynamic count, default 10 — one order of
+    magnitude, as LLFI's watchdog).
+
+    @raise Invalid_argument if the golden run does not finish normally, or
+    if [expected_output] is given and differs from the golden output. *)
+
+val candidates : t -> Technique.t -> int
+(** Number of dynamic injection candidates for a technique. *)

@@ -1,0 +1,1 @@
+lib/harden/swift.ml: Array Builtins Func Hashtbl Instr Ir List Ty Validate

@@ -1,0 +1,1 @@
+lib/harden/swift.mli: Ir

@@ -1,0 +1,1 @@
+lib/harden/tmr.ml: Array Builtins Func Hashtbl Instr Ir List Ty Validate

@@ -1,0 +1,1 @@
+lib/harden/tmr.mli: Ir

@@ -1,0 +1,120 @@
+open Ir
+
+(* Shadow register of [r] in a function with [n] original registers. *)
+let sh_reg n r = r + n
+
+let sh_operand n (op : Instr.operand) : Instr.operand =
+  match op with
+  | Reg r -> Reg (sh_reg n r)
+  | Imm _ | FImm _ | Glob _ -> op
+
+(* A guard comparing an operand against its shadow; pointless (and
+   omitted) for immediates, whose shadow is themselves. *)
+let guard_of n ty (op : Instr.operand) : Instr.t list =
+  match op with
+  | Reg _ -> [ Instr.Guard { ty; a = op; b = sh_operand n op } ]
+  | Imm _ | FImm _ | Glob _ -> []
+
+let apply ?(level = `Full) (m : Func.modl) =
+  Validate.check_exn m;
+  let full = level = `Full in
+  let sigs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) -> Hashtbl.replace sigs f.f_name (f.f_params, f.f_ret))
+    m.m_funcs;
+  let signature name =
+    match Hashtbl.find_opt sigs name with
+    | Some s -> Some s
+    | None -> Builtins.signature name
+  in
+  let harden_func (f : Func.t) =
+    let n = Array.length f.f_reg_ty in
+    let sh = sh_operand n in
+    let harden_instr (i : Instr.t) : Instr.t list =
+      match i with
+      | Binop { op; ty; dst; a; b } ->
+          [ i; Binop { op; ty; dst = sh_reg n dst; a = sh a; b = sh b } ]
+      | Fbinop { op; dst; a; b } ->
+          [ i; Fbinop { op; dst = sh_reg n dst; a = sh a; b = sh b } ]
+      | Icmp { op; ty; dst; a; b } ->
+          [ i; Icmp { op; ty; dst = sh_reg n dst; a = sh a; b = sh b } ]
+      | Fcmp { op; dst; a; b } ->
+          [ i; Fcmp { op; dst = sh_reg n dst; a = sh a; b = sh b } ]
+      | Select { ty; dst; cond; a; b } ->
+          [
+            i;
+            Select
+              { ty; dst = sh_reg n dst; cond = sh cond; a = sh a; b = sh b };
+          ]
+      | Cast { op; from_ty; to_ty; dst; a } ->
+          [ i; Cast { op; from_ty; to_ty; dst = sh_reg n dst; a = sh a } ]
+      | Mov { ty; dst; a } -> [ i; Mov { ty; dst = sh_reg n dst; a = sh a } ]
+      | Gep { dst; base; index; scale } ->
+          [
+            i;
+            Gep { dst = sh_reg n dst; base = sh base; index = sh index; scale };
+          ]
+      | Load { ty; dst; addr } ->
+          (* Memory carries one copy (ECC assumption): check the address,
+             load once, refresh the shadow from the loaded value. *)
+          (if full then guard_of n Ptr addr else [])
+          @ [ i; Mov { ty; dst = sh_reg n dst; a = Reg dst } ]
+      | Store { ty; value; addr } ->
+          guard_of n ty value @ guard_of n Ptr addr @ [ i ]
+      | Call { dst; callee; args } ->
+          let params, ret =
+            match signature callee with
+            | Some (p, r) -> (p, r)
+            | None -> ([], None)
+          in
+          let arg_guards =
+            if full && List.length params = List.length args then
+              List.concat (List.map2 (fun ty a -> guard_of n ty a) params args)
+            else []
+          in
+          let shadow_result =
+            match (dst, ret) with
+            | Some d, Some ty ->
+                [ Instr.Mov { ty; dst = sh_reg n d; a = Reg d } ]
+            | (Some _ | None), _ -> []
+          in
+          arg_guards @ (i :: shadow_result)
+      | Output { ty; value } -> guard_of n ty value @ [ i ]
+      | Guard _ | Abort -> [ i ]
+    in
+    let blocks =
+      Array.mapi
+        (fun bi (b : Func.block) ->
+          let prologue =
+            if bi = 0 then
+              List.mapi
+                (fun p ty -> Instr.Mov { ty; dst = sh_reg n p; a = Instr.Reg p })
+                f.f_params
+            else []
+          in
+          let body = List.concat_map harden_instr (Array.to_list b.b_instrs) in
+          let term_guards =
+            match b.b_term with
+            | Cbr { cond; _ } when full -> guard_of n Ty.I1 cond
+            | Ret (Some v) when full -> (
+                match f.f_ret with Some ty -> guard_of n ty v | None -> [])
+            | Cbr _ | Ret _ | Br _ | Unreachable -> []
+          in
+          { b with b_instrs = Array.of_list (prologue @ body @ term_guards) })
+        f.f_blocks
+    in
+    {
+      f with
+      f_blocks = blocks;
+      f_reg_ty = Array.append f.f_reg_ty f.f_reg_ty;
+    }
+  in
+  let hardened = { m with m_funcs = List.map harden_func m.m_funcs } in
+  Validate.check_exn hardened;
+  hardened
+
+let static_overhead base hardened =
+  let count (m : Func.modl) =
+    List.fold_left (fun acc f -> acc + Func.static_instr_count f) 0 m.m_funcs
+  in
+  float_of_int (count hardened) /. float_of_int (count base)

@@ -1,0 +1,34 @@
+(** Software-implemented hardware fault tolerance: a SWIFT-style
+    instruction-duplication pass.
+
+    The paper's future work asks for specific fault-tolerance techniques
+    whose coverage can be measured under the single- and multiple-bit
+    models; this module provides one.  Following SWIFT (Reis et al., CGO
+    2005), every computation writes both its original register and a
+    shadow copy computed from shadow operands, and [Guard] checks compare
+    original against shadow at synchronisation points.  A diverging pair
+    raises [Guard_violation], turning a would-be SDC into a detection.
+
+    Memory is not duplicated (SWIFT assumes ECC-protected memory): loads
+    copy the loaded value into the shadow register, and stores/outputs are
+    preceded by checks of both value and address.  Calls are executed once,
+    with checked register arguments and a shadowed result.
+
+    Check placement levels:
+    - [`Full]: checks before every store (value + address), load address,
+      output, call argument, conditional branch and return — SWIFT's
+      placement;
+    - [`Light]: duplication with checks only before outputs and stores —
+      a cheaper detector with a larger vulnerability window.
+
+    The pass is semantics-preserving on fault-free runs: the hardened
+    program's output equals the original's (asserted by the test suite for
+    all 15 benchmarks). *)
+
+val apply : ?level:[ `Full | `Light ] -> Ir.Func.modl -> Ir.Func.modl
+(** Harden every function of a validated module (default [`Full]).
+    The result validates; register count per function doubles. *)
+
+val static_overhead : Ir.Func.modl -> Ir.Func.modl -> float
+(** [static_overhead base hardened] is the static instruction-count ratio
+    (hardened / base), the usual headline cost of SWIFT-style schemes. *)

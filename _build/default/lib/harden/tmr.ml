@@ -1,0 +1,192 @@
+open Ir
+
+(* Register bank layout: original r, first shadow r + n, second shadow
+   r + 2n; voting scratch registers are appended after 3n. *)
+
+type ctx = {
+  n : int;
+  mutable extra : Ty.t list; (* reversed scratch types *)
+  mutable next_reg : int;
+}
+
+let fresh ctx ty =
+  let r = ctx.next_reg in
+  ctx.next_reg <- r + 1;
+  ctx.extra <- ty :: ctx.extra;
+  r
+
+let shift ctx k (op : Instr.operand) : Instr.operand =
+  match op with
+  | Reg r -> Reg (r + (k * ctx.n))
+  | Imm _ | FImm _ | Glob _ -> op
+
+(* Majority vote of the three copies of a register operand.  Returns the
+   instructions computing the vote and the operand to use instead.
+   Immediates are their own majority. *)
+let vote ctx ty (op : Instr.operand) : Instr.t list * Instr.operand =
+  match op with
+  | Imm _ | FImm _ | Glob _ -> ([], op)
+  | Reg _ ->
+      let a = op and b = shift ctx 1 op and c = shift ctx 2 op in
+      if Ty.is_float ty then begin
+        (* v = if a = b then a else (if a = c then a else b) *)
+        let e_ab = fresh ctx I1 and e_ac = fresh ctx I1 in
+        let alt = fresh ctx ty and v = fresh ctx ty in
+        ( [
+            Instr.Fcmp { op = Foeq; dst = e_ab; a; b };
+            Instr.Fcmp { op = Foeq; dst = e_ac; a; b = c };
+            Instr.Select { ty; dst = alt; cond = Reg e_ac; a; b };
+            Instr.Select { ty; dst = v; cond = Reg e_ab; a; b = Reg alt };
+          ],
+          Reg v )
+      end
+      else begin
+        (* bitwise majority: (a & b) | ((a | b) & c) *)
+        let t1 = fresh ctx ty and t2 = fresh ctx ty in
+        let t3 = fresh ctx ty and v = fresh ctx ty in
+        ( [
+            Instr.Binop { op = And; ty; dst = t1; a; b };
+            Instr.Binop { op = Or; ty; dst = t2; a; b };
+            Instr.Binop { op = And; ty; dst = t3; a = Reg t2; b = c };
+            Instr.Binop { op = Or; ty; dst = v; a = Reg t1; b = Reg t3 };
+          ],
+          Reg v )
+      end
+
+let apply (m : Func.modl) =
+  Validate.check_exn m;
+  let sigs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) -> Hashtbl.replace sigs f.f_name (f.f_params, f.f_ret))
+    m.m_funcs;
+  let signature name =
+    match Hashtbl.find_opt sigs name with
+    | Some s -> Some s
+    | None -> Builtins.signature name
+  in
+  let transform_func (f : Func.t) =
+    let n = Array.length f.f_reg_ty in
+    let ctx = { n; extra = []; next_reg = 3 * n } in
+    let copy k (i : Instr.t) : Instr.t =
+      let s op = shift ctx k op in
+      let d r = r + (k * n) in
+      match i with
+      | Binop { op; ty; dst; a; b } ->
+          Binop { op; ty; dst = d dst; a = s a; b = s b }
+      | Fbinop { op; dst; a; b } -> Fbinop { op; dst = d dst; a = s a; b = s b }
+      | Icmp { op; ty; dst; a; b } ->
+          Icmp { op; ty; dst = d dst; a = s a; b = s b }
+      | Fcmp { op; dst; a; b } -> Fcmp { op; dst = d dst; a = s a; b = s b }
+      | Select { ty; dst; cond; a; b } ->
+          Select { ty; dst = d dst; cond = s cond; a = s a; b = s b }
+      | Cast { op; from_ty; to_ty; dst; a } ->
+          Cast { op; from_ty; to_ty; dst = d dst; a = s a }
+      | Mov { ty; dst; a } -> Mov { ty; dst = d dst; a = s a }
+      | Gep { dst; base; index; scale } ->
+          Gep { dst = d dst; base = s base; index = s index; scale }
+      | Load _ | Store _ | Call _ | Output _ | Guard _ | Abort ->
+          invalid_arg "Tmr.copy: not a pure computation"
+    in
+    let transform_instr (i : Instr.t) : Instr.t list =
+      match i with
+      | Binop _ | Fbinop _ | Icmp _ | Fcmp _ | Select _ | Cast _ | Mov _
+      | Gep _ ->
+          [ i; copy 1 i; copy 2 i ]
+      | Load { ty; dst; addr } ->
+          let va, addr' = vote ctx Ptr addr in
+          va
+          @ [
+              Load { ty; dst; addr = addr' };
+              Mov { ty; dst = dst + n; a = Reg dst };
+              Mov { ty; dst = dst + (2 * n); a = Reg dst };
+            ]
+      | Store { ty; value; addr } ->
+          let vv, value' = vote ctx ty value in
+          let va, addr' = vote ctx Ptr addr in
+          vv @ va @ [ Store { ty; value = value'; addr = addr' } ]
+      | Call { dst; callee; args } ->
+          let params, ret =
+            match signature callee with
+            | Some (p, r) -> (p, r)
+            | None -> ([], None)
+          in
+          let votes, args' =
+            if List.length params = List.length args then
+              List.fold_right2
+                (fun ty a (vs, args') ->
+                  let v, a' = vote ctx ty a in
+                  (v @ vs, a' :: args'))
+                params args ([], [])
+            else ([], args)
+          in
+          let shadow_results =
+            match (dst, ret) with
+            | Some d, Some ty ->
+                [
+                  Instr.Mov { ty; dst = d + n; a = Reg d };
+                  Instr.Mov { ty; dst = d + (2 * n); a = Reg d };
+                ]
+            | (Some _ | None), _ -> []
+          in
+          votes @ (Call { dst; callee; args = args' } :: shadow_results)
+      | Output { ty; value } ->
+          let vv, value' = vote ctx ty value in
+          vv @ [ Output { ty; value = value' } ]
+      | Guard { ty; a; b } ->
+          let va, a' = vote ctx ty a in
+          let vb, b' = vote ctx ty b in
+          va @ vb @ [ Guard { ty; a = a'; b = b' } ]
+      | Abort -> [ i ]
+    in
+    let blocks =
+      Array.mapi
+        (fun bi (b : Func.block) ->
+          let prologue =
+            if bi = 0 then
+              List.concat
+                (List.mapi
+                   (fun p ty ->
+                     [
+                       Instr.Mov { ty; dst = p + n; a = Instr.Reg p };
+                       Instr.Mov { ty; dst = p + (2 * n); a = Instr.Reg p };
+                     ])
+                   f.f_params)
+            else []
+          in
+          let body =
+            List.concat_map transform_instr (Array.to_list b.b_instrs)
+          in
+          let tail_votes, term =
+            match b.b_term with
+            | Cbr { cond; if_true; if_false } ->
+                let vc, cond' = vote ctx Ty.I1 cond in
+                (vc, Instr.Cbr { cond = cond'; if_true; if_false })
+            | Ret (Some v) -> (
+                match f.f_ret with
+                | Some ty ->
+                    let vv, v' = vote ctx ty v in
+                    (vv, Instr.Ret (Some v'))
+                | None -> ([], b.b_term))
+            | Br _ | Ret None | Unreachable -> ([], b.b_term)
+          in
+          {
+            Func.b_name = b.b_name;
+            b_instrs = Array.of_list (prologue @ body @ tail_votes);
+            b_term = term;
+          })
+        f.f_blocks
+    in
+    let reg_ty =
+      Array.concat
+        [
+          f.f_reg_ty;
+          f.f_reg_ty;
+          f.f_reg_ty;
+          Array.of_list (List.rev ctx.extra);
+        ]
+    in
+    { f with f_blocks = blocks; f_reg_ty = reg_ty }
+  in
+  let out = { m with m_funcs = List.map transform_func m.m_funcs } in
+  Validate.check_exn out;
+  out

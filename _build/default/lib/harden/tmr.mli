@@ -1,0 +1,24 @@
+(** Triple modular redundancy: a correcting (rather than detecting)
+    software fault-tolerance pass, the classic alternative to SWIFT-style
+    duplication.
+
+    Every computation is triplicated into two shadow copies; at each
+    synchronisation point (store value/address, load address, output,
+    conditional branch, call argument, return value) the three copies are
+    {e voted} and the majority value used.  Integer and pointer registers
+    vote bitwise — [(a & b) | ((a | b) & c)] — which corrects any fault
+    confined to one copy, bit by bit; [f64] registers vote by equality
+    selection.  A corrupted copy is thus masked instead of detected: under
+    fault injection TMR converts would-be SDCs into {e Benign} outcomes,
+    where SWIFT converts them into detections.
+
+    Voting repairs the value at the point of use but does not write back
+    into the diverged copy, so a second fault hitting a different copy of
+    the same register later in the run can defeat the vote — which is
+    exactly what makes TMR an interesting subject for the multiple bit-flip
+    study. *)
+
+val apply : Ir.Func.modl -> Ir.Func.modl
+(** Triplicate every function of a validated module.  The result
+    validates; fault-free behaviour is unchanged (asserted by the test
+    suite for all 15 benchmarks). *)

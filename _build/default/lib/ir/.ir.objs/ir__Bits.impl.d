@@ -1,0 +1,1 @@
+lib/ir/bits.ml: Int64 Ty

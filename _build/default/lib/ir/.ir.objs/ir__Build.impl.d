@@ -1,0 +1,1 @@
+lib/ir/build.ml: Array Builtins Bytes Func Hashtbl Instr Int32 Int64 List Option Printf Ty Validate

@@ -1,0 +1,1 @@
+lib/ir/builtins.mli: Ty

@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Array Builtins Bytes Char Func Hashtbl Instr List Option Printf String Ty Validate

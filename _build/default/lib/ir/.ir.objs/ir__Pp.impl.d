@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Array Buffer Bytes Char Func Instr List Printf String Ty

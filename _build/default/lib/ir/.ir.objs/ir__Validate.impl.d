@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Builtins Bytes Format Func Hashtbl Instr List Printf String Ty

@@ -1,0 +1,21 @@
+let mask ty v =
+  let w = Ty.width ty in
+  if w >= 63 then v else v land ((1 lsl w) - 1)
+
+let sext ty v =
+  let w = Ty.width ty in
+  if w >= 63 then v else (v lsl (63 - w)) asr (63 - w)
+
+let flip ty ~bit v =
+  let w = Ty.width ty in
+  if bit < 0 || bit >= w then invalid_arg "Bits.flip: bit out of range";
+  mask ty (v lxor (1 lsl bit))
+
+let flip_float ~bit x =
+  if bit < 0 || bit >= 64 then invalid_arg "Bits.flip_float: bit out of range";
+  let b = Int64.bits_of_float x in
+  Int64.float_of_bits (Int64.logxor b (Int64.shift_left 1L bit))
+
+let popcount v =
+  let rec go acc v = if v = 0 then acc else go (acc + (v land 1)) (v lsr 1) in
+  go 0 v

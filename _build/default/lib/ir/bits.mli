@@ -1,0 +1,24 @@
+(** Bit-level helpers shared by the interpreter and the fault injector.
+
+    Integer register values are kept in {e canonical form}: the meaningful
+    bits occupy positions [0 .. width-1] and everything above is zero
+    ([I64], at 63 bits, fills the native int exactly).  All VM arithmetic
+    re-canonicalises its results, so a flip is a plain XOR followed by a
+    mask. *)
+
+val mask : Ty.t -> int -> int
+(** Truncate a native int to the type's width (zero-extension above). *)
+
+val sext : Ty.t -> int -> int
+(** Sign-extend a canonical value of the given type to a native int. *)
+
+val flip : Ty.t -> bit:int -> int -> int
+(** Flip one bit of a canonical integer value.  Requires
+    [0 <= bit < width ty]. *)
+
+val flip_float : bit:int -> float -> float
+(** Flip one bit of the IEEE-754 representation of a double.
+    Requires [0 <= bit < 64]. *)
+
+val popcount : int -> int
+(** Number of set bits in a native int. *)

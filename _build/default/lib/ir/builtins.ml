@@ -1,0 +1,24 @@
+let f1 = ([ Ty.F64 ], Some Ty.F64)
+let f2 = ([ Ty.F64; Ty.F64 ], Some Ty.F64)
+
+let table =
+  [
+    ("sqrt", f1);
+    ("sin", f1);
+    ("cos", f1);
+    ("tan", f1);
+    ("acos", f1);
+    ("asin", f1);
+    ("atan", f1);
+    ("exp", f1);
+    ("log", f1);
+    ("fabs", f1);
+    ("floor", f1);
+    ("ceil", f1);
+    ("pow", f2);
+    ("atan2", f2);
+    ("fmod", f2);
+  ]
+
+let signature name = List.assoc_opt name table
+let names = List.map fst table

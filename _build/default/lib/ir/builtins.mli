@@ -1,0 +1,13 @@
+(** Signatures of the host math builtins.
+
+    Builtins model externally linked library code (libm): LLFI instruments
+    only the program's own IR, so faults are never injected {e inside} a
+    builtin — exactly as library code compiled separately is not
+    instrumented.  Their argument and result registers in the caller are
+    ordinary candidates. *)
+
+val signature : string -> (Ty.t list * Ty.t option) option
+(** [signature name] is [Some (params, ret)] for a known builtin. *)
+
+val names : string list
+(** All builtin names, for diagnostics. *)

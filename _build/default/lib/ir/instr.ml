@@ -1,0 +1,129 @@
+type operand = Reg of int | Imm of int | FImm of float | Glob of string
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Sdiv
+  | Udiv
+  | Srem
+  | Urem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr
+  | Ashr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+type fcmp = Foeq | Fone | Folt | Fole | Fogt | Foge
+
+type cast = Trunc | Zext | Sext | Fptosi | Sitofp | Ptrtoint | Inttoptr
+
+type t =
+  | Binop of { op : binop; ty : Ty.t; dst : int; a : operand; b : operand }
+  | Fbinop of { op : fbinop; dst : int; a : operand; b : operand }
+  | Icmp of { op : icmp; ty : Ty.t; dst : int; a : operand; b : operand }
+  | Fcmp of { op : fcmp; dst : int; a : operand; b : operand }
+  | Select of { ty : Ty.t; dst : int; cond : operand; a : operand; b : operand }
+  | Cast of { op : cast; from_ty : Ty.t; to_ty : Ty.t; dst : int; a : operand }
+  | Mov of { ty : Ty.t; dst : int; a : operand }
+  | Load of { ty : Ty.t; dst : int; addr : operand }
+  | Store of { ty : Ty.t; value : operand; addr : operand }
+  | Gep of { dst : int; base : operand; index : operand; scale : int }
+  | Call of { dst : int option; callee : string; args : operand list }
+  | Output of { ty : Ty.t; value : operand }
+  | Guard of { ty : Ty.t; a : operand; b : operand }
+  | Abort
+
+type terminator =
+  | Br of int
+  | Cbr of { cond : operand; if_true : int; if_false : int }
+  | Ret of operand option
+  | Unreachable
+
+let reg_of = function Reg r -> [ r ] | Imm _ | FImm _ | Glob _ -> []
+
+let src_regs = function
+  | Binop { a; b; _ } | Fbinop { a; b; _ } | Icmp { a; b; _ } | Fcmp { a; b; _ }
+    ->
+      reg_of a @ reg_of b
+  | Select { cond; a; b; _ } -> reg_of cond @ reg_of a @ reg_of b
+  | Cast { a; _ } | Mov { a; _ } -> reg_of a
+  | Load { addr; _ } -> reg_of addr
+  | Store { value; addr; _ } -> reg_of value @ reg_of addr
+  | Gep { base; index; _ } -> reg_of base @ reg_of index
+  | Call { args; _ } -> List.concat_map reg_of args
+  | Output { value; _ } -> reg_of value
+  | Guard { a; b; _ } -> reg_of a @ reg_of b
+  | Abort -> []
+
+let dst_reg = function
+  | Binop { dst; _ }
+  | Fbinop { dst; _ }
+  | Icmp { dst; _ }
+  | Fcmp { dst; _ }
+  | Select { dst; _ }
+  | Cast { dst; _ }
+  | Mov { dst; _ }
+  | Load { dst; _ }
+  | Gep { dst; _ } ->
+      Some dst
+  | Call { dst; _ } -> dst
+  | Store _ | Output _ | Guard _ | Abort -> None
+
+let term_src_regs = function
+  | Br _ | Unreachable | Ret None -> []
+  | Cbr { cond; _ } -> reg_of cond
+  | Ret (Some v) -> reg_of v
+
+let binop_name = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Mul -> "mul"
+  | Sdiv -> "sdiv"
+  | Udiv -> "udiv"
+  | Srem -> "srem"
+  | Urem -> "urem"
+  | And -> "and"
+  | Or -> "or"
+  | Xor -> "xor"
+  | Shl -> "shl"
+  | Lshr -> "lshr"
+  | Ashr -> "ashr"
+
+let fbinop_name = function
+  | Fadd -> "fadd"
+  | Fsub -> "fsub"
+  | Fmul -> "fmul"
+  | Fdiv -> "fdiv"
+
+let icmp_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Slt -> "slt"
+  | Sle -> "sle"
+  | Sgt -> "sgt"
+  | Sge -> "sge"
+  | Ult -> "ult"
+  | Ule -> "ule"
+  | Ugt -> "ugt"
+  | Uge -> "uge"
+
+let fcmp_name = function
+  | Foeq -> "oeq"
+  | Fone -> "one"
+  | Folt -> "olt"
+  | Fole -> "ole"
+  | Fogt -> "ogt"
+  | Foge -> "oge"
+
+let cast_name = function
+  | Trunc -> "trunc"
+  | Zext -> "zext"
+  | Sext -> "sext"
+  | Fptosi -> "fptosi"
+  | Sitofp -> "sitofp"
+  | Ptrtoint -> "ptrtoint"
+  | Inttoptr -> "inttoptr"

@@ -1,0 +1,90 @@
+(** Instructions of the intermediate representation.
+
+    The operand structure mirrors what an LLFI-style injector targets: each
+    instruction has zero or more {e register source operands} (inject-on-read
+    candidates) and at most one {e destination register} (inject-on-write
+    candidate).  [Store], branches and [Ret] have no destination, which is
+    why the inject-on-write candidate set is smaller than the inject-on-read
+    set — the asymmetry Table II of the paper reports. *)
+
+type operand =
+  | Reg of int  (** virtual register of the enclosing function *)
+  | Imm of int  (** integer/pointer immediate, canonicalised by the loader *)
+  | FImm of float  (** floating-point immediate *)
+  | Glob of string  (** address of a global; resolved to [Imm] at load time *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Sdiv
+  | Udiv
+  | Srem
+  | Urem
+  | And
+  | Or
+  | Xor
+  | Shl
+  | Lshr
+  | Ashr
+
+type fbinop = Fadd | Fsub | Fmul | Fdiv
+
+type icmp = Eq | Ne | Slt | Sle | Sgt | Sge | Ult | Ule | Ugt | Uge
+type fcmp = Foeq | Fone | Folt | Fole | Fogt | Foge
+
+type cast =
+  | Trunc  (** to a narrower integer type *)
+  | Zext  (** to a wider integer type, zero-extending *)
+  | Sext  (** to a wider integer type, sign-extending *)
+  | Fptosi  (** f64 to signed integer, truncating toward zero *)
+  | Sitofp  (** signed integer to f64 *)
+  | Ptrtoint  (** ptr to integer type *)
+  | Inttoptr  (** integer type to ptr *)
+
+type t =
+  | Binop of { op : binop; ty : Ty.t; dst : int; a : operand; b : operand }
+  | Fbinop of { op : fbinop; dst : int; a : operand; b : operand }
+  | Icmp of { op : icmp; ty : Ty.t; dst : int; a : operand; b : operand }
+      (** [ty] is the type of the compared operands; [dst] is [I1]. *)
+  | Fcmp of { op : fcmp; dst : int; a : operand; b : operand }
+  | Select of { ty : Ty.t; dst : int; cond : operand; a : operand; b : operand }
+  | Cast of { op : cast; from_ty : Ty.t; to_ty : Ty.t; dst : int; a : operand }
+  | Mov of { ty : Ty.t; dst : int; a : operand }
+  | Load of { ty : Ty.t; dst : int; addr : operand }
+  | Store of { ty : Ty.t; value : operand; addr : operand }
+  | Gep of { dst : int; base : operand; index : operand; scale : int }
+      (** [dst = base + sext32(index) * scale], pointer arithmetic.
+          [index] is read as a 32-bit signed value. *)
+  | Call of { dst : int option; callee : string; args : operand list }
+  | Output of { ty : Ty.t; value : operand }
+      (** Append the value, as [Ty.bytes ty] little-endian bytes, to the
+          program's output stream (SDC detection is a bitwise comparison of
+          this stream against the fault-free run). *)
+  | Guard of { ty : Ty.t; a : operand; b : operand }
+      (** Software error detector: trap with [Guard_violation] unless the
+          two operands are bitwise equal ([F64] compares IEEE bit patterns,
+          so duplicated NaNs pass).  This is the check instruction that
+          duplication-based hardening passes (SWIFT/EDDI style) insert; its
+          operands are ordinary inject-on-read candidates. *)
+  | Abort  (** raise the Abort trap, as a program calling [abort()] *)
+
+type terminator =
+  | Br of int  (** unconditional jump to a block index *)
+  | Cbr of { cond : operand; if_true : int; if_false : int }
+  | Ret of operand option
+  | Unreachable  (** traps as [Abort] if ever executed *)
+
+val src_regs : t -> int list
+(** Register source operands, in operand order (duplicates preserved:
+    [add r1, r1] lists r1 twice, and a flip targets one operand slot). *)
+
+val dst_reg : t -> int option
+
+val term_src_regs : terminator -> int list
+
+val binop_name : binop -> string
+val fbinop_name : fbinop -> string
+val icmp_name : icmp -> string
+val fcmp_name : fcmp -> string
+val cast_name : cast -> string

@@ -1,0 +1,440 @@
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let ty_of_string = function
+  | "i1" -> Ty.I1
+  | "i8" -> Ty.I8
+  | "i16" -> Ty.I16
+  | "i32" -> Ty.I32
+  | "i64" -> Ty.I64
+  | "f64" -> Ty.F64
+  | "ptr" -> Ty.Ptr
+  | s -> fail "unknown type %s" s
+
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+(* Tokenise a line: commas and parentheses are separators. *)
+let tokens line =
+  String.map (function ',' | '(' | ')' -> ' ' | c -> c) line
+  |> String.split_on_char ' '
+  |> List.filter (fun t -> t <> "")
+
+let reg_of_token t =
+  if String.length t > 1 && t.[0] = '%' then
+    let body = String.sub t 1 (String.length t - 1) in
+    if is_digits body then int_of_string body
+    else fail "expected register, got %s" t
+  else fail "expected register, got %s" t
+
+let looks_float t =
+  String.contains t '.'
+  || ((String.length t > 2 && (t.[0] = '0' || t.[0] = '-'))
+     && String.contains t 'x' && String.contains t 'p')
+  ||
+  match String.lowercase_ascii t with
+  | "nan" | "-nan" | "inf" | "-inf" | "infinity" | "-infinity" -> true
+  | _ -> false
+
+let operand_of_token t : Instr.operand =
+  if t = "" then fail "empty operand"
+  else if t.[0] = '%' then Reg (reg_of_token t)
+  else if t.[0] = '@' then Glob (String.sub t 1 (String.length t - 1))
+  else if looks_float t then FImm (float_of_string t)
+  else
+    match int_of_string_opt t with
+    | Some n -> Imm n
+    | None -> fail "bad operand %s" t
+
+let binop_of_name = function
+  | "add" -> Some Instr.Add
+  | "sub" -> Some Instr.Sub
+  | "mul" -> Some Instr.Mul
+  | "sdiv" -> Some Instr.Sdiv
+  | "udiv" -> Some Instr.Udiv
+  | "srem" -> Some Instr.Srem
+  | "urem" -> Some Instr.Urem
+  | "and" -> Some Instr.And
+  | "or" -> Some Instr.Or
+  | "xor" -> Some Instr.Xor
+  | "shl" -> Some Instr.Shl
+  | "lshr" -> Some Instr.Lshr
+  | "ashr" -> Some Instr.Ashr
+  | _ -> None
+
+let fbinop_of_name = function
+  | "fadd" -> Some Instr.Fadd
+  | "fsub" -> Some Instr.Fsub
+  | "fmul" -> Some Instr.Fmul
+  | "fdiv" -> Some Instr.Fdiv
+  | _ -> None
+
+let icmp_of_name = function
+  | "eq" -> Instr.Eq
+  | "ne" -> Instr.Ne
+  | "slt" -> Instr.Slt
+  | "sle" -> Instr.Sle
+  | "sgt" -> Instr.Sgt
+  | "sge" -> Instr.Sge
+  | "ult" -> Instr.Ult
+  | "ule" -> Instr.Ule
+  | "ugt" -> Instr.Ugt
+  | "uge" -> Instr.Uge
+  | s -> fail "unknown icmp predicate %s" s
+
+let fcmp_of_name = function
+  | "oeq" -> Instr.Foeq
+  | "one" -> Instr.Fone
+  | "olt" -> Instr.Folt
+  | "ole" -> Instr.Fole
+  | "ogt" -> Instr.Fogt
+  | "oge" -> Instr.Foge
+  | s -> fail "unknown fcmp predicate %s" s
+
+let cast_of_name = function
+  | "trunc" -> Some Instr.Trunc
+  | "zext" -> Some Instr.Zext
+  | "sext" -> Some Instr.Sext
+  | "fptosi" -> Some Instr.Fptosi
+  | "sitofp" -> Some Instr.Sitofp
+  | "ptrtoint" -> Some Instr.Ptrtoint
+  | "inttoptr" -> Some Instr.Inttoptr
+  | _ -> None
+
+let op = operand_of_token
+
+(* An instruction body (after any "%d = " prefix was stripped). *)
+let parse_instr_body dst toks : Instr.t =
+  let need_dst () =
+    match dst with Some d -> d | None -> fail "missing destination"
+  in
+  let no_dst () =
+    match dst with
+    | None -> ()
+    | Some d -> fail "unexpected destination %%%d" d
+  in
+  match toks with
+  | name :: ty :: a :: b :: [] when binop_of_name name <> None ->
+      Binop
+        {
+          op = Option.get (binop_of_name name);
+          ty = ty_of_string ty;
+          dst = need_dst ();
+          a = op a;
+          b = op b;
+        }
+  | name :: "f64" :: a :: b :: [] when fbinop_of_name name <> None ->
+      Fbinop
+        { op = Option.get (fbinop_of_name name); dst = need_dst (); a = op a; b = op b }
+  | [ "icmp"; pred; ty; a; b ] ->
+      Icmp
+        {
+          op = icmp_of_name pred;
+          ty = ty_of_string ty;
+          dst = need_dst ();
+          a = op a;
+          b = op b;
+        }
+  | [ "fcmp"; pred; "f64"; a; b ] ->
+      Fcmp { op = fcmp_of_name pred; dst = need_dst (); a = op a; b = op b }
+  | [ "select"; cond; ty; a; b ] ->
+      Select
+        {
+          ty = ty_of_string ty;
+          dst = need_dst ();
+          cond = op cond;
+          a = op a;
+          b = op b;
+        }
+  | [ name; from_ty; a; "to"; to_ty ] when cast_of_name name <> None ->
+      Cast
+        {
+          op = Option.get (cast_of_name name);
+          from_ty = ty_of_string from_ty;
+          to_ty = ty_of_string to_ty;
+          dst = need_dst ();
+          a = op a;
+        }
+  | [ "mov"; ty; a ] -> Mov { ty = ty_of_string ty; dst = need_dst (); a = op a }
+  | [ "load"; ty; addr ] ->
+      Load { ty = ty_of_string ty; dst = need_dst (); addr = op addr }
+  | [ "store"; ty; value; addr ] ->
+      no_dst ();
+      Store { ty = ty_of_string ty; value = op value; addr = op addr }
+  | [ "gep"; base; index; "x"; scale ] ->
+      Gep
+        {
+          dst = need_dst ();
+          base = op base;
+          index = op index;
+          scale = int_of_string scale;
+        }
+  | "call" :: callee :: args when String.length callee > 1 && callee.[0] = '@'
+    ->
+      Call
+        {
+          dst;
+          callee = String.sub callee 1 (String.length callee - 1);
+          args = List.map op args;
+        }
+  | [ "output"; ty; value ] ->
+      no_dst ();
+      Output { ty = ty_of_string ty; value = op value }
+  | [ "guard"; ty; a; b ] ->
+      no_dst ();
+      Guard { ty = ty_of_string ty; a = op a; b = op b }
+  | [ "abort" ] ->
+      no_dst ();
+      Abort
+  | _ -> fail "cannot parse instruction: %s" (String.concat " " toks)
+
+let parse_instr line : Instr.t =
+  match tokens line with
+  | d :: "=" :: rest when String.length d > 1 && d.[0] = '%' ->
+      parse_instr_body (Some (reg_of_token d)) rest
+  | toks -> parse_instr_body None toks
+
+let is_terminator line =
+  match tokens line with
+  | ("br" | "ret" | "unreachable") :: _ -> true
+  | _ -> false
+
+type raw_term = Rbr of string | Rcbr of Instr.operand * string * string | Rret of Instr.operand option | Runreachable
+
+let parse_term line : raw_term =
+  let label t =
+    if String.length t > 1 && t.[0] = '%' then String.sub t 1 (String.length t - 1)
+    else fail "expected block label, got %s" t
+  in
+  match tokens line with
+  | [ "br"; l ] -> Rbr (label l)
+  | [ "br"; cond; l1; l2 ] -> Rcbr (op cond, label l1, label l2)
+  | [ "ret"; "void" ] -> Rret None
+  | [ "ret"; v ] -> Rret (Some (op v))
+  | [ "unreachable" ] -> Runreachable
+  | _ -> fail "cannot parse terminator: %s" line
+
+(* ---- globals ---- *)
+
+(* "@name = global [N x i8] 0xHEX" *)
+let parse_global line : Func.global =
+  match String.index_opt line '=' with
+      | None -> fail "bad global line: %s" line
+      | Some eq ->
+          let name = String.trim (String.sub line 0 eq) in
+          let name =
+            if String.length name > 1 && name.[0] = '@' then
+              String.sub name 1 (String.length name - 1)
+            else fail "bad global name in: %s" line
+          in
+          let hex =
+            match String.rindex_opt line ' ' with
+            | Some sp -> String.sub line (sp + 1) (String.length line - sp - 1)
+            | None -> fail "missing global payload: %s" line
+          in
+          if not (String.length hex >= 2 && String.sub hex 0 2 = "0x") then
+            fail "global payload must be 0x-hex: %s" line;
+          let hex = String.sub hex 2 (String.length hex - 2) in
+          if String.length hex mod 2 <> 0 then fail "odd hex length: %s" line;
+          let init = Bytes.create (String.length hex / 2) in
+          String.iteri
+            (fun i c ->
+              let v =
+                match c with
+                | '0' .. '9' -> Char.code c - Char.code '0'
+                | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+                | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+                | _ -> fail "bad hex digit %c" c
+              in
+              let bi = i / 2 in
+              let old = Char.code (Bytes.get init bi) in
+              Bytes.set init bi
+                (Char.chr (if i mod 2 = 0 then v lsl 4 else old lor v)))
+            hex;
+          { Func.g_name = name; g_init = init }
+
+(* ---- functions ---- *)
+
+type raw_block = {
+  rb_name : string;
+  rb_instrs : Instr.t list;
+  rb_term : raw_term;
+}
+
+let parse_header line =
+  (* "define RET @name(TY %0, TY %1) {" *)
+  match tokens line with
+  | "define" :: ret :: name :: rest when String.length name > 1 && name.[0] = '@'
+    ->
+      let fname = String.sub name 1 (String.length name - 1) in
+      let ret = if ret = "void" then None else Some (ty_of_string ret) in
+      let rec params acc = function
+        | [ "{" ] -> List.rev acc
+        | ty :: reg :: tl when String.length reg > 0 && reg.[0] = '%' ->
+            params (ty_of_string ty :: acc) tl
+        | toks -> fail "bad parameter list near: %s" (String.concat " " toks)
+      in
+      (fname, params [] rest, ret)
+  | _ -> fail "bad function header: %s" line
+
+let infer_reg_types ~ret_ty_of (params : Ty.t list) (blocks : raw_block list) =
+  let max_reg = ref (List.length params - 1) in
+  let note_reg r = if r > !max_reg then max_reg := r in
+  let scan_operand (o : Instr.operand) =
+    match o with Reg r -> note_reg r | Imm _ | FImm _ | Glob _ -> ()
+  in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun i ->
+          List.iter note_reg (Instr.src_regs i);
+          Option.iter note_reg (Instr.dst_reg i))
+        b.rb_instrs;
+      match b.rb_term with
+      | Rcbr (c, _, _) -> scan_operand c
+      | Rret (Some v) -> scan_operand v
+      | Rbr _ | Rret None | Runreachable -> ())
+    blocks;
+  let reg_ty = Array.make (!max_reg + 1) Ty.I32 in
+  List.iteri (fun i ty -> reg_ty.(i) <- ty) params;
+  let set_dst d ty = reg_ty.(d) <- ty in
+  List.iter
+    (fun b ->
+      List.iter
+        (fun (i : Instr.t) ->
+          match i with
+          | Binop { ty; dst; _ } -> set_dst dst ty
+          | Fbinop { dst; _ } -> set_dst dst Ty.F64
+          | Icmp { dst; _ } | Fcmp { dst; _ } -> set_dst dst Ty.I1
+          | Select { ty; dst; _ } -> set_dst dst ty
+          | Cast { to_ty; dst; _ } -> set_dst dst to_ty
+          | Mov { ty; dst; _ } -> set_dst dst ty
+          | Load { ty; dst; _ } -> set_dst dst ty
+          | Gep { dst; _ } -> set_dst dst Ty.Ptr
+          | Call { dst = Some d; callee; _ } -> (
+              match ret_ty_of callee with
+              | Some ty -> set_dst d ty
+              | None -> ())
+          | Call { dst = None; _ } | Store _ | Output _ | Guard _ | Abort -> ())
+        b.rb_instrs)
+    blocks;
+  reg_ty
+
+let finalize_function fname params ret blocks ~ret_ty_of : Func.t =
+  let index_of_label =
+    let tbl = Hashtbl.create 16 in
+    List.iteri (fun i b -> Hashtbl.replace tbl b.rb_name i) blocks;
+    fun l ->
+      match Hashtbl.find_opt tbl l with
+      | Some i -> i
+      | None -> fail "unknown block label %%%s in @%s" l fname
+  in
+  let term_of = function
+    | Rbr l -> Instr.Br (index_of_label l)
+    | Rcbr (c, l1, l2) ->
+        Instr.Cbr
+          { cond = c; if_true = index_of_label l1; if_false = index_of_label l2 }
+    | Rret v -> Instr.Ret v
+    | Runreachable -> Instr.Unreachable
+  in
+  {
+    Func.f_name = fname;
+    f_params = params;
+    f_ret = ret;
+    f_blocks =
+      Array.of_list
+        (List.map
+           (fun b ->
+             {
+               Func.b_name = b.rb_name;
+               b_instrs = Array.of_list b.rb_instrs;
+               b_term = term_of b.rb_term;
+             })
+           blocks);
+    f_reg_ty = infer_reg_types ~ret_ty_of params blocks;
+  }
+
+let modl text =
+  try
+    let lines =
+      String.split_on_char '\n' text
+      |> List.map String.trim
+      |> List.filter (fun l -> l <> "" && not (String.length l >= 1 && l.[0] = ';'))
+    in
+    let globals = ref [] in
+    (* First pass: function signatures, so call result types infer. *)
+    let sigs = Hashtbl.create 16 in
+    List.iter
+      (fun line ->
+        if String.length line > 6 && String.sub line 0 6 = "define" then begin
+          let name, params, ret = parse_header line in
+          Hashtbl.replace sigs name (params, ret)
+        end)
+      lines;
+    let ret_ty_of callee =
+      match Hashtbl.find_opt sigs callee with
+      | Some (_, r) -> r
+      | None -> Option.bind (Builtins.signature callee) snd
+    in
+    let funcs = ref [] in
+    let rec top = function
+      | [] -> ()
+      | line :: rest when line.[0] = '@' ->
+          globals := parse_global line :: !globals;
+          top rest
+      | line :: rest when String.length line > 6 && String.sub line 0 6 = "define"
+        ->
+          let fname, params, ret = parse_header line in
+          let rest = func_body fname params ret [] None rest in
+          top rest
+      | line :: _ -> fail "unexpected line at top level: %s" line
+    and func_body fname params ret blocks current = function
+      | [] -> fail "unterminated function @%s" fname
+      | "}" :: rest ->
+          (match current with
+          | Some _ -> fail "block without terminator in @%s" fname
+          | None -> ());
+          funcs :=
+            finalize_function fname params ret (List.rev blocks) ~ret_ty_of
+            :: !funcs;
+          rest
+      | line :: rest when String.length line > 1 && line.[String.length line - 1] = ':'
+        ->
+          (match current with
+          | Some _ -> fail "block without terminator in @%s" fname
+          | None -> ());
+          let name = String.sub line 0 (String.length line - 1) in
+          func_body fname params ret blocks (Some (name, [])) rest
+      | line :: rest -> (
+          match current with
+          | None -> fail "instruction outside a block in @%s: %s" fname line
+          | Some (bname, instrs) ->
+              if is_terminator line then
+                let block =
+                  {
+                    rb_name = bname;
+                    rb_instrs = List.rev instrs;
+                    rb_term = parse_term line;
+                  }
+                in
+                func_body fname params ret (block :: blocks) None rest
+              else
+                func_body fname params ret blocks
+                  (Some (bname, parse_instr line :: instrs))
+                  rest)
+    in
+    top lines;
+    let m =
+      { Func.m_funcs = List.rev !funcs; m_globals = List.rev !globals }
+    in
+    match Validate.check m with
+    | Ok () -> Ok m
+    | Error es -> Error ("validation: " ^ String.concat "; " es)
+  with
+  | Parse_error msg -> Error msg
+  | Failure msg -> Error msg
+
+let modl_exn text =
+  match modl text with
+  | Ok m -> m
+  | Error msg -> invalid_arg ("Ir.Parse: " ^ msg)

@@ -1,0 +1,29 @@
+(** Parser for the textual IR emitted by {!Pp}.
+
+    [Pp.modl] and [modl] round-trip: parsing a printed module yields a
+    module that prints identically and validates (the test suite asserts
+    this for all 15 benchmark programs).  Register types, which the text
+    omits, are reconstructed from parameter signatures and destination
+    types; a register that is read but never written anywhere defaults to
+    [i32].
+
+    The concrete syntax, by example:
+    {v
+    @data = global [4 x i8] 0x0a141e28
+
+    define i32 @f(i32 %0) {
+    entry0:
+      %1 = add i32 %0, 5
+      %2 = load i32, @data
+      store i32 %1, @data
+      output i32 %2
+      ret %1
+    }
+    v} *)
+
+val modl : string -> (Func.modl, string) result
+(** Parse a whole module.  The result is validated; validation problems
+    are reported as [Error]. *)
+
+val modl_exn : string -> Func.modl
+(** @raise Invalid_argument on parse or validation errors. *)

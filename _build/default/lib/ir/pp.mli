@@ -1,0 +1,7 @@
+(** LLVM-flavoured textual rendering of IR, for diagnostics and the CLI. *)
+
+val operand : Instr.operand -> string
+val instr : Instr.t -> string
+val terminator : Func.t -> Instr.terminator -> string
+val func : Func.t -> string
+val modl : Func.modl -> string

@@ -1,0 +1,202 @@
+let check (m : Func.modl) =
+  let errors = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errors := s :: !errors) fmt in
+  (* Globals: unique, non-empty. *)
+  let global_names = Hashtbl.create 16 in
+  List.iter
+    (fun (g : Func.global) ->
+      if Hashtbl.mem global_names g.g_name then
+        err "global %s: duplicate name" g.g_name;
+      Hashtbl.replace global_names g.g_name ();
+      if Bytes.length g.g_init = 0 then err "global %s: empty" g.g_name)
+    m.m_globals;
+  (* Function signatures. *)
+  let sigs = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      if Hashtbl.mem sigs f.f_name then
+        err "function %s: duplicate name" f.f_name;
+      if Builtins.signature f.f_name <> None then
+        err "function %s: shadows a builtin" f.f_name;
+      Hashtbl.replace sigs f.f_name (f.f_params, f.f_ret))
+    m.m_funcs;
+  let signature name =
+    match Hashtbl.find_opt sigs name with
+    | Some s -> Some s
+    | None -> Builtins.signature name
+  in
+  let check_func (f : Func.t) =
+    let nregs = Array.length f.f_reg_ty in
+    let nblocks = Array.length f.f_blocks in
+    let where = ref "" in
+    let err fmt =
+      Format.kasprintf
+        (fun s -> errors := Printf.sprintf "%s: %s%s" f.f_name !where s :: !errors)
+        fmt
+    in
+    if nblocks = 0 then err "no blocks";
+    if List.length f.f_params > nregs then err "more params than registers";
+    List.iteri
+      (fun i ty ->
+        if i < nregs && not (Ty.equal f.f_reg_ty.(i) ty) then
+          err "param %d: register type %s differs from param type %s" i
+            (Ty.to_string f.f_reg_ty.(i))
+            (Ty.to_string ty))
+      f.f_params;
+    let reg_ty r =
+      if r < 0 || r >= nregs then (
+        err "register %%%d out of range" r;
+        None)
+      else Some f.f_reg_ty.(r)
+    in
+    let operand expected (o : Instr.operand) =
+      match o with
+      | Reg r -> (
+          match reg_ty r with
+          | None -> ()
+          | Some t ->
+              if not (Ty.equal t expected) then
+                err "%%%d has type %s, expected %s" r (Ty.to_string t)
+                  (Ty.to_string expected))
+      | Imm _ ->
+          if Ty.is_float expected then err "integer immediate where f64 expected"
+      | FImm _ ->
+          if not (Ty.is_float expected) then
+            err "float immediate where %s expected" (Ty.to_string expected)
+      | Glob g ->
+          if not (Ty.equal expected Ptr) then
+            err "global @%s where %s expected" g (Ty.to_string expected);
+          if not (Hashtbl.mem global_names g) then err "unknown global @%s" g
+    in
+    let dst expected r =
+      match reg_ty r with
+      | None -> ()
+      | Some t ->
+          if not (Ty.equal t expected) then
+            err "destination %%%d has type %s, expected %s" r (Ty.to_string t)
+              (Ty.to_string expected)
+    in
+    let target l = if l < 0 || l >= nblocks then err "branch target %d out of range" l in
+    let check_instr (i : Instr.t) =
+      match i with
+      | Binop { ty; dst = d; a; b; _ } ->
+          if Ty.is_float ty then err "binop on f64 (use fadd etc.)";
+          dst ty d;
+          operand ty a;
+          operand ty b
+      | Fbinop { dst = d; a; b; _ } ->
+          dst F64 d;
+          operand F64 a;
+          operand F64 b
+      | Icmp { ty; dst = d; a; b; _ } ->
+          if Ty.is_float ty then err "icmp on f64 (use fcmp)";
+          dst I1 d;
+          operand ty a;
+          operand ty b
+      | Fcmp { dst = d; a; b; _ } ->
+          dst I1 d;
+          operand F64 a;
+          operand F64 b
+      | Select { ty; dst = d; cond; a; b } ->
+          dst ty d;
+          operand I1 cond;
+          operand ty a;
+          operand ty b
+      | Cast { op; from_ty; to_ty; dst = d; a } ->
+          dst to_ty d;
+          operand from_ty a;
+          let wf = Ty.width from_ty and wt = Ty.width to_ty in
+          let bad reason = err "%s: %s" (Instr.cast_name op) reason in
+          (match op with
+          | Trunc ->
+              if Ty.is_float from_ty || Ty.is_float to_ty then bad "needs int types"
+              else if wt >= wf then bad "target not narrower"
+          | Zext | Sext ->
+              if Ty.is_float from_ty || Ty.is_float to_ty then bad "needs int types"
+              else if wt <= wf then bad "target not wider"
+          | Fptosi ->
+              if (not (Ty.is_float from_ty)) || Ty.is_float to_ty then
+                bad "needs f64 -> int"
+          | Sitofp ->
+              if Ty.is_float from_ty || not (Ty.is_float to_ty) then
+                bad "needs int -> f64"
+          | Ptrtoint ->
+              if from_ty <> Ptr || Ty.is_float to_ty || to_ty = Ptr then
+                bad "needs ptr -> int"
+          | Inttoptr ->
+              if Ty.is_float from_ty || from_ty = Ptr || to_ty <> Ptr then
+                bad "needs int -> ptr")
+      | Mov { ty; dst = d; a } ->
+          dst ty d;
+          operand ty a
+      | Load { ty; dst = d; addr } ->
+          dst ty d;
+          operand Ptr addr
+      | Store { ty; value; addr } ->
+          operand ty value;
+          operand Ptr addr
+      | Gep { dst = d; base; index; scale } ->
+          dst Ptr d;
+          operand Ptr base;
+          (match index with
+          | Reg r -> (
+              match reg_ty r with
+              | Some t when Ty.is_float t -> err "gep index must be an integer"
+              | Some _ | None -> ())
+          | Imm _ -> ()
+          | FImm _ -> err "gep index must be an integer"
+          | Glob _ -> err "gep index must be an integer");
+          if scale <= 0 then err "gep scale must be positive"
+      | Call { dst = d; callee; args } -> (
+          match signature callee with
+          | None -> err "unknown callee %s" callee
+          | Some (params, ret) ->
+              if List.length args <> List.length params then
+                err "call %s: %d args, expected %d" callee (List.length args)
+                  (List.length params)
+              else List.iter2 (fun p a -> operand p a) params args;
+              (match (d, ret) with
+              | Some _, None -> err "call %s: captures result of void callee" callee
+              | Some r, Some rt -> dst rt r
+              | None, _ -> ()))
+      | Output { ty; value } -> operand ty value
+      | Guard { ty; a; b } ->
+          operand ty a;
+          operand ty b
+      | Abort -> ()
+    in
+    let check_term (t : Instr.terminator) =
+      match t with
+      | Br l -> target l
+      | Cbr { cond; if_true; if_false } ->
+          operand I1 cond;
+          target if_true;
+          target if_false
+      | Ret None ->
+          if f.f_ret <> None then err "ret void in non-void function"
+      | Ret (Some v) -> (
+          match f.f_ret with
+          | None -> err "ret value in void function"
+          | Some ty -> operand ty v)
+      | Unreachable -> ()
+    in
+    Array.iteri
+      (fun bi (b : Func.block) ->
+        Array.iteri
+          (fun ii ins ->
+            where := Printf.sprintf "%s[%d]: " b.b_name ii;
+            check_instr ins)
+          b.b_instrs;
+        where := Printf.sprintf "%s[term]: " b.b_name;
+        check_term b.b_term;
+        ignore bi)
+      f.f_blocks;
+    where := ""
+  in
+  List.iter check_func m.m_funcs;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let check_exn m =
+  match check m with
+  | Ok () -> ()
+  | Error es -> invalid_arg ("Ir.Validate: " ^ String.concat "; " es)

@@ -1,0 +1,12 @@
+(** Static validation of IR modules.
+
+    The interpreter assumes well-typed input; every module built by the
+    benchmark suite (or a library user) should pass [check] before being
+    loaded.  Errors are human-readable strings locating the offending
+    function, block and instruction. *)
+
+val check : Func.modl -> (unit, string list) result
+(** All detected problems, or [Ok ()]. *)
+
+val check_exn : Func.modl -> unit
+(** @raise Invalid_argument with the concatenated problems. *)

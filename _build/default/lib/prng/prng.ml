@@ -1,0 +1,121 @@
+(* xoshiro256** seeded via SplitMix64 (Blackman & Vigna reference code). *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let of_seed seed =
+  let state = ref seed in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  (* xoshiro256** must not be seeded with the all-zero state. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    { s0 = 1L; s1 = 2L; s2 = 3L; s3 = 4L }
+  else { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let next_int64 g =
+  let open Int64 in
+  let result = mul (rotl (mul g.s1 5L) 7) 9L in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g = of_seed (next_int64 g)
+
+let split_at g i =
+  (* Hash the current state together with [i]; do not advance [g]. *)
+  let open Int64 in
+  let mix = logxor g.s0 (rotl g.s1 13) in
+  let mix = logxor mix (rotl g.s2 29) in
+  let mix = logxor mix (rotl g.s3 47) in
+  of_seed (add mix (mul (of_int i) 0x9E3779B97F4A7C15L))
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling on the top 62 bits keeps the draw exactly uniform. *)
+  let bound64 = Int64.of_int bound in
+  let mask = 0x3FFFFFFFFFFFFFFFL in
+  let rec draw () =
+    let r = Int64.logand (next_int64 g) mask in
+    let limit = Int64.sub mask (Int64.rem mask bound64) in
+    if r > limit then draw () else Int64.to_int (Int64.rem r bound64)
+  in
+  draw ()
+
+let int_in_range g ~lo ~hi =
+  if lo > hi then invalid_arg "Prng.int_in_range: lo > hi";
+  lo + int g (hi - lo + 1)
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let float g bound =
+  (* 53 uniform bits, the full precision of a double in [0, 1). *)
+  let bits = Int64.shift_right_logical (next_int64 g) 11 in
+  Int64.to_float bits /. 9007199254740992.0 *. bound
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))
+
+let sample_distinct g ~k ~n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_distinct";
+  if k = 0 then []
+  else if 2 * k >= n then begin
+    (* Dense case: shuffle a full index array and take a prefix. *)
+    let a = Array.init n (fun i -> i) in
+    let taken = ref [] in
+    for i = 0 to k - 1 do
+      let j = i + int g (n - i) in
+      let t = a.(i) in
+      a.(i) <- a.(j);
+      a.(j) <- t;
+      taken := a.(i) :: !taken
+    done;
+    List.rev !taken
+  end
+  else begin
+    (* Sparse case: rejection against a small set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let rec draw acc remaining =
+      if remaining = 0 then List.rev acc
+      else
+        let c = int g n in
+        if Hashtbl.mem seen c then draw acc remaining
+        else begin
+          Hashtbl.add seen c ();
+          draw (c :: acc) (remaining - 1)
+        end
+    in
+    draw [] k
+  end
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done

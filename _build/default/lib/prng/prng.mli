@@ -1,0 +1,55 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    Every fault-injection experiment in this repository is replayable from a
+    [(campaign seed, experiment index)] pair.  The generator is xoshiro256**
+    seeded through SplitMix64, following the reference implementations by
+    Blackman and Vigna.  [split] derives a statistically independent stream,
+    which is how a campaign seed fans out into per-experiment generators
+    without any shared mutable state. *)
+
+type t
+(** A mutable generator state. *)
+
+val of_seed : int64 -> t
+(** [of_seed s] builds a generator from an arbitrary 64-bit seed (including
+    0) by expanding it with SplitMix64. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a fresh generator whose stream is
+    independent of the remainder of [g]'s stream. *)
+
+val split_at : t -> int -> t
+(** [split_at g i] derives the [i]-th child stream of [g] without advancing
+    [g]; [split_at g i] is a pure function of [g]'s current state and [i].
+    This is what maps an experiment index to its private generator. *)
+
+val copy : t -> t
+(** [copy g] duplicates the current state; the copy replays [g]'s future. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform on \[0, bound). Requires [bound > 0].
+    Uses rejection sampling, so it is exactly uniform. *)
+
+val int_in_range : t -> lo:int -> hi:int -> int
+(** [int_in_range g ~lo ~hi] is uniform on the inclusive range \[lo, hi].
+    Requires [lo <= hi]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform on \[0, bound). *)
+
+val pick : t -> 'a array -> 'a
+(** [pick g a] selects a uniform element. Requires [a] non-empty. *)
+
+val sample_distinct : t -> k:int -> n:int -> int list
+(** [sample_distinct g ~k ~n] draws [k] distinct integers from \[0, n),
+    in the order drawn. Requires [0 <= k <= n]. Used to pick distinct bit
+    positions when several flips target the same register. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,31 @@
+let render ~header rows =
+  let ncols = List.length header in
+  let pad_row r =
+    let len = List.length r in
+    if len >= ncols then r else r @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map pad_row rows in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> widths.(i) <- max widths.(i) (String.length cell))
+        row)
+    (header :: rows);
+  let fmt_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let w = widths.(i) in
+           if i = 0 then Printf.sprintf "%-*s" w cell
+           else Printf.sprintf "%*s" w cell)
+         row)
+  in
+  let rule =
+    String.concat "  "
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (fmt_row header :: rule :: List.map fmt_row rows) ^ "\n"
+
+let pct p = Printf.sprintf "%.1f" p
+let pct_ci p half = Printf.sprintf "%.1f±%.1f" p half

@@ -1,0 +1,12 @@
+(** Plain-text aligned tables for the benches, examples and CLI. *)
+
+val render : header:string list -> string list list -> string
+(** Column-aligned rendering with a separator rule under the header.  The
+    first column is left-aligned, the rest right-aligned.  Rows shorter
+    than the header are padded with empty cells. *)
+
+val pct : float -> string
+(** A percentage with one decimal, e.g. ["42.5"]. *)
+
+val pct_ci : float -> float -> string
+(** ["42.5±1.9"]: percentage with CI half-width. *)

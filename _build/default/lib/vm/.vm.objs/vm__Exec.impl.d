@@ -1,0 +1,1 @@
+lib/vm/exec.ml: Array Buffer Float Hashtbl Int32 Int64 Ir List Memory Meta Program Stdlib Trap

@@ -1,0 +1,1 @@
+lib/vm/exec.mli: Ir Meta Program Trap

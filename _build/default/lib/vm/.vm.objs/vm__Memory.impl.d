@@ -1,0 +1,1 @@
+lib/vm/memory.ml: Bytes Int32 Int64 List Trap

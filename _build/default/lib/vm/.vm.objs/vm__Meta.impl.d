@@ -1,0 +1,1 @@
+lib/vm/meta.ml: Array Ir

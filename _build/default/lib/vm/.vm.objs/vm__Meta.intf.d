@@ -1,0 +1,1 @@
+lib/vm/meta.mli: Ir

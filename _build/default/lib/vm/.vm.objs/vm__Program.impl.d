@@ -1,0 +1,1 @@
+lib/vm/program.ml: Array Bytes Float Hashtbl Ir List Memory Meta Option

@@ -1,0 +1,1 @@
+lib/vm/program.mli: Hashtbl Ir Memory Meta

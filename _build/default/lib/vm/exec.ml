@@ -1,0 +1,296 @@
+type status = Finished | Trapped of Trap.t | Hung
+
+type result = {
+  status : status;
+  output : string;
+  dyn_count : int;
+  read_cands : int;
+  write_cands : int;
+}
+
+type frame = {
+  ints : int array;
+  flts : float array;
+  reg_ty : Ir.Ty.t array;
+  last_write : int array;
+      (* dyn index of each register's most recent write; -1 = never *)
+}
+
+type hooks = {
+  pre : dyn:int -> frame -> Meta.t -> unit;
+  post : dyn:int -> frame -> Meta.t -> unit;
+}
+
+exception Hang_exn
+
+let golden_budget = 100_000_000
+let max_call_depth = 1000
+
+(* Unsigned comparison of canonical values (works for every width,
+   including the 63-bit I64 whose canonical form uses the native sign
+   bit as its top bit). *)
+let ucompare x y = compare (x lxor min_int) (y lxor min_int)
+
+let to_u64 v = Int64.logand (Int64.of_int v) 0x7FFFFFFFFFFFFFFFL
+
+let exec_binop (op : Ir.Instr.binop) ty x y =
+  let mask = Ir.Bits.mask ty in
+  let sext = Ir.Bits.sext ty in
+  let w = Ir.Ty.width ty in
+  match op with
+  | Add -> mask (x + y)
+  | Sub -> mask (x - y)
+  | Mul -> mask (x * y)
+  | Sdiv ->
+      if y = 0 then raise (Trap.Trap Div_by_zero)
+      else mask (sext x / sext y)
+  | Udiv ->
+      if y = 0 then raise (Trap.Trap Div_by_zero)
+      else if w <= 32 then x / y
+      else mask (Int64.to_int (Int64.div (to_u64 x) (to_u64 y)))
+  | Srem ->
+      if y = 0 then raise (Trap.Trap Div_by_zero)
+      else mask (Stdlib.( mod ) (sext x) (sext y))
+  | Urem ->
+      if y = 0 then raise (Trap.Trap Div_by_zero)
+      else if w <= 32 then Stdlib.( mod ) x y
+      else mask (Int64.to_int (Int64.rem (to_u64 x) (to_u64 y)))
+  | And -> x land y
+  | Or -> x lor y
+  | Xor -> x lxor y
+  | Shl -> if y < 0 || y >= w then 0 else mask (x lsl y)
+  | Lshr -> if y < 0 || y >= w then 0 else x lsr y
+  | Ashr ->
+      let s = if y < 0 || y >= w then w - 1 else y in
+      mask (sext x asr s)
+
+let exec_fbinop (op : Ir.Instr.fbinop) x y =
+  match op with
+  | Fadd -> x +. y
+  | Fsub -> x -. y
+  | Fmul -> x *. y
+  | Fdiv -> x /. y
+
+let exec_icmp (op : Ir.Instr.icmp) ty x y =
+  let sext = Ir.Bits.sext ty in
+  let r =
+    match op with
+    | Eq -> x = y
+    | Ne -> x <> y
+    | Slt -> sext x < sext y
+    | Sle -> sext x <= sext y
+    | Sgt -> sext x > sext y
+    | Sge -> sext x >= sext y
+    | Ult -> ucompare x y < 0
+    | Ule -> ucompare x y <= 0
+    | Ugt -> ucompare x y > 0
+    | Uge -> ucompare x y >= 0
+  in
+  if r then 1 else 0
+
+let exec_fcmp (op : Ir.Instr.fcmp) x y =
+  let ordered = (not (Float.is_nan x)) && not (Float.is_nan y) in
+  let r =
+    match op with
+    | Foeq -> ordered && x = y
+    | Fone -> ordered && x <> y
+    | Folt -> x < y
+    | Fole -> x <= y
+    | Fogt -> x > y
+    | Foge -> x >= y
+  in
+  if r then 1 else 0
+
+let float_to_int ty x =
+  if Float.is_nan x || Float.abs x >= 4.611686018427387904e18 then 0
+  else Ir.Bits.mask ty (int_of_float x)
+
+let add_output buf ty (iv : int) (fv : float) =
+  let open Buffer in
+  match (ty : Ir.Ty.t) with
+  | I1 | I8 -> add_uint8 buf (iv land 0xFF)
+  | I16 -> add_uint16_le buf iv
+  | I32 | Ptr -> add_int32_le buf (Int32.of_int iv)
+  | I64 -> add_int64_le buf (to_u64 iv)
+  | F64 -> add_int64_le buf (Int64.bits_of_float fv)
+
+let run ?hooks ~budget (prog : Program.t) =
+  let mem = Memory.clone prog.mem_template in
+  let out = Buffer.create 256 in
+  let dyn = ref 0 in
+  let read_cands = ref 0 in
+  let write_cands = ref 0 in
+  let ret_i = ref 0 in
+  let ret_f = ref 0.0 in
+  let rec exec_fn fidx (frame : frame) depth =
+    let f = prog.funcs.(fidx) in
+    let geti (op : Ir.Instr.operand) =
+      match op with
+      | Reg r -> frame.ints.(r)
+      | Imm n -> n
+      | FImm _ | Glob _ -> assert false
+    in
+    let getf (op : Ir.Instr.operand) =
+      match op with
+      | Reg r -> frame.flts.(r)
+      | FImm x -> x
+      | Imm _ | Glob _ -> assert false
+    in
+    let step (ins : Ir.Instr.t) =
+      match ins with
+      | Binop { op; ty; dst; a; b } ->
+          frame.ints.(dst) <- exec_binop op ty (geti a) (geti b)
+      | Fbinop { op; dst; a; b } ->
+          frame.flts.(dst) <- exec_fbinop op (getf a) (getf b)
+      | Icmp { op; ty; dst; a; b } ->
+          frame.ints.(dst) <- exec_icmp op ty (geti a) (geti b)
+      | Fcmp { op; dst; a; b } ->
+          frame.ints.(dst) <- exec_fcmp op (getf a) (getf b)
+      | Select { ty; dst; cond; a; b } ->
+          if Ir.Ty.is_float ty then
+            frame.flts.(dst) <- (if geti cond <> 0 then getf a else getf b)
+          else frame.ints.(dst) <- (if geti cond <> 0 then geti a else geti b)
+      | Cast { op; from_ty; to_ty; dst; a } -> (
+          match op with
+          | Trunc | Ptrtoint | Inttoptr ->
+              frame.ints.(dst) <- Ir.Bits.mask to_ty (geti a)
+          | Zext -> frame.ints.(dst) <- geti a
+          | Sext ->
+              frame.ints.(dst) <- Ir.Bits.mask to_ty (Ir.Bits.sext from_ty (geti a))
+          | Fptosi -> frame.ints.(dst) <- float_to_int to_ty (getf a)
+          | Sitofp ->
+              frame.flts.(dst) <- float_of_int (Ir.Bits.sext from_ty (geti a)))
+      | Mov { ty; dst; a } ->
+          if Ir.Ty.is_float ty then frame.flts.(dst) <- getf a
+          else frame.ints.(dst) <- geti a
+      | Load { ty; dst; addr } ->
+          let a = geti addr in
+          if Ir.Ty.is_float ty then frame.flts.(dst) <- Memory.read_f64 mem ~addr:a
+          else
+            frame.ints.(dst) <-
+              Memory.read_int mem ~width:(Ir.Ty.bytes ty) ~addr:a
+      | Store { ty; value; addr } ->
+          let a = geti addr in
+          if Ir.Ty.is_float ty then Memory.write_f64 mem ~addr:a (getf value)
+          else Memory.write_int mem ~width:(Ir.Ty.bytes ty) ~addr:a (geti value)
+      | Gep { dst; base; index; scale } ->
+          let idx = Ir.Bits.sext I32 (Ir.Bits.mask I32 (geti index)) in
+          frame.ints.(dst) <- Ir.Bits.mask Ptr (geti base + (idx * scale))
+      | Call { dst; callee; args } -> (
+          match Hashtbl.find_opt prog.targets callee with
+          | None -> assert false (* validated *)
+          | Some (B1 f) ->
+              let x = getf (List.hd args) in
+              let r = f x in
+              (match dst with Some d -> frame.flts.(d) <- r | None -> ())
+          | Some (B2 f) -> (
+              match args with
+              | [ a; b ] ->
+                  let r = f (getf a) (getf b) in
+                  (match dst with Some d -> frame.flts.(d) <- r | None -> ())
+              | _ -> assert false)
+          | Some (Fn callee_idx) ->
+              if depth >= max_call_depth then
+                raise (Trap.Trap Stack_overflow);
+              let cf = prog.funcs.(callee_idx) in
+              let nregs = Array.length cf.reg_ty in
+              let callee_frame =
+                {
+                  ints = Array.make nregs 0;
+                  flts = Array.make nregs 0.0;
+                  reg_ty = cf.reg_ty;
+                  last_write = Array.make nregs (-1);
+                }
+              in
+              List.iteri
+                (fun i arg ->
+                  if Ir.Ty.is_float cf.params.(i) then
+                    callee_frame.flts.(i) <- getf arg
+                  else callee_frame.ints.(i) <- geti arg)
+                args;
+              exec_fn callee_idx callee_frame (depth + 1);
+              (match (dst, cf.ret) with
+              | Some d, Some rt ->
+                  if Ir.Ty.is_float rt then frame.flts.(d) <- !ret_f
+                  else frame.ints.(d) <- !ret_i
+              | _ -> ()))
+      | Output { ty; value } ->
+          if Ir.Ty.is_float ty then add_output out ty 0 (getf value)
+          else add_output out ty (geti value) 0.0
+      | Guard { ty; a; b } ->
+          let equal =
+            if Ir.Ty.is_float ty then
+              Int64.equal
+                (Int64.bits_of_float (getf a))
+                (Int64.bits_of_float (getf b))
+            else geti a = geti b
+          in
+          if not equal then raise (Trap.Trap Guard_violation)
+      | Abort -> raise (Trap.Trap Abort_called)
+    in
+    let rec run_block bidx =
+      let b = f.blocks.(bidx) in
+      let n = Array.length b.instrs in
+      for k = 0 to n - 1 do
+        let m = b.metas.(k) in
+        let d = !dyn in
+        incr dyn;
+        if !dyn > budget then raise Hang_exn;
+        if Array.length m.srcs > 0 then begin
+          incr read_cands;
+          match hooks with Some h -> h.pre ~dyn:d frame m | None -> ()
+        end;
+        step b.instrs.(k);
+        if m.dst >= 0 then begin
+          incr write_cands;
+          frame.last_write.(m.dst) <- d;
+          match hooks with Some h -> h.post ~dyn:d frame m | None -> ()
+        end
+      done;
+      let m = b.metas.(n) in
+      let d = !dyn in
+      incr dyn;
+      if !dyn > budget then raise Hang_exn;
+      if Array.length m.srcs > 0 then begin
+        incr read_cands;
+        match hooks with Some h -> h.pre ~dyn:d frame m | None -> ()
+      end;
+      match b.term with
+      | Br l -> run_block l
+      | Cbr { cond; if_true; if_false } ->
+          run_block (if geti cond <> 0 then if_true else if_false)
+      | Ret None -> ()
+      | Ret (Some v) -> (
+          match f.ret with
+          | Some rt when Ir.Ty.is_float rt -> ret_f := getf v
+          | Some _ -> ret_i := geti v
+          | None -> ())
+      | Unreachable -> raise (Trap.Trap Abort_called)
+    in
+    run_block 0
+  in
+  let main = prog.funcs.(prog.main) in
+  let nregs = Array.length main.reg_ty in
+  let frame =
+    {
+      ints = Array.make nregs 0;
+      flts = Array.make nregs 0.0;
+      reg_ty = main.reg_ty;
+      last_write = Array.make nregs (-1);
+    }
+  in
+  let status =
+    try
+      exec_fn prog.main frame 0;
+      Finished
+    with
+    | Trap.Trap t -> Trapped t
+    | Hang_exn -> Hung
+  in
+  {
+    status;
+    output = Buffer.contents out;
+    dyn_count = !dyn;
+    read_cands = !read_cands;
+    write_cands = !write_cands;
+  }

@@ -1,0 +1,50 @@
+(** The execution engine.
+
+    [run] interprets a loaded program deterministically, producing the
+    output stream, the dynamic instruction count and the two candidate
+    counts (Table II of the paper).  The optional {!hooks} are the fault
+    injector's entry points:
+
+    - [pre] fires {e before} an instruction (or terminator) that has at
+      least one register source operand executes — the inject-on-read
+      window;
+    - [post] fires {e after} an instruction that wrote a destination
+      register — the inject-on-write window.
+
+    Both receive the current frame so they can flip live register bits in
+    place, plus the instruction's dynamic index (0-based position in the
+    dynamic instruction stream). *)
+
+type status = Finished | Trapped of Trap.t | Hung
+
+type result = {
+  status : status;
+  output : string;  (** bytes appended by [Output] instructions *)
+  dyn_count : int;  (** dynamic instructions executed, terminators included *)
+  read_cands : int;  (** dynamic inject-on-read candidates encountered *)
+  write_cands : int;  (** dynamic inject-on-write candidates encountered *)
+}
+
+type frame = {
+  ints : int array;  (** integer/pointer registers, canonical form *)
+  flts : float array;  (** f64 registers *)
+  reg_ty : Ir.Ty.t array;
+  last_write : int array;
+      (** dynamic index of each register's most recent write, -1 before the
+          first; the distance [dyn - last_write.(r)] at a read is the size
+          of the read's pre-injection equivalence class (Barbosa et al.'s
+          weight, discussed in the paper's §III-A1) *)
+}
+
+type hooks = {
+  pre : dyn:int -> frame -> Meta.t -> unit;
+  post : dyn:int -> frame -> Meta.t -> unit;
+}
+
+val run : ?hooks:hooks -> budget:int -> Program.t -> result
+(** Execute the entry function.  [budget] bounds the number of dynamic
+    instructions; exceeding it yields [Hung] (the paper's watchdog).  Call
+    depth beyond 1000 frames traps as [Stack_overflow]. *)
+
+val golden_budget : int
+(** A generous default budget for fault-free runs (100M instructions). *)

@@ -1,0 +1,66 @@
+type t = {
+  arena : Bytes.t;
+  mapped : Bytes.t;  (* one flag byte per arena byte; shared across clones *)
+  size : int;
+}
+
+let create_template ~size ~regions =
+  let arena = Bytes.make size '\000' in
+  let mapped = Bytes.make size '\000' in
+  List.iter
+    (fun (base, init) ->
+      let len = Bytes.length init in
+      if base < 0 || base + len > size then
+        invalid_arg "Memory.create_template: region out of bounds";
+      for i = base to base + len - 1 do
+        if Bytes.get mapped i <> '\000' then
+          invalid_arg "Memory.create_template: overlapping regions";
+        Bytes.set mapped i '\001'
+      done;
+      Bytes.blit init 0 arena base len)
+    regions;
+  { arena; mapped; size }
+
+let clone t = { t with arena = Bytes.copy t.arena }
+let size t = t.size
+
+let check t ~width ~addr =
+  if addr < 0 || addr + width > t.size then raise (Trap.Trap Trap.Segfault);
+  let align = if width < 4 then width else 4 in
+  if addr land (align - 1) <> 0 then raise (Trap.Trap Trap.Misaligned);
+  (* Guard gaps exceed the largest access width, so checking the first and
+     last byte of the access suffices. *)
+  if Bytes.unsafe_get t.mapped addr = '\000'
+     || Bytes.unsafe_get t.mapped (addr + width - 1) = '\000'
+  then raise (Trap.Trap Trap.Segfault)
+
+let read_int t ~width ~addr =
+  check t ~width ~addr;
+  match width with
+  | 1 -> Bytes.get_uint8 t.arena addr
+  | 2 -> Bytes.get_uint16_le t.arena addr
+  | 4 -> Int32.to_int (Bytes.get_int32_le t.arena addr) land 0xFFFFFFFF
+  | 8 -> Int64.to_int (Bytes.get_int64_le t.arena addr)
+  | _ -> invalid_arg "Memory.read_int: bad width"
+
+let write_int t ~width ~addr v =
+  check t ~width ~addr;
+  match width with
+  | 1 -> Bytes.set_uint8 t.arena addr (v land 0xFF)
+  | 2 -> Bytes.set_uint16_le t.arena addr (v land 0xFFFF)
+  | 4 -> Bytes.set_int32_le t.arena addr (Int32.of_int v)
+  | 8 -> Bytes.set_int64_le t.arena addr (Int64.of_int v)
+  | _ -> invalid_arg "Memory.write_int: bad width"
+
+let read_f64 t ~addr =
+  check t ~width:8 ~addr;
+  Int64.float_of_bits (Bytes.get_int64_le t.arena addr)
+
+let write_f64 t ~addr v =
+  check t ~width:8 ~addr;
+  Bytes.set_int64_le t.arena addr (Int64.bits_of_float v)
+
+let peek_bytes t ~addr ~len =
+  if addr < 0 || len < 0 || addr + len > t.size then
+    invalid_arg "Memory.peek_bytes: out of bounds";
+  Bytes.sub t.arena addr len

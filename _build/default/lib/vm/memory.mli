@@ -1,0 +1,32 @@
+(** Byte-addressable segmented memory.
+
+    The loader lays globals out with guard gaps between them and a 4 KiB
+    null page at address 0; any access touching an unmapped byte raises
+    {!Trap.Trap}[ Segfault], and accesses not aligned to
+    [min (size, 4)] bytes raise [Misaligned] (the paper counts 4-byte
+    alignment violations as hardware exceptions).  All multi-byte accesses
+    are little-endian. *)
+
+type t
+
+val create_template : size:int -> regions:(int * bytes) list -> t
+(** A template with the given initialised, mapped regions.  Regions must be
+    disjoint and in-bounds.  Templates are never executed against directly;
+    every run gets a [clone]. *)
+
+val clone : t -> t
+(** Copy the arena (cheap, a single [Bytes.copy]); the mapped-byte table is
+    immutable and shared. *)
+
+val size : t -> int
+
+val read_int : t -> width:int -> addr:int -> int
+(** [width] is 1, 2, 4 or 8 bytes; the result is the zero-extended value
+    (an 8-byte read yields the low 63 bits). Raises {!Trap.Trap}. *)
+
+val write_int : t -> width:int -> addr:int -> int -> unit
+val read_f64 : t -> addr:int -> float
+val write_f64 : t -> addr:int -> float -> unit
+
+val peek_bytes : t -> addr:int -> len:int -> bytes
+(** Unchecked snapshot for tests and debugging (still bounds-checked). *)

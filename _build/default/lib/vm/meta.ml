@@ -1,0 +1,11 @@
+type t = { srcs : int array; dst : int }
+
+let no_operands = { srcs = [||]; dst = -1 }
+
+let of_instr i =
+  {
+    srcs = Array.of_list (Ir.Instr.src_regs i);
+    dst = (match Ir.Instr.dst_reg i with Some d -> d | None -> -1);
+  }
+
+let of_term t = { srcs = Array.of_list (Ir.Instr.term_src_regs t); dst = -1 }

@@ -1,0 +1,16 @@
+(** Precomputed per-instruction operand metadata.
+
+    The injector decides candidacy from this: an instruction is an
+    inject-on-read candidate iff [srcs] is non-empty, and an
+    inject-on-write candidate iff [dst >= 0].  Computed once at load time
+    so the interpreter's hot loop does no list allocation. *)
+
+type t = {
+  srcs : int array;
+      (** register source operand slots, in operand order, duplicates kept *)
+  dst : int;  (** destination register, or -1 *)
+}
+
+val no_operands : t
+val of_instr : Ir.Instr.t -> t
+val of_term : Ir.Instr.terminator -> t

@@ -1,0 +1,181 @@
+type lblock = {
+  instrs : Ir.Instr.t array;
+  term : Ir.Instr.terminator;
+  metas : Meta.t array;
+}
+
+type lfunc = {
+  name : string;
+  params : Ir.Ty.t array;
+  ret : Ir.Ty.t option;
+  blocks : lblock array;
+  reg_ty : Ir.Ty.t array;
+}
+
+type target =
+  | Fn of int
+  | B1 of (float -> float)
+  | B2 of (float -> float -> float)
+
+type t = {
+  funcs : lfunc array;
+  targets : (string, target) Hashtbl.t;
+  main : int;
+  mem_template : Memory.t;
+  globals : (string * int * int) list;
+}
+
+let null_page = 4096
+let guard_gap = 64
+
+let layout_globals (globals : Ir.Func.global list) =
+  let addr = ref null_page in
+  let placed =
+    List.map
+      (fun (g : Ir.Func.global) ->
+        (* 8-byte alignment satisfies every access width. *)
+        addr := (!addr + 7) land lnot 7;
+        let base = !addr in
+        addr := base + Bytes.length g.g_init + guard_gap;
+        (g.g_name, base, Bytes.length g.g_init, g.g_init))
+      globals
+  in
+  let size = !addr + null_page in
+  (placed, size)
+
+let builtin_impl name : target option =
+  match name with
+  | "sqrt" -> Some (B1 sqrt)
+  | "sin" -> Some (B1 sin)
+  | "cos" -> Some (B1 cos)
+  | "tan" -> Some (B1 tan)
+  | "acos" -> Some (B1 acos)
+  | "asin" -> Some (B1 asin)
+  | "atan" -> Some (B1 atan)
+  | "exp" -> Some (B1 exp)
+  | "log" -> Some (B1 log)
+  | "fabs" -> Some (B1 abs_float)
+  | "floor" -> Some (B1 floor)
+  | "ceil" -> Some (B1 ceil)
+  | "pow" -> Some (B2 ( ** ))
+  | "atan2" -> Some (B2 atan2)
+  | "fmod" -> Some (B2 Float.rem)
+  | _ -> None
+
+(* Resolve [Glob] to an immediate address and canonicalise integer
+   immediates to the width of their context type. *)
+let canon_operand resolve ty (op : Ir.Instr.operand) : Ir.Instr.operand =
+  match op with
+  | Glob g -> Imm (resolve g)
+  | Imm n -> Imm (Ir.Bits.mask ty n)
+  | Reg _ | FImm _ -> op
+
+(* Set by [load] so [canon_instr] can canonicalise call arguments against
+   the callee's parameter types. *)
+let lookup_params : (string -> Ir.Ty.t list option) ref = ref (fun _ -> None)
+
+let canon_instr resolve (i : Ir.Instr.t) : Ir.Instr.t =
+  let c = canon_operand resolve in
+  match i with
+  | Binop b -> Binop { b with a = c b.ty b.a; b = c b.ty b.b }
+  | Fbinop f -> Fbinop { f with a = c F64 f.a; b = c F64 f.b }
+  | Icmp x -> Icmp { x with a = c x.ty x.a; b = c x.ty x.b }
+  | Fcmp x -> Fcmp { x with a = c F64 x.a; b = c F64 x.b }
+  | Select s ->
+      Select { s with cond = c I1 s.cond; a = c s.ty s.a; b = c s.ty s.b }
+  | Cast x -> Cast { x with a = c x.from_ty x.a }
+  | Mov m -> Mov { m with a = c m.ty m.a }
+  | Load l -> Load { l with addr = c Ptr l.addr }
+  | Store s -> Store { s with value = c s.ty s.value; addr = c Ptr s.addr }
+  | Gep g -> Gep { g with base = c Ptr g.base; index = c I32 g.index }
+  | Call { dst; callee; args } ->
+      let params =
+        match Ir.Builtins.signature callee with
+        | Some (p, _) -> p
+        | None -> (
+            (* module function; parameter types looked up by the caller *)
+            match !lookup_params callee with Some p -> p | None -> [])
+      in
+      let args =
+        if List.length params = List.length args then
+          List.map2 (fun p a -> c p a) params args
+        else args
+      in
+      Call { dst; callee; args }
+  | Output o -> Output { o with value = c o.ty o.value }
+  | Guard g -> Guard { g with a = c g.ty g.a; b = c g.ty g.b }
+  | Abort -> Abort
+
+let canon_term resolve (t : Ir.Instr.terminator) ret_ty : Ir.Instr.terminator =
+  let c = canon_operand resolve in
+  match t with
+  | Br _ | Unreachable | Ret None -> t
+  | Cbr x -> Cbr { x with cond = c I1 x.cond }
+  | Ret (Some v) -> (
+      match ret_ty with Some ty -> Ret (Some (c ty v)) | None -> Ret (Some v))
+
+let load ?(entry = "main") (m : Ir.Func.modl) =
+  Ir.Validate.check_exn m;
+  let placed, size = layout_globals m.m_globals in
+  let regions = List.map (fun (_, base, _, init) -> (base, init)) placed in
+  let mem_template = Memory.create_template ~size ~regions in
+  let globals = List.map (fun (n, b, s, _) -> (n, b, s)) placed in
+  let resolve g =
+    match List.find_opt (fun (n, _, _) -> n = g) globals with
+    | Some (_, base, _) -> base
+    | None -> invalid_arg ("Program.load: unknown global " ^ g)
+  in
+  let param_tys name =
+    Option.map
+      (fun (f : Ir.Func.t) -> f.f_params)
+      (Ir.Func.find_func m name)
+  in
+  lookup_params := param_tys;
+  let load_func idx (f : Ir.Func.t) =
+    ignore idx;
+    let blocks =
+      Array.map
+        (fun (b : Ir.Func.block) ->
+          let instrs = Array.map (canon_instr resolve) b.b_instrs in
+          let term = canon_term resolve b.b_term f.f_ret in
+          let n = Array.length instrs in
+          let metas = Array.make (n + 1) Meta.no_operands in
+          Array.iteri (fun i ins -> metas.(i) <- Meta.of_instr ins) instrs;
+          metas.(n) <- Meta.of_term term;
+          { instrs; term; metas })
+        f.f_blocks
+    in
+    {
+      name = f.f_name;
+      params = Array.of_list f.f_params;
+      ret = f.f_ret;
+      blocks;
+      reg_ty = f.f_reg_ty;
+    }
+  in
+  let funcs = Array.of_list (List.mapi load_func m.m_funcs) in
+  let targets = Hashtbl.create 32 in
+  Array.iteri (fun i (f : lfunc) -> Hashtbl.replace targets f.name (Fn i)) funcs;
+  List.iter
+    (fun name ->
+      match builtin_impl name with
+      | Some t -> if not (Hashtbl.mem targets name) then Hashtbl.replace targets name t
+      | None -> ())
+    Ir.Builtins.names;
+  let main =
+    let rec find i =
+      if i >= Array.length funcs then
+        invalid_arg ("Program.load: no entry function " ^ entry)
+      else if funcs.(i).name = entry then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  if Array.length funcs.(main).params > 0 then
+    invalid_arg "Program.load: entry function must take no parameters";
+  { funcs; targets; main; mem_template; globals }
+
+let global_addr t name =
+  match List.find_opt (fun (n, _, _) -> n = name) t.globals with
+  | Some (_, base, _) -> base
+  | None -> raise Not_found

@@ -1,0 +1,41 @@
+(** Loaded (linked) programs, ready for execution.
+
+    Loading validates the module, lays out globals in the arena (4 KiB null
+    page, 8-byte alignment, 64-byte guard gaps), resolves [Glob] operands
+    to immediate addresses, canonicalises integer immediates to their
+    context type's width, and precomputes {!Meta.t} for every instruction
+    and terminator. *)
+
+type lblock = {
+  instrs : Ir.Instr.t array;
+  term : Ir.Instr.terminator;
+  metas : Meta.t array;  (** length [Array.length instrs + 1]; last = term *)
+}
+
+type lfunc = {
+  name : string;
+  params : Ir.Ty.t array;
+  ret : Ir.Ty.t option;
+  blocks : lblock array;
+  reg_ty : Ir.Ty.t array;
+}
+
+type target =
+  | Fn of int
+  | B1 of (float -> float)
+  | B2 of (float -> float -> float)
+
+type t = {
+  funcs : lfunc array;
+  targets : (string, target) Hashtbl.t;
+  main : int;  (** index of the entry function *)
+  mem_template : Memory.t;
+  globals : (string * int * int) list;  (** (name, address, size) *)
+}
+
+val load : ?entry:string -> Ir.Func.modl -> t
+(** @raise Invalid_argument on validation failure, missing entry function,
+    or an entry function with parameters. *)
+
+val global_addr : t -> string -> int
+(** @raise Not_found for unknown globals. *)

@@ -1,0 +1,27 @@
+type t =
+  | Segfault
+  | Misaligned
+  | Div_by_zero
+  | Abort_called
+  | Stack_overflow
+  | Guard_violation
+
+exception Trap of t
+
+let to_string = function
+  | Segfault -> "segfault"
+  | Misaligned -> "misaligned"
+  | Div_by_zero -> "div-by-zero"
+  | Abort_called -> "abort"
+  | Stack_overflow -> "stack-overflow"
+  | Guard_violation -> "guard-violation"
+
+let all =
+  [
+    Segfault;
+    Misaligned;
+    Div_by_zero;
+    Abort_called;
+    Stack_overflow;
+    Guard_violation;
+  ]

@@ -1,0 +1,20 @@
+(** Hardware-exception analogues raised during execution.
+
+    These are the "Detected by Hardware Exceptions" events of the paper's
+    outcome classification (§III-E): segmentation faults, misaligned
+    accesses, arithmetic errors and aborts.  [Stack_overflow] models a
+    fault-induced runaway recursion hitting the guard page. *)
+
+type t =
+  | Segfault
+  | Misaligned
+  | Div_by_zero
+  | Abort_called
+  | Stack_overflow
+  | Guard_violation
+      (** a software [Guard] detector (inserted by a hardening pass) fired *)
+
+exception Trap of t
+
+val to_string : t -> string
+val all : t list

@@ -1,0 +1,1 @@
+test/suite_bench.ml: Alcotest Array Bench_suite Bytes Char Int32 Ir List Option String Thelpers Vm

@@ -1,0 +1,1 @@
+test/suite_core.ml: Alcotest Array Bench_suite Core Float Int64 Ir Lazy List Option Prng QCheck QCheck_alcotest Stats String Vm

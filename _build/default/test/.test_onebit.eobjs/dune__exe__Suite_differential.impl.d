@@ -1,0 +1,1 @@
+test/suite_differential.ml: Array Buffer Float Int64 Ir List QCheck QCheck_alcotest String Vm

@@ -1,0 +1,1 @@
+test/suite_edge.ml: Alcotest Bench_suite Bytes Char Core Filename In_channel Int64 Ir List Option String Sys Thelpers Vm

@@ -1,0 +1,1 @@
+test/suite_harden.ml: Alcotest Analysis Bench_suite Core Float Harden Ir List Option Result String Thelpers Vm

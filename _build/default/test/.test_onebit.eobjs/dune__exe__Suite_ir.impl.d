@@ -1,0 +1,1 @@
+test/suite_ir.ml: Alcotest Array Func Instr Ir List QCheck QCheck_alcotest Result Thelpers Validate

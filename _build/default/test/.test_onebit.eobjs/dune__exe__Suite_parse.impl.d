@@ -1,0 +1,1 @@
+test/suite_parse.ml: Alcotest Bench_suite Harden Ir List Option Printf String Thelpers Vm

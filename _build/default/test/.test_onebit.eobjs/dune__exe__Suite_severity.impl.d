@@ -1,0 +1,1 @@
+test/suite_severity.ml: Alcotest Analysis Core Lazy List

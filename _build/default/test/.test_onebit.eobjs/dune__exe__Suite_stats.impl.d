@@ -1,0 +1,1 @@
+test/suite_stats.ml: Alcotest Float Gen List QCheck QCheck_alcotest Stats

@@ -1,0 +1,1 @@
+test/suite_targets.ml: Alcotest Analysis Core Ir Lazy List

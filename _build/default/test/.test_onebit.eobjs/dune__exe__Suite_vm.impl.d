@@ -1,0 +1,1 @@
+test/suite_vm.ml: Alcotest Array Ir List String Thelpers Vm

@@ -1,0 +1,1 @@
+test/thelpers.ml: Alcotest Bytes Format Int32 Int64 Ir Option String Vm

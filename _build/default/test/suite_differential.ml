@@ -1,0 +1,216 @@
+(* Differential testing of the interpreter: random straight-line programs
+   over i32 values are executed by the VM and by an independent evaluator
+   written against Int64 arithmetic (the VM uses native ints).  Any
+   semantic divergence in masking, sign extension, shifts, division or
+   comparisons shows up as an output mismatch. *)
+
+module B = Ir.Build
+
+type op =
+  | Bin of int * int * int  (* binop index, lhs, rhs *)
+  | Cmp of int * int * int  (* icmp index, lhs, rhs *)
+  | Sel of int * int * int  (* cond from cmp of (a, b), then pick a or b *)
+  | Narrow of int  (* trunc to i8, zext back *)
+  | NarrowS of int  (* trunc to i16, sext back *)
+  | FloatTrip of int * int  (* sitofp both, fadd, fptosi *)
+
+let binops : (Ir.Instr.binop * string) array =
+  [|
+    (Add, "add"); (Sub, "sub"); (Mul, "mul"); (Sdiv, "sdiv"); (Udiv, "udiv");
+    (Srem, "srem"); (Urem, "urem"); (And, "and"); (Or, "or"); (Xor, "xor");
+    (Shl, "shl"); (Lshr, "lshr"); (Ashr, "ashr");
+  |]
+
+let icmps : Ir.Instr.icmp array =
+  [| Eq; Ne; Slt; Sle; Sgt; Sge; Ult; Ule; Ugt; Uge |]
+
+(* ---- independent evaluator over Int64 bit patterns ---- *)
+
+let mask32 v = Int64.logand v 0xFFFFFFFFL
+let sext32 v = Int64.shift_right (Int64.shift_left v 32) 32
+let mask8 v = Int64.logand v 0xFFL
+let sext16 v = Int64.shift_right (Int64.shift_left (Int64.logand v 0xFFFFL) 48) 48
+
+let eval_binop idx a b =
+  let open Int64 in
+  let sa = sext32 a and sb = sext32 b in
+  let shift_amt = to_int b in
+  match fst binops.(idx) with
+  | Add -> mask32 (add a b)
+  | Sub -> mask32 (sub a b)
+  | Mul -> mask32 (mul a b)
+  | Sdiv -> mask32 (div sa sb)
+  | Udiv -> mask32 (div a b) (* canonical values are non-negative *)
+  | Srem -> mask32 (rem sa sb)
+  | Urem -> mask32 (rem a b)
+  | And -> logand a b
+  | Or -> logor a b
+  | Xor -> logxor a b
+  | Shl -> if shift_amt >= 32 || shift_amt < 0 then 0L else mask32 (shift_left a shift_amt)
+  | Lshr -> if shift_amt >= 32 || shift_amt < 0 then 0L else shift_right_logical a shift_amt
+  | Ashr ->
+      let s = if shift_amt >= 32 || shift_amt < 0 then 31 else shift_amt in
+      mask32 (shift_right sa s)
+
+let eval_icmp idx a b =
+  let sa = sext32 a and sb = sext32 b in
+  let u = Int64.unsigned_compare a b in
+  let r =
+    match icmps.(idx) with
+    | Eq -> a = b
+    | Ne -> a <> b
+    | Slt -> sa < sb
+    | Sle -> sa <= sb
+    | Sgt -> sa > sb
+    | Sge -> sa >= sb
+    | Ult -> u < 0
+    | Ule -> u <= 0
+    | Ugt -> u > 0
+    | Uge -> u >= 0
+  in
+  if r then 1L else 0L
+
+let eval_op pool op =
+  let at i = List.nth pool (i mod List.length pool) in
+  match op with
+  | Bin (k, i, j) -> eval_binop (k mod Array.length binops) (at i) (at j)
+  | Cmp (k, i, j) -> eval_icmp (k mod Array.length icmps) (at i) (at j)
+  | Sel (k, i, j) ->
+      if eval_icmp (k mod Array.length icmps) (at i) (at j) = 1L then at i
+      else at j
+  | Narrow i -> mask8 (at i)
+  | NarrowS i -> mask32 (sext16 (at i))
+  | FloatTrip (i, j) ->
+      let x = Int64.to_float (sext32 (at i)) +. Int64.to_float (sext32 (at j)) in
+      if Float.is_nan x || Float.abs x >= 4.611686018427387904e18 then 0L
+      else mask32 (Int64.of_float x)
+
+(* Division by zero would trap; rewrite offending ops into Adds, exactly
+   as the generator's evaluation sees them. *)
+let sanitize ops seeds =
+  let pool = ref (List.map mask32 seeds) in
+  List.map
+    (fun op ->
+      let op =
+        match op with
+        | Bin (k, i, j) -> (
+            let at i = List.nth !pool (i mod List.length !pool) in
+            match fst binops.(k mod Array.length binops) with
+            | Sdiv | Udiv | Srem | Urem when at j = 0L -> Bin (0, i, j)
+            | _ -> op)
+        | Cmp _ | Sel _ | Narrow _ | NarrowS _ | FloatTrip _ -> op
+      in
+      pool := !pool @ [ eval_op !pool op ];
+      op)
+    ops
+
+let expected_output ops seeds =
+  let pool = ref (List.map mask32 seeds) in
+  List.iter (fun op -> pool := !pool @ [ eval_op !pool op ]) ops;
+  let buf = Buffer.create 64 in
+  List.iter (fun v -> Buffer.add_int32_le buf (Int64.to_int32 v)) !pool;
+  Buffer.contents buf
+
+(* ---- IR construction mirroring eval_op ---- *)
+
+let build_program ops seeds =
+  let m = B.create () in
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let pool = ref [] in
+      List.iter
+        (fun s ->
+          let r = B.local_init f I32 (B.ci (Int64.to_int (mask32 s))) in
+          pool := !pool @ [ B.r r ])
+        seeds;
+      let at i = List.nth !pool (i mod List.length !pool) in
+      List.iter
+        (fun op ->
+          let v =
+            match op with
+            | Bin (k, i, j) ->
+                let bop = fst binops.(k mod Array.length binops) in
+                B.binop f bop I32 (at i) (at j)
+            | Cmp (k, i, j) ->
+                let c = B.icmp f icmps.(k mod Array.length icmps) I32 (at i) (at j) in
+                B.cast f Zext ~from_ty:I1 ~to_ty:I32 c
+            | Sel (k, i, j) ->
+                let c = B.icmp f icmps.(k mod Array.length icmps) I32 (at i) (at j) in
+                B.select f I32 ~cond:c (at i) (at j)
+            | Narrow i ->
+                let t = B.cast f Trunc ~from_ty:I32 ~to_ty:I8 (at i) in
+                B.cast f Zext ~from_ty:I8 ~to_ty:I32 t
+            | NarrowS i ->
+                let t = B.cast f Trunc ~from_ty:I32 ~to_ty:I16 (at i) in
+                B.cast f Sext ~from_ty:I16 ~to_ty:I32 t
+            | FloatTrip (i, j) ->
+                let x = B.cast f Sitofp ~from_ty:I32 ~to_ty:F64 (at i) in
+                let y = B.cast f Sitofp ~from_ty:I32 ~to_ty:F64 (at j) in
+                B.cast f Fptosi ~from_ty:F64 ~to_ty:I32 (B.fadd f x y)
+          in
+          pool := !pool @ [ v ])
+        ops;
+      List.iter (fun v -> B.output f I32 v) !pool);
+  B.finish m
+
+(* ---- the property ---- *)
+
+let op_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3 (fun k i j -> Bin (k, i, j)) (int_bound 12) (int_bound 40) (int_bound 40);
+        map3 (fun k i j -> Cmp (k, i, j)) (int_bound 9) (int_bound 40) (int_bound 40);
+        map3 (fun k i j -> Sel (k, i, j)) (int_bound 9) (int_bound 40) (int_bound 40);
+        map (fun i -> Narrow i) (int_bound 40);
+        map (fun i -> NarrowS i) (int_bound 40);
+        map2 (fun i j -> FloatTrip (i, j)) (int_bound 40) (int_bound 40);
+      ])
+
+let seeds_gen =
+  QCheck.Gen.(
+    list_size (int_range 2 5)
+      (oneof
+         [
+           map Int64.of_int int;
+           oneofl [ 0L; 1L; 0xFFFFFFFFL; 0x80000000L; 0x7FFFFFFFL; 2L ];
+         ]))
+
+let case_gen = QCheck.Gen.(pair (list_size (int_range 1 30) op_gen) seeds_gen)
+
+let prop_vm_matches_evaluator =
+  QCheck.Test.make ~name:"VM matches independent Int64 evaluator" ~count:300
+    (QCheck.make case_gen) (fun (ops, seeds) ->
+      let seeds = if seeds = [] then [ 1L ] else seeds in
+      let ops = sanitize ops seeds in
+      let prog = Vm.Program.load (build_program ops seeds) in
+      let r = Vm.Exec.run ~budget:1_000_000 prog in
+      match r.status with
+      | Finished -> String.equal r.output (expected_output ops seeds)
+      | Trapped _ | Hung -> false)
+
+(* The same random programs double as parser fodder: print, reparse,
+   reprint must be stable, and the reparsed module must behave
+   identically. *)
+let prop_parser_roundtrip_random =
+  QCheck.Test.make ~name:"parser round-trips random programs" ~count:100
+    (QCheck.make case_gen) (fun (ops, seeds) ->
+      let seeds = if seeds = [] then [ 1L ] else seeds in
+      let ops = sanitize ops seeds in
+      let m = build_program ops seeds in
+      let text = Ir.Pp.modl m in
+      match Ir.Parse.modl text with
+      | Error _ -> false
+      | Ok m2 ->
+          String.equal text (Ir.Pp.modl m2)
+          &&
+          let r = Vm.Exec.run ~budget:1_000_000 (Vm.Program.load m2) in
+          String.equal r.output (expected_output ops seeds))
+
+let suites =
+  [
+    ( "differential",
+      [
+        QCheck_alcotest.to_alcotest prop_vm_matches_evaluator;
+        QCheck_alcotest.to_alcotest prop_parser_roundtrip_random;
+      ] );
+  ]

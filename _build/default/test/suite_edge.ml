@@ -1,0 +1,204 @@
+(* Edge-case tests: memory access widths and alignment, I64 (63-bit)
+   semantics, validator cast rules, builder corner cases, and CSV
+   emission. *)
+
+module B = Ir.Build
+
+let run = Thelpers.run_main
+let check_status = Alcotest.check Thelpers.status_testable
+
+(* ---- memory ---- *)
+
+let test_memory_template_validation () =
+  Alcotest.(check bool) "out of bounds region rejected" true
+    (match
+       Vm.Memory.create_template ~size:16 ~regions:[ (8, Bytes.create 16) ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "overlapping regions rejected" true
+    (match
+       Vm.Memory.create_template ~size:64
+         ~regions:[ (0, Bytes.create 8); (4, Bytes.create 8) ]
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_memory_widths () =
+  let mem =
+    Vm.Memory.clone
+      (Vm.Memory.create_template ~size:64 ~regions:[ (0, Bytes.create 32) ])
+  in
+  Vm.Memory.write_int mem ~width:8 ~addr:0 0x0102030405060708;
+  Alcotest.(check int) "8-byte roundtrip" 0x0102030405060708
+    (Vm.Memory.read_int mem ~width:8 ~addr:0);
+  Alcotest.(check int) "low byte LE" 0x08 (Vm.Memory.read_int mem ~width:1 ~addr:0);
+  Alcotest.(check int) "second halfword" 0x0506
+    (Vm.Memory.read_int mem ~width:2 ~addr:2);
+  Vm.Memory.write_f64 mem ~addr:8 (-0.5);
+  Alcotest.(check (float 0.0)) "f64 roundtrip" (-0.5)
+    (Vm.Memory.read_f64 mem ~addr:8);
+  (* halfword alignment: odd address traps *)
+  Alcotest.(check bool) "misaligned halfword" true
+    (match Vm.Memory.read_int mem ~width:2 ~addr:1 with
+    | exception Vm.Trap.Trap Vm.Trap.Misaligned -> true
+    | _ -> false);
+  (* 8-byte access at 4-byte alignment is allowed (paper: 4-byte rule) *)
+  Alcotest.(check bool) "8-byte at +4 allowed" true
+    (match Vm.Memory.read_int mem ~width:8 ~addr:4 with
+    | _ -> true
+    | exception _ -> false)
+
+let test_memory_peek () =
+  let t = Vm.Memory.create_template ~size:32 ~regions:[ (0, Bytes.of_string "abcd") ] in
+  Alcotest.(check string) "peek" "bc"
+    (Bytes.to_string (Vm.Memory.peek_bytes t ~addr:1 ~len:2));
+  Alcotest.(check bool) "peek out of bounds" true
+    (match Vm.Memory.peek_bytes t ~addr:30 ~len:4 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- I64 (63-bit) semantics ---- *)
+
+let test_i64_width_63 () =
+  let r =
+    run (fun f ->
+        (* shifting 1 left by 62 reaches the top bit; by 63 overshifts to 0 *)
+        let one = B.mov f I64 (B.ci 1) in
+        let hi = B.shl f I64 one (B.ci 62) in
+        let over = B.shl f I64 one (B.ci 63) in
+        B.output f I64 hi;
+        B.output f I64 over;
+        (* unsigned compare sees the top-bit value as huge *)
+        let big = B.ugt f I64 hi (B.ci 1000) in
+        B.output f I1 big;
+        (* signed compare sees it as negative *)
+        let neg = B.slt f I64 hi (B.ci 0) in
+        B.output f I1 neg;
+        (* unsigned division of the huge value *)
+        let q = B.udiv f I64 hi (B.ci 2) in
+        B.output f I64 q)
+  in
+  check_status "finished" Finished r.status;
+  let b = Bytes.of_string r.output in
+  Alcotest.(check int64) "1 << 62" (Int64.shift_left 1L 62) (Bytes.get_int64_le b 0);
+  Alcotest.(check int64) "overshift = 0" 0L (Bytes.get_int64_le b 8);
+  Alcotest.(check int) "ugt" 1 (Char.code (Bytes.get b 16));
+  Alcotest.(check int) "slt" 1 (Char.code (Bytes.get b 17));
+  Alcotest.(check int64) "udiv" (Int64.shift_left 1L 61) (Bytes.get_int64_le b 18)
+
+let test_i64_memory_roundtrip () =
+  let m = B.create () in
+  B.global_zeros m "cell" 8;
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let v = B.shl f I64 (B.mov f I64 (B.ci 0x1234)) (B.ci 40) in
+      B.store f I64 ~value:v ~addr:(B.glob "cell");
+      B.output f I64 (B.load f I64 (B.glob "cell")));
+  let r = Vm.Exec.run ~budget:1000 (Vm.Program.load (B.finish m)) in
+  Alcotest.(check int64) "i64 store/load"
+    (Int64.shift_left 0x1234L 40)
+    (Bytes.get_int64_le (Bytes.of_string r.output) 0)
+
+(* ---- validator cast rules ---- *)
+
+let expect_invalid body =
+  let m = B.create () in
+  Alcotest.(check bool) "rejected" true
+    (match
+       B.func m "main" ~params:[] ~ret:None body;
+       B.finish m
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_validator_cast_rules () =
+  (* trunc must narrow *)
+  expect_invalid (fun f -> ignore (B.cast f Trunc ~from_ty:I8 ~to_ty:I32 (B.ci 0)));
+  (* zext must widen *)
+  expect_invalid (fun f -> ignore (B.cast f Zext ~from_ty:I32 ~to_ty:I8 (B.ci 0)));
+  (* sitofp needs int source *)
+  expect_invalid (fun f -> ignore (B.cast f Sitofp ~from_ty:F64 ~to_ty:F64 (B.cf 1.)));
+  (* ptrtoint needs ptr source *)
+  expect_invalid (fun f -> ignore (B.cast f Ptrtoint ~from_ty:I32 ~to_ty:I32 (B.ci 0)))
+
+let test_validator_gep_rules () =
+  expect_invalid (fun f ->
+      ignore (B.gep f ~base:(B.ci 0) ~index:(B.cf 1.0) ~scale:4));
+  expect_invalid (fun f -> ignore (B.gep f ~base:(B.ci 0) ~index:(B.ci 1) ~scale:0))
+
+let test_validator_ret_rules () =
+  let m = B.create () in
+  Alcotest.(check bool) "void fn returning value rejected" true
+    (match
+       B.func m "main" ~params:[] ~ret:None (fun f -> B.ret f (Some (B.ci 1)));
+       B.finish m
+     with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* ---- ptrtoint / inttoptr ---- *)
+
+let test_pointer_casts () =
+  let m = B.create () in
+  B.global_i32s m "cell" [| 77 |];
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let p = B.mov f Ptr (B.glob "cell") in
+      let n = B.cast f Ptrtoint ~from_ty:Ptr ~to_ty:I32 p in
+      let p2 = B.cast f Inttoptr ~from_ty:I32 ~to_ty:Ptr n in
+      B.output f I32 (B.load f I32 p2));
+  let r = Vm.Exec.run ~budget:1000 (Vm.Program.load (B.finish m)) in
+  Alcotest.(check string) "roundtrip pointer" (Thelpers.le32 77) r.output
+
+(* ---- builder off ---- *)
+
+let test_builder_off () =
+  let m = B.create () in
+  B.global_i32s m "a" [| 5; 6 |];
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let p = B.mov f Ptr (B.glob "a") in
+      B.output f I32 (B.load f I32 (B.off f p 4));
+      (* off by 0 is the identity *)
+      B.output f I32 (B.load f I32 (B.off f p 0)));
+  let r = Vm.Exec.run ~budget:1000 (Vm.Program.load (B.finish m)) in
+  Alcotest.(check string) "offsets" (Thelpers.le32 6 ^ Thelpers.le32 5) r.output
+
+(* ---- csv write ---- *)
+
+let test_csv_write () =
+  let e = Option.get (Bench_suite.Registry.find "spmv") in
+  let w = Core.Workload.make ~name:e.name (e.build ()) in
+  let r1 = Core.Campaign.run w (Core.Spec.single Read) ~n:20 ~seed:1L in
+  let r2 = Core.Campaign.run w (Core.Spec.multi Write ~max_mbf:2 ~win:(Fixed 1)) ~n:20 ~seed:1L in
+  let path = Filename.temp_file "onebit" ".csv" in
+  let oc = open_out path in
+  Core.Csv.write oc [ r1; r2 ];
+  close_out oc;
+  let lines =
+    In_channel.with_open_text path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  Sys.remove path;
+  Alcotest.(check int) "header + 2 rows" 3 (List.length lines);
+  Alcotest.(check string) "header first" Core.Csv.header (List.hd lines)
+
+let suites =
+  [
+    ( "edge",
+      [
+        Alcotest.test_case "memory template validation" `Quick
+          test_memory_template_validation;
+        Alcotest.test_case "memory widths" `Quick test_memory_widths;
+        Alcotest.test_case "memory peek" `Quick test_memory_peek;
+        Alcotest.test_case "i64 63-bit semantics" `Quick test_i64_width_63;
+        Alcotest.test_case "i64 memory roundtrip" `Quick
+          test_i64_memory_roundtrip;
+        Alcotest.test_case "validator cast rules" `Quick
+          test_validator_cast_rules;
+        Alcotest.test_case "validator gep rules" `Quick test_validator_gep_rules;
+        Alcotest.test_case "validator ret rules" `Quick test_validator_ret_rules;
+        Alcotest.test_case "pointer casts" `Quick test_pointer_casts;
+        Alcotest.test_case "builder off" `Quick test_builder_off;
+        Alcotest.test_case "csv write" `Quick test_csv_write;
+      ] );
+  ]

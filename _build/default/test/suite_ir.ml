@@ -1,0 +1,207 @@
+(* Tests for IR types, bit helpers, builder and validator. *)
+
+module B = Ir.Build
+
+let test_widths () =
+  let open Ir.Ty in
+  Alcotest.(check (list int))
+    "widths"
+    [ 1; 8; 16; 32; 63; 64; 32 ]
+    (List.map width [ I1; I8; I16; I32; I64; F64; Ptr ]);
+  Alcotest.(check (list int))
+    "bytes"
+    [ 1; 1; 2; 4; 8; 8; 4 ]
+    (List.map bytes [ I1; I8; I16; I32; I64; F64; Ptr ])
+
+let test_mask_sext () =
+  Alcotest.(check int) "mask i8" 0x34 (Ir.Bits.mask I8 0x1234);
+  Alcotest.(check int) "mask i32 of -1" 0xFFFFFFFF (Ir.Bits.mask I32 (-1));
+  Alcotest.(check int) "sext i8 0x80" (-128) (Ir.Bits.sext I8 0x80);
+  Alcotest.(check int) "sext i8 0x7F" 127 (Ir.Bits.sext I8 0x7F);
+  Alcotest.(check int) "sext i32 0xFFFFFFFF" (-1) (Ir.Bits.sext I32 0xFFFFFFFF);
+  Alcotest.(check int) "sext i1 1" (-1) (Ir.Bits.sext I1 1)
+
+let test_flip () =
+  Alcotest.(check int) "flip bit 0" 1 (Ir.Bits.flip I32 ~bit:0 0);
+  Alcotest.(check int) "flip bit 31" 0x80000000 (Ir.Bits.flip I32 ~bit:31 0);
+  Alcotest.(check int) "flip twice restores" 42
+    (Ir.Bits.flip I32 ~bit:7 (Ir.Bits.flip I32 ~bit:7 42));
+  Alcotest.check_raises "flip out of range"
+    (Invalid_argument "Bits.flip: bit out of range") (fun () ->
+      ignore (Ir.Bits.flip I8 ~bit:8 0))
+
+let test_flip_float () =
+  let x = 1.5 in
+  Alcotest.(check bool) "flip changes value" true
+    (Ir.Bits.flip_float ~bit:63 x <> x);
+  Alcotest.(check (float 0.0)) "flip twice restores" x
+    (Ir.Bits.flip_float ~bit:52 (Ir.Bits.flip_float ~bit:52 x))
+
+let prop_flip_involution =
+  QCheck.Test.make ~name:"flip is an involution on canonical values" ~count:500
+    QCheck.(pair (int_bound 62) int)
+    (fun (bit, v0) ->
+      let ty = Ir.Ty.I64 in
+      let v = Ir.Bits.mask ty v0 in
+      Ir.Bits.flip ty ~bit (Ir.Bits.flip ty ~bit v) = v)
+
+let prop_mask_idempotent =
+  QCheck.Test.make ~name:"mask idempotent, sext-mask roundtrip" ~count:500
+    QCheck.int (fun v ->
+      List.for_all
+        (fun ty ->
+          let m = Ir.Bits.mask ty v in
+          Ir.Bits.mask ty m = m && Ir.Bits.mask ty (Ir.Bits.sext ty m) = m)
+        [ Ir.Ty.I1; I8; I16; I32; I64; Ptr ])
+
+let test_src_dst_metadata () =
+  let open Ir.Instr in
+  let i = Binop { op = Add; ty = I32; dst = 3; a = Reg 1; b = Reg 1 } in
+  Alcotest.(check (list int)) "dup srcs kept" [ 1; 1 ] (src_regs i);
+  Alcotest.(check (option int)) "dst" (Some 3) (dst_reg i);
+  let s = Store { ty = I32; value = Reg 2; addr = Reg 4 } in
+  Alcotest.(check (list int)) "store srcs" [ 2; 4 ] (src_regs s);
+  Alcotest.(check (option int)) "store has no dst" None (dst_reg s);
+  let t = Cbr { cond = Reg 7; if_true = 0; if_false = 1 } in
+  Alcotest.(check (list int)) "cbr srcs" [ 7 ] (term_src_regs t);
+  Alcotest.(check (list int)) "ret srcs" [ 9 ] (term_src_regs (Ret (Some (Reg 9))))
+
+let build_trivial () =
+  let m = B.create () in
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let x = B.add f I32 (B.ci 2) (B.ci 3) in
+      B.output f I32 x;
+      B.ret f None);
+  B.finish m
+
+let test_builder_trivial () =
+  let m = build_trivial () in
+  Alcotest.(check int) "one function" 1 (List.length m.m_funcs);
+  match Ir.Func.find_func m "main" with
+  | None -> Alcotest.fail "main not found"
+  | Some f ->
+      Alcotest.(check bool) "has blocks" true (Array.length f.f_blocks >= 1)
+
+let test_builder_control_flow_shapes () =
+  let m = B.create () in
+  B.func m "main" ~params:[] ~ret:None (fun f ->
+      let acc = B.local_init f I32 (B.ci 0) in
+      B.for_ f ~from_:(B.ci 0) ~below:(B.ci 10) (fun i ->
+          B.if_ f
+            (B.slt f I32 i (B.ci 5))
+            ~then_:(fun () -> B.set f acc (B.add f I32 (B.r acc) i))
+            ~else_:(fun () -> B.set f acc (B.sub f I32 (B.r acc) i)));
+      B.output f I32 (B.r acc));
+  let m = B.finish m in
+  match Ir.Func.find_func m "main" with
+  | None -> Alcotest.fail "main not found"
+  | Some f ->
+      (* entry + loop blocks + if blocks *)
+      Alcotest.(check bool) "several blocks" true (Array.length f.f_blocks > 5)
+
+let test_builder_duplicate_function_rejected () =
+  let m = B.create () in
+  B.func m "f" ~params:[] ~ret:None (fun f -> B.ret f None);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Build.func: duplicate function f") (fun () ->
+      B.func m "f" ~params:[] ~ret:None (fun f -> B.ret f None))
+
+let test_builder_unknown_callee_rejected () =
+  let m = B.create () in
+  let raised = ref false in
+  (try
+     B.func m "main" ~params:[] ~ret:None (fun f ->
+         ignore (B.call f "nonexistent" []);
+         B.ret f None)
+   with Invalid_argument _ -> raised := true);
+  Alcotest.(check bool) "raises" true !raised
+
+let test_validator_catches_type_error () =
+  let open Ir in
+  let bad : Func.modl =
+    {
+      m_funcs =
+        [
+          {
+            f_name = "main";
+            f_params = [];
+            f_ret = None;
+            f_blocks =
+              [|
+                {
+                  b_name = "entry";
+                  b_instrs =
+                    [|
+                      (* dst register 0 is F64 but binop says I32 *)
+                      Instr.Binop
+                        { op = Add; ty = I32; dst = 0; a = Imm 1; b = Imm 2 };
+                    |];
+                  b_term = Ret None;
+                };
+              |];
+            f_reg_ty = [| F64 |];
+          };
+        ];
+      m_globals = [];
+    }
+  in
+  match Validate.check bad with
+  | Ok () -> Alcotest.fail "expected validation error"
+  | Error es -> Alcotest.(check bool) "has errors" true (List.length es > 0)
+
+let test_validator_catches_bad_branch () =
+  let open Ir in
+  let bad : Func.modl =
+    {
+      m_funcs =
+        [
+          {
+            f_name = "main";
+            f_params = [];
+            f_ret = None;
+            f_blocks =
+              [| { b_name = "entry"; b_instrs = [||]; b_term = Br 7 } |];
+            f_reg_ty = [||];
+          };
+        ];
+      m_globals = [];
+    }
+  in
+  Alcotest.(check bool) "rejected" true (Result.is_error (Validate.check bad))
+
+let test_validator_accepts_builder_output () =
+  Alcotest.(check bool) "trivial module validates" true
+    (Result.is_ok (Ir.Validate.check (build_trivial ())))
+
+let test_pp_smoke () =
+  let s = Ir.Pp.modl (build_trivial ()) in
+  Alcotest.(check bool) "mentions main" true
+    (Thelpers.contains s "define void @main")
+
+let suites =
+  [
+    ( "ir",
+      [
+        Alcotest.test_case "type widths" `Quick test_widths;
+        Alcotest.test_case "mask/sext" `Quick test_mask_sext;
+        Alcotest.test_case "flip" `Quick test_flip;
+        Alcotest.test_case "flip float" `Quick test_flip_float;
+        QCheck_alcotest.to_alcotest prop_flip_involution;
+        QCheck_alcotest.to_alcotest prop_mask_idempotent;
+        Alcotest.test_case "src/dst metadata" `Quick test_src_dst_metadata;
+        Alcotest.test_case "builder trivial" `Quick test_builder_trivial;
+        Alcotest.test_case "builder control flow" `Quick
+          test_builder_control_flow_shapes;
+        Alcotest.test_case "builder rejects duplicates" `Quick
+          test_builder_duplicate_function_rejected;
+        Alcotest.test_case "builder rejects unknown callee" `Quick
+          test_builder_unknown_callee_rejected;
+        Alcotest.test_case "validator: type error" `Quick
+          test_validator_catches_type_error;
+        Alcotest.test_case "validator: bad branch" `Quick
+          test_validator_catches_bad_branch;
+        Alcotest.test_case "validator: accepts builder output" `Quick
+          test_validator_accepts_builder_output;
+        Alcotest.test_case "pretty-printer smoke" `Quick test_pp_smoke;
+      ] );
+  ]

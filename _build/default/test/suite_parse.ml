@@ -1,0 +1,124 @@
+(* Tests for the IR text parser: round-trips, error reporting, and
+   behavioural equivalence of reparsed modules. *)
+
+let roundtrip (e : Bench_suite.Desc.t) () =
+  let m = e.build () in
+  let text = Ir.Pp.modl m in
+  match Ir.Parse.modl text with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok m2 ->
+      Alcotest.(check string) "print . parse . print is stable" text
+        (Ir.Pp.modl m2);
+      let r = Vm.Exec.run ~budget:Vm.Exec.golden_budget (Vm.Program.load m2) in
+      Alcotest.(check bool) "reparsed module runs to reference output" true
+        (String.equal r.output (e.reference ()))
+
+let test_small_module () =
+  let text =
+    {|
+@data = global [8 x i8] 0x0a00000014000000
+
+define i32 @double(i32 %0) {
+entry0:
+  %1 = add i32 %0, %0
+  ret %1
+}
+
+define void @main() {
+entry0:
+  %0 = load i32, @data
+  %1 = call @double(%0)
+  output i32 %1
+  ret void
+}
+|}
+  in
+  let m = Ir.Parse.modl_exn text in
+  let r = Vm.Exec.run ~budget:1000 (Vm.Program.load m) in
+  Alcotest.check Thelpers.status_testable "runs" Finished r.status;
+  Alcotest.(check string) "10 doubled" (Thelpers.le32 20) r.output
+
+let test_control_flow_and_floats () =
+  let text =
+    {|
+define void @main() {
+entry0:
+  %0 = mov f64 0x1.8p+1
+  %1 = fmul f64 %0, 2.
+  %2 = fcmp ogt f64 %1, 5.
+  br %2, %yes1, %no2
+yes1:
+  output f64 %1
+  ret void
+no2:
+  abort
+  ret void
+}
+|}
+  in
+  let m = Ir.Parse.modl_exn text in
+  let r = Vm.Exec.run ~budget:1000 (Vm.Program.load m) in
+  Alcotest.check Thelpers.status_testable "takes the yes branch" Finished
+    r.status;
+  Alcotest.(check string) "3.0 * 2.0" (Thelpers.le64_of_float 6.0) r.output
+
+let expect_error text fragment =
+  match Ir.Parse.modl text with
+  | Ok _ -> Alcotest.failf "expected parse error mentioning %S" fragment
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "error %S mentions %S" msg fragment)
+        true
+        (Thelpers.contains msg fragment)
+
+let test_errors () =
+  expect_error "define void @f() {\nentry0:\n  ret void\n" "unterminated";
+  expect_error "define void @f() {\nentry0:\n  %0 = frobnicate i32 1, 2\n  ret void\n}"
+    "cannot parse instruction";
+  expect_error "define void @f() {\nentry0:\n  br %nowhere9\n}" "unknown block label";
+  expect_error "define void @f() {\n  output i32 1\n}" "outside a block";
+  expect_error "xyzzy" "unexpected line";
+  (* type errors are caught by validation after parsing *)
+  expect_error
+    "define void @f() {\nentry0:\n  %0 = add i32 1, 2\n  output f64 %0\n  ret void\n}"
+    "validation"
+
+let test_guard_roundtrip () =
+  let m0 = Ir.Build.create () in
+  Ir.Build.func m0 "main" ~params:[] ~ret:None (fun f ->
+      let x = Ir.Build.add f I32 (Ir.Build.ci 1) (Ir.Build.ci 1) in
+      Ir.Build.guard f I32 x (Ir.Build.ci 2);
+      Ir.Build.output f I32 x);
+  let m = Ir.Build.finish m0 in
+  let text = Ir.Pp.modl m in
+  let m2 = Ir.Parse.modl_exn text in
+  Alcotest.(check string) "guard survives round-trip" text (Ir.Pp.modl m2)
+
+let test_hardened_roundtrip () =
+  (* the hardened modules exercise Guard-heavy code paths *)
+  let e = Option.get (Bench_suite.Registry.find "spmv") in
+  let hard = Harden.Swift.apply (e.build ()) in
+  let text = Ir.Pp.modl hard in
+  let m2 = Ir.Parse.modl_exn text in
+  Alcotest.(check string) "hardened module round-trips" text (Ir.Pp.modl m2);
+  let r = Vm.Exec.run ~budget:Vm.Exec.golden_budget (Vm.Program.load m2) in
+  Alcotest.(check bool) "and still runs to reference" true
+    (String.equal r.output (e.reference ()))
+
+let suites =
+  [
+    ( "parse",
+      List.map
+        (fun (e : Bench_suite.Desc.t) ->
+          Alcotest.test_case (e.name ^ ": round-trip") `Quick (roundtrip e))
+        Bench_suite.Registry.all
+      @ [
+          Alcotest.test_case "small module" `Quick test_small_module;
+          Alcotest.test_case "control flow and floats" `Quick
+            test_control_flow_and_floats;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "guard round-trip" `Quick test_guard_roundtrip;
+          Alcotest.test_case "hardened round-trip" `Quick
+            test_hardened_roundtrip;
+        ] );
+  ]

@@ -1,0 +1,116 @@
+(* Unit and property tests for the deterministic PRNG. *)
+
+let test_determinism () =
+  let a = Prng.of_seed 42L and b = Prng.of_seed 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Prng.of_seed 1L and b = Prng.of_seed 2L in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_zero_seed_ok () =
+  let g = Prng.of_seed 0L in
+  let x = Prng.next_int64 g and y = Prng.next_int64 g in
+  Alcotest.(check bool) "non-constant" true (x <> y)
+
+let test_copy_replays () =
+  let g = Prng.of_seed 7L in
+  ignore (Prng.next_int64 g);
+  let c = Prng.copy g in
+  let expected = List.init 10 (fun _ -> Prng.next_int64 c) in
+  let actual = List.init 10 (fun _ -> Prng.next_int64 g) in
+  Alcotest.(check (list int64)) "copy replays" expected actual
+
+let test_split_independent () =
+  let g = Prng.of_seed 5L in
+  let child = Prng.split g in
+  let a = Prng.next_int64 child and b = Prng.next_int64 g in
+  Alcotest.(check bool) "child differs from parent" true (a <> b)
+
+let test_split_at_pure () =
+  let g = Prng.of_seed 9L in
+  let c1 = Prng.split_at g 3 and c2 = Prng.split_at g 3 in
+  Alcotest.(check int64) "same child stream" (Prng.next_int64 c1)
+    (Prng.next_int64 c2);
+  let c3 = Prng.split_at g 4 in
+  let c1' = Prng.split_at g 3 in
+  ignore (Prng.next_int64 c1');
+  Alcotest.(check bool) "distinct indices distinct streams" true
+    (Prng.next_int64 c3 <> Prng.next_int64 (Prng.split_at g 3))
+
+let test_int_in_range_bounds () =
+  let g = Prng.of_seed 11L in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in_range g ~lo:2 ~hi:10 in
+    Alcotest.(check bool) "in [2,10]" true (v >= 2 && v <= 10)
+  done
+
+let test_int_rejects_bad_bound () =
+  let g = Prng.of_seed 1L in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int g 0))
+
+let prop_int_bounds =
+  QCheck.Test.make ~name:"int stays in [0,bound)" ~count:500
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let g = Prng.of_seed seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let prop_sample_distinct =
+  QCheck.Test.make ~name:"sample_distinct: distinct, in range, size k" ~count:300
+    QCheck.(triple int64 (int_range 0 64) (int_range 1 64))
+    (fun (seed, k0, n) ->
+      let k = min k0 n in
+      let g = Prng.of_seed seed in
+      let s = Prng.sample_distinct g ~k ~n in
+      List.length s = k
+      && List.for_all (fun x -> x >= 0 && x < n) s
+      && List.length (List.sort_uniq compare s) = k)
+
+let prop_int_uniformish =
+  QCheck.Test.make ~name:"int roughly uniform over 4 buckets" ~count:20
+    QCheck.int64 (fun seed ->
+      let g = Prng.of_seed seed in
+      let buckets = Array.make 4 0 in
+      let n = 4000 in
+      for _ = 1 to n do
+        let v = Prng.int g 4 in
+        buckets.(v) <- buckets.(v) + 1
+      done;
+      Array.for_all (fun c -> c > (n / 4) - 300 && c < (n / 4) + 300) buckets)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair int64 (list small_int))
+    (fun (seed, l) ->
+      let g = Prng.of_seed seed in
+      let a = Array.of_list l in
+      Prng.shuffle g a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let suites =
+  [
+    ( "prng",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+        Alcotest.test_case "zero seed ok" `Quick test_zero_seed_ok;
+        Alcotest.test_case "copy replays" `Quick test_copy_replays;
+        Alcotest.test_case "split independent" `Quick test_split_independent;
+        Alcotest.test_case "split_at pure" `Quick test_split_at_pure;
+        Alcotest.test_case "int_in_range bounds" `Quick test_int_in_range_bounds;
+        Alcotest.test_case "int rejects bad bound" `Quick test_int_rejects_bad_bound;
+        QCheck_alcotest.to_alcotest prop_int_bounds;
+        QCheck_alcotest.to_alcotest prop_sample_distinct;
+        QCheck_alcotest.to_alcotest prop_int_uniformish;
+        QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+      ] );
+  ]

@@ -1,0 +1,48 @@
+(* Tests for the table renderer. *)
+
+let test_render_alignment () =
+  let s =
+    Report.Table.render ~header:[ "name"; "value" ]
+      [ [ "a"; "1" ]; [ "longer"; "12345" ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | header :: rule :: _ ->
+      Alcotest.(check int) "rule as wide as header" (String.length header)
+        (String.length rule);
+      Alcotest.(check bool) "rule is dashes" true
+        (String.for_all (fun c -> c = '-' || c = ' ') rule)
+  | _ -> Alcotest.fail "expected at least two lines");
+  (* every data line has equal width (right-aligned numeric column) *)
+  let widths =
+    List.filter_map
+      (fun l -> if l = "" then None else Some (String.length l))
+      lines
+  in
+  Alcotest.(check int) "all lines equal width" 1
+    (List.length (List.sort_uniq compare widths))
+
+let test_render_pads_short_rows () =
+  let s = Report.Table.render ~header:[ "a"; "b"; "c" ] [ [ "x" ] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0);
+  Alcotest.(check bool) "contains x" true (Thelpers.contains s "x")
+
+let test_pct_formats () =
+  Alcotest.(check string) "pct" "42.5" (Report.Table.pct 42.51);
+  Alcotest.(check string) "pct zero" "0.0" (Report.Table.pct 0.0);
+  Alcotest.(check string) "pct ci" "42.5±1.9" (Report.Table.pct_ci 42.5 1.9)
+
+let test_render_empty_body () =
+  let s = Report.Table.render ~header:[ "only" ] [] in
+  Alcotest.(check bool) "header present" true (Thelpers.contains s "only")
+
+let suites =
+  [
+    ( "report",
+      [
+        Alcotest.test_case "alignment" `Quick test_render_alignment;
+        Alcotest.test_case "pads short rows" `Quick test_render_pads_short_rows;
+        Alcotest.test_case "pct formats" `Quick test_pct_formats;
+        Alcotest.test_case "empty body" `Quick test_render_empty_body;
+      ] );
+  ]

@@ -1,0 +1,63 @@
+(* Tests for the SDC severity analysis. *)
+
+let test_extent () =
+  let e = Analysis.Severity.extent in
+  Alcotest.(check (float 1e-9)) "identical" 0.0 (e ~golden:"abcd" "abcd");
+  Alcotest.(check (float 1e-9)) "one of four" 0.25 (e ~golden:"abcd" "abxd");
+  Alcotest.(check (float 1e-9)) "all differ" 1.0 (e ~golden:"abcd" "wxyz");
+  (* missing tail counts as corrupted *)
+  Alcotest.(check (float 1e-9)) "truncated" 0.5 (e ~golden:"abcd" "ab");
+  Alcotest.(check (float 1e-9)) "extended" 0.5 (e ~golden:"ab" "abcd");
+  Alcotest.(check (float 1e-9)) "both empty" 0.0 (e ~golden:"" "")
+
+let test_onset () =
+  let o = Analysis.Severity.onset in
+  Alcotest.(check (float 1e-9)) "equal streams" 1.0 (o ~golden:"abcd" "abcd");
+  Alcotest.(check (float 1e-9)) "first byte" 0.0 (o ~golden:"abcd" "xbcd");
+  Alcotest.(check (float 1e-9)) "halfway" 0.5 (o ~golden:"abcd" "abxd");
+  (* equal prefix, differing length: onset at the truncation point *)
+  Alcotest.(check (float 1e-9)) "truncation onset" 0.5 (o ~golden:"abcd" "ab")
+
+let study = lazy (Analysis.Study.make ~n:60 ~seed:3L ~programs:[ "crc32"; "spmv" ] ())
+
+let test_compute_shape () =
+  let rows = Analysis.Severity.compute (Lazy.force study) Core.Technique.Read in
+  Alcotest.(check int) "row per program" 2 (List.length rows);
+  List.iter
+    (fun (r : Analysis.Severity.row) ->
+      Alcotest.(check bool) "extent in range" true
+        (r.mean_extent >= 0. && r.mean_extent <= 1.);
+      Alcotest.(check bool) "onset in range" true
+        (r.mean_onset >= 0. && r.mean_onset <= 1.);
+      Alcotest.(check bool) "buckets bounded" true
+        (r.single_byte + r.wholesale <= 2 * r.n_sdc))
+    rows;
+  (* crc32's avalanche makes its SDCs much more damaging than spmv's *)
+  match rows with
+  | [ crc; spmv ] when crc.n_sdc > 5 && spmv.n_sdc > 5 ->
+      Alcotest.(check bool) "crc32 SDCs damage more than spmv's" true
+        (crc.mean_extent > spmv.mean_extent)
+  | _ -> ()
+
+let test_by_bit () =
+  let rows = Analysis.Severity.by_bit (Lazy.force study) Core.Technique.Write in
+  let total = List.fold_left (fun a (r : Analysis.Severity.bit_row) -> a + r.n) 0 rows in
+  Alcotest.(check int) "all experiments bucketed" 120 total;
+  List.iter
+    (fun (r : Analysis.Severity.bit_row) ->
+      Alcotest.(check bool) "bucket valid" true
+        (r.bit_bucket >= 0 && r.bit_bucket <= 7);
+      Alcotest.(check bool) "counts bounded" true
+        (r.sdc <= r.n && r.detected <= r.n))
+    rows
+
+let suites =
+  [
+    ( "severity",
+      [
+        Alcotest.test_case "extent" `Quick test_extent;
+        Alcotest.test_case "onset" `Quick test_onset;
+        Alcotest.test_case "compute shape" `Slow test_compute_shape;
+        Alcotest.test_case "by bit" `Slow test_by_bit;
+      ] );
+  ]

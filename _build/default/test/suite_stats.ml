@@ -1,0 +1,110 @@
+(* Tests for proportion estimators, histograms and running moments. *)
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let test_wald_midpoint () =
+  let ci = Stats.Proportion.wald ~successes:50 ~trials:100 () in
+  Alcotest.(check bool) "p = 0.5" true (feq ci.p 0.5);
+  (* Standard error at p=0.5, n=100 is 0.05; the 95% half-width is ~0.098. *)
+  Alcotest.(check bool) "half width" true
+    (feq ~eps:1e-6 (Stats.Proportion.half_width ci) 0.09799819946)
+
+let test_wald_clamps () =
+  let ci = Stats.Proportion.wald ~successes:0 ~trials:10 () in
+  Alcotest.(check bool) "lo = 0" true (feq ci.lo 0.);
+  let ci = Stats.Proportion.wald ~successes:10 ~trials:10 () in
+  Alcotest.(check bool) "hi = 1" true (feq ci.hi 1.)
+
+let test_wilson_known_value () =
+  (* Wilson interval for 8/10 at 95%: (0.4901, 0.9433) approximately. *)
+  let ci = Stats.Proportion.wilson ~successes:8 ~trials:10 () in
+  Alcotest.(check bool) "lo" true (Float.abs (ci.lo -. 0.4901) < 0.001);
+  Alcotest.(check bool) "hi" true (Float.abs (ci.hi -. 0.9433) < 0.001)
+
+let test_rejects_zero_trials () =
+  Alcotest.check_raises "wald" (Invalid_argument "Proportion.wald: trials must be positive")
+    (fun () -> ignore (Stats.Proportion.wald ~successes:0 ~trials:0 ()))
+
+let prop_wilson_contains_p =
+  QCheck.Test.make ~name:"wilson: lo <= p' <= hi and ordered" ~count:500
+    QCheck.(pair (int_range 0 100) (int_range 1 100))
+    (fun (s0, n) ->
+      let s = min s0 n in
+      let ci = Stats.Proportion.wilson ~successes:s ~trials:n () in
+      ci.lo <= ci.hi && ci.lo >= 0. && ci.hi <= 1.)
+
+let prop_wald_narrows =
+  QCheck.Test.make ~name:"wald: width shrinks with n" ~count:200
+    (QCheck.int_range 10 1000) (fun n ->
+      let w_small =
+        Stats.Proportion.(half_width (wald ~successes:(n / 2) ~trials:n ()))
+      in
+      let w_big =
+        Stats.Proportion.(
+          half_width (wald ~successes:(n * 2) ~trials:(4 * n) ()))
+      in
+      w_big < w_small +. 1e-12)
+
+let test_histogram_basic () =
+  let h = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add h) [ 1; 1; 2; 5; 30 ];
+  Alcotest.(check int) "count 1" 2 (Stats.Histogram.count h 1);
+  Alcotest.(check int) "count 2" 1 (Stats.Histogram.count h 2);
+  Alcotest.(check int) "count absent" 0 (Stats.Histogram.count h 3);
+  Alcotest.(check int) "total" 5 (Stats.Histogram.total h);
+  Alcotest.(check int) "max key" 30 (Stats.Histogram.max_key h);
+  Alcotest.(check int) "range 1-5" 4 (Stats.Histogram.range_count h ~lo:1 ~hi:5);
+  Alcotest.(check (list (pair int int)))
+    "alist" [ (1, 2); (2, 1); (5, 1); (30, 1) ]
+    (Stats.Histogram.to_alist h)
+
+let test_histogram_merge () =
+  let a = Stats.Histogram.create () and b = Stats.Histogram.create () in
+  List.iter (Stats.Histogram.add a) [ 0; 1 ];
+  List.iter (Stats.Histogram.add b) [ 1; 9 ];
+  let m = Stats.Histogram.merge a b in
+  Alcotest.(check int) "merged total" 4 (Stats.Histogram.total m);
+  Alcotest.(check int) "merged count 1" 2 (Stats.Histogram.count m 1);
+  (* inputs unchanged *)
+  Alcotest.(check int) "a unchanged" 2 (Stats.Histogram.total a)
+
+let test_histogram_empty () =
+  let h = Stats.Histogram.create () in
+  Alcotest.(check int) "empty max key" (-1) (Stats.Histogram.max_key h);
+  Alcotest.(check (list (pair int int))) "empty alist" [] (Stats.Histogram.to_alist h)
+
+let test_running_moments () =
+  let r = Stats.Running.create () in
+  List.iter (Stats.Running.add r) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "n" 8 (Stats.Running.n r);
+  Alcotest.(check bool) "mean" true (feq (Stats.Running.mean r) 5.0);
+  (* sample variance of this classic dataset is 32/7 *)
+  Alcotest.(check bool) "variance" true
+    (feq (Stats.Running.variance r) (32. /. 7.))
+
+let prop_running_matches_naive =
+  QCheck.Test.make ~name:"running mean matches naive mean" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 50) (float_range (-1e3) 1e3))
+    (fun xs ->
+      let r = Stats.Running.create () in
+      List.iter (Stats.Running.add r) xs;
+      let naive = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      Float.abs (Stats.Running.mean r -. naive) < 1e-6)
+
+let suites =
+  [
+    ( "stats",
+      [
+        Alcotest.test_case "wald midpoint" `Quick test_wald_midpoint;
+        Alcotest.test_case "wald clamps" `Quick test_wald_clamps;
+        Alcotest.test_case "wilson known value" `Quick test_wilson_known_value;
+        Alcotest.test_case "rejects zero trials" `Quick test_rejects_zero_trials;
+        QCheck_alcotest.to_alcotest prop_wilson_contains_p;
+        QCheck_alcotest.to_alcotest prop_wald_narrows;
+        Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
+        Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+        Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+        Alcotest.test_case "running moments" `Quick test_running_moments;
+        QCheck_alcotest.to_alcotest prop_running_matches_naive;
+      ] );
+  ]

@@ -1,0 +1,75 @@
+(* Tests for the register-class sensitivity analysis. *)
+
+let study = lazy (Analysis.Study.make ~n:60 ~seed:5L ~programs:[ "dijkstra"; "crc32" ] ())
+
+let test_cls_of_ty () =
+  let open Analysis.Targets in
+  Alcotest.(check string) "ptr" "address" (cls_name (cls_of_ty Ptr));
+  Alcotest.(check string) "i1" "condition" (cls_name (cls_of_ty I1));
+  Alcotest.(check string) "f64" "float-data" (cls_name (cls_of_ty F64));
+  List.iter
+    (fun ty ->
+      Alcotest.(check string) "int" "int-data"
+        (cls_name (cls_of_ty ty)))
+    [ Ir.Ty.I8; I16; I32; I64 ]
+
+let test_rows_account_for_all_experiments () =
+  let s = Lazy.force study in
+  List.iter
+    (fun (program, rows) ->
+      let total =
+        List.fold_left (fun acc (r : Analysis.Targets.row) -> acc + r.n) 0 rows
+      in
+      Alcotest.(check int) (program ^ ": rows cover campaign") 60 total;
+      List.iter
+        (fun (r : Analysis.Targets.row) ->
+          Alcotest.(check bool) "counts consistent" true
+            (r.sdc + r.detected + r.benign <= r.n
+            && r.sdc >= 0 && r.detected >= 0 && r.benign >= 0))
+        rows)
+    (Analysis.Targets.compute s Core.Technique.Read)
+
+let test_pooled_matches_sum () =
+  let s = Lazy.force study in
+  let per_prog = Analysis.Targets.compute s Core.Technique.Write in
+  let pooled = Analysis.Targets.pooled s Core.Technique.Write in
+  let sum_n =
+    List.fold_left
+      (fun acc (_, rows) ->
+        acc + List.fold_left (fun a (r : Analysis.Targets.row) -> a + r.n) 0 rows)
+      0 per_prog
+  in
+  let pooled_n =
+    List.fold_left (fun a (r : Analysis.Targets.row) -> a + r.n) 0 pooled
+  in
+  Alcotest.(check int) "pooled n = sum" sum_n pooled_n
+
+let test_address_mechanism () =
+  (* The mechanism the paper leans on: faults in addresses detect far more
+     often than faults in integer data.  dijkstra + crc32 at n=60 each give
+     enough address injections to see the gap. *)
+  let s = Lazy.force study in
+  let pooled = Analysis.Targets.pooled s Core.Technique.Read in
+  let find cls =
+    List.find_opt (fun (r : Analysis.Targets.row) -> r.cls = cls) pooled
+  in
+  match (find Analysis.Targets.Address, find Analysis.Targets.Integer_data) with
+  | Some addr, Some data when addr.n >= 10 ->
+      Alcotest.(check bool)
+        "addresses detected more than data" true
+        (Analysis.Targets.detection_pct addr
+        > Analysis.Targets.detection_pct data)
+  | _ -> Alcotest.fail "expected address and int-data rows"
+
+let suites =
+  [
+    ( "targets",
+      [
+        Alcotest.test_case "class of type" `Quick test_cls_of_ty;
+        Alcotest.test_case "rows account for campaign" `Slow
+          test_rows_account_for_all_experiments;
+        Alcotest.test_case "pooled = sum" `Slow test_pooled_matches_sum;
+        Alcotest.test_case "address detection mechanism" `Slow
+          test_address_mechanism;
+      ] );
+  ]

@@ -1,0 +1,34 @@
+(* Shared helpers for the test suites. *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec at i = i + nn <= nh && (String.sub haystack i nn = needle || at (i + 1)) in
+  nn = 0 || at 0
+
+(* Build, load and run a one-function module in one step. *)
+let run_main ?budget build_body =
+  let m = Ir.Build.create () in
+  Ir.Build.func m "main" ~params:[] ~ret:None build_body;
+  let prog = Vm.Program.load (Ir.Build.finish m) in
+  Vm.Exec.run ?hooks:None ~budget:(Option.value budget ~default:Vm.Exec.golden_budget) prog
+
+(* Little-endian encoders matching the VM's output stream format. *)
+let le32 v =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 (Int32.of_int v);
+  Bytes.to_string b
+
+let le64_of_float x =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 (Int64.bits_of_float x);
+  Bytes.to_string b
+
+let status_testable =
+  let pp fmt (s : Vm.Exec.status) =
+    Format.pp_print_string fmt
+      (match s with
+      | Finished -> "finished"
+      | Trapped t -> "trapped:" ^ Vm.Trap.to_string t
+      | Hung -> "hung")
+  in
+  Alcotest.testable pp ( = )
