@@ -3,13 +3,15 @@
    plus Bechamel micro-benchmarks of the interpreter and injector, and the
    ablation studies called out in DESIGN.md.
 
-   Usage:  main.exe [t2|f1|f2|f3|f4|f5|t3|t4|rq|severity|targets|harden|perf|ablate|all]
+   Usage:  main.exe [t2|f1|f2|f3|f4|f5|t3|t4|rq|severity|targets|harden|prune-static|perf|ablate|all]
 
    Environment:
      ONEBIT_N         experiments per campaign   (default 100)
      ONEBIT_SEED      base seed                  (default 20170626)
      ONEBIT_PROGRAMS  comma-separated subset     (default: all 15)
-     ONEBIT_CAP       locations per class in t4  (default 400) *)
+     ONEBIT_CAP       locations per class in t4  (default 400)
+     ONEBIT_PRUNE_N   validation injections per technique in prune-static
+                      (default 40) *)
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -19,6 +21,7 @@ let env_int name default =
 let n_per_campaign = env_int "ONEBIT_N" 100
 let seed = Int64.of_int (env_int "ONEBIT_SEED" 20170626)
 let t4_cap = env_int "ONEBIT_CAP" 400
+let prune_n = env_int "ONEBIT_PRUNE_N" 40
 
 let programs =
   match Sys.getenv_opt "ONEBIT_PROGRAMS" with
@@ -61,14 +64,32 @@ let run_t2 () =
           string_of_int r.dyn_count;
           string_of_int r.read_cands;
           string_of_int r.write_cands;
+          string_of_int r.pred_reads;
+          string_of_int r.pred_writes;
         ])
       rows
   in
   print_string
     (Report.Table.render
        ~header:
-         [ "program"; "suite"; "package"; "dyn-instrs"; "cand-read"; "cand-write" ]
+         [
+           "program";
+           "suite";
+           "package";
+           "dyn-instrs";
+           "cand-read";
+           "cand-write";
+           "pred-read";
+           "pred-write";
+         ]
        body);
+  List.iter
+    (fun (r : Analysis.Table2.row) ->
+      if r.pred_reads <> r.read_cands || r.pred_writes <> r.write_cands then
+        Printf.printf
+          "!! %s: static candidate prediction diverges from the dynamic count\n"
+          r.program)
+    rows;
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -586,6 +607,57 @@ let run_ablate () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* PS: static pruning of the single-bit error space                    *)
+(* ------------------------------------------------------------------ *)
+
+let run_prune_static () =
+  section
+    (Printf.sprintf
+       "PS: static error-space pruning (%d validation injections/technique)"
+       prune_n);
+  let rows =
+    Analysis.Prune_static.compute ~validate_n:prune_n (Lazy.force study)
+  in
+  let body =
+    List.map
+      (fun (r : Analysis.Prune_static.row) ->
+        let s = r.summary in
+        [
+          r.program;
+          string_of_int (s.read_total + s.write_total);
+          Report.Table.pct (100. *. Analysis.Prune_static.read_fraction s);
+          Report.Table.pct (100. *. Analysis.Prune_static.write_fraction s);
+          Report.Table.pct (100. *. Analysis.Prune_static.pruned_fraction s);
+          string_of_int (r.read_checked + r.write_checked);
+          string_of_int r.misclassified;
+        ])
+      rows
+  in
+  print_string
+    (Report.Table.render
+       ~header:
+         [
+           "program";
+           "error-space";
+           "pruned-read%";
+           "pruned-write%";
+           "pruned%";
+           "validated";
+           "misclass";
+         ]
+       body);
+  let checked, bad =
+    List.fold_left
+      (fun (c, b) (r : Analysis.Prune_static.row) ->
+        (c + r.read_checked + r.write_checked, b + r.misclassified))
+      (0, 0) rows
+  in
+  Printf.printf
+    "# soundness: %d injections at provably-benign sites, %d misclassified%s\n\n"
+    checked bad
+    (if bad = 0 then " (all benign, as proved)" else " !! UNSOUND")
+
+(* ------------------------------------------------------------------ *)
 
 let run_all () =
   run_t2 ();
@@ -599,7 +671,8 @@ let run_all () =
   run_rq ();
   run_severity ();
   run_targets ();
-  run_harden ()
+  run_harden ();
+  run_prune_static ()
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -619,12 +692,14 @@ let () =
   | "severity" -> run_severity ()
   | "targets" -> run_targets ()
   | "harden" -> run_harden ()
+  | "prune-static" -> run_prune_static ()
   | "perf" -> run_perf ()
   | "ablate" -> run_ablate ()
   | "all" -> run_all ()
   | other ->
       Printf.eprintf
-        "unknown command %s (expected t2|f1|f2|f3|f4|f5|t3|t4|rq|severity|targets|harden|perf|ablate|all)\n"
+        "unknown command %s (expected \
+         t2|f1|f2|f3|f4|f5|t3|t4|rq|severity|targets|harden|prune-static|perf|ablate|all)\n"
         other;
       exit 2);
   Printf.printf "# total elapsed: %.1fs\n" (Unix.gettimeofday () -. t0)

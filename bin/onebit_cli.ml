@@ -5,7 +5,8 @@
    onebit golden PROGRAM            -- fault-free run summary
    onebit campaign PROGRAM ...      -- run one campaign
    onebit plan PROGRAM ...          -- run the 91-campaign plan (CSV)
-   onebit experiment PROGRAM ...    -- replay one experiment verbosely *)
+   onebit experiment PROGRAM ...    -- replay one experiment verbosely
+   onebit lint PROGRAM|FILE         -- dataflow linter (exit 1 on findings) *)
 
 open Cmdliner
 
@@ -302,6 +303,66 @@ let run_ir_cmd =
       const run $ file_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
       $ seed_arg)
 
+(* ---- lint ---- *)
+
+let lint_cmd =
+  let run target all =
+    let lint_modl label m =
+      match Ir.Validate.check m with
+      | Error es ->
+          List.iter (fun e -> Printf.printf "%s: invalid: %s\n" label e) es;
+          List.length es
+      | Ok () ->
+          let fs = Dataflow.Lint.check m in
+          List.iter
+            (fun f -> Printf.printf "%s: %s\n" label (Dataflow.Lint.to_string f))
+            fs;
+          List.length fs
+    in
+    let total =
+      if all then
+        List.fold_left
+          (fun acc (e : Bench_suite.Desc.t) -> acc + lint_modl e.name (e.build ()))
+          0
+          (Bench_suite.Registry.all @ Bench_suite.Registry.large)
+      else
+        match target with
+        | None ->
+            Printf.eprintf "lint: a PROGRAM argument or --all is required\n";
+            exit 2
+        | Some t ->
+            if Sys.file_exists t then begin
+              let text = In_channel.with_open_text t In_channel.input_all in
+              match Ir.Parse.modl text with
+              | Ok m -> lint_modl (Filename.basename t) m
+              | Error msg ->
+                  Printf.eprintf "%s: %s\n" t msg;
+                  exit 2
+            end
+            else lint_modl t ((find_entry t).build ())
+    in
+    if total = 0 then print_endline "clean" else exit 1
+  in
+  let target_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM|FILE"
+          ~doc:"A registry program name, or a path to a textual IR file.")
+  in
+  let all_arg =
+    Arg.(
+      value & flag
+      & info [ "all" ]
+          ~doc:"Lint every registry program (including -large variants).")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Check a program with the dataflow linter (unreachable code, dead \
+          stores, unused registers, constant branches).  Exits 1 if any \
+          finding is reported.")
+    Term.(const run $ target_arg $ all_arg)
+
 (* ---- harden ---- *)
 
 let harden_cmd =
@@ -363,5 +424,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; dump_cmd; golden_cmd; campaign_cmd; plan_cmd;
-            experiment_cmd; run_ir_cmd; harden_cmd;
+            experiment_cmd; run_ir_cmd; lint_cmd; harden_cmd;
           ]))

@@ -5,15 +5,21 @@ type row = {
   dyn_count : int;
   read_cands : int;
   write_cands : int;
+  pred_reads : int;
+  pred_writes : int;
 }
 
 let compute (study : Study.t) =
   List.map
     (fun (w : Core.Workload.t) ->
-      let package, suite =
+      let package, suite, pred =
         match Bench_suite.Registry.find w.name with
-        | Some e -> (e.package, e.suite)
-        | None -> ("?", "?")
+        | Some e ->
+            let p =
+              Dataflow.Candidates.predict (e.build ()) ~profile:w.profile
+            in
+            (e.package, e.suite, Some p)
+        | None -> ("?", "?", None)
       in
       {
         program = w.name;
@@ -22,5 +28,7 @@ let compute (study : Study.t) =
         dyn_count = w.golden.dyn_count;
         read_cands = w.golden.read_cands;
         write_cands = w.golden.write_cands;
+        pred_reads = (match pred with Some p -> p.reads | None -> -1);
+        pred_writes = (match pred with Some p -> p.writes | None -> -1);
       })
     study.workloads

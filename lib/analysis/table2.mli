@@ -4,7 +4,12 @@
     inject-on-read / inject-on-write candidates in the golden run.  The
     paper's structural property — read candidates exceed write candidates
     because stores, branches and outputs have no destination register —
-    must hold for every program. *)
+    must hold for every program.
+
+    [pred_reads]/[pred_writes] are the {e static} counts predicted by
+    {!Dataflow.Candidates} from the program's CFG weighted by the
+    golden-run block profile; they must equal the dynamic counts exactly
+    (or are [-1] for programs not in the registry). *)
 
 type row = {
   program : string;
@@ -13,6 +18,8 @@ type row = {
   dyn_count : int;
   read_cands : int;
   write_cands : int;
+  pred_reads : int;
+  pred_writes : int;
 }
 
 val compute : Study.t -> row list

@@ -2,12 +2,22 @@ type t = {
   name : string;
   prog : Vm.Program.t;
   golden : Vm.Exec.result;
+  profile : int array array;
+      (* golden-run execution count of each (function, block) *)
   budget : int;
 }
 
 let make ?(hang_factor = 10) ?expected_output ~name m =
   let prog = Vm.Program.load m in
-  let golden = Vm.Exec.run ~budget:Vm.Exec.golden_budget prog in
+  let profile =
+    Array.map
+      (fun (f : Vm.Program.lfunc) -> Array.make (Array.length f.blocks) 0)
+      prog.funcs
+  in
+  let block_hook ~fidx ~bidx =
+    profile.(fidx).(bidx) <- profile.(fidx).(bidx) + 1
+  in
+  let golden = Vm.Exec.run ~block_hook ~budget:Vm.Exec.golden_budget prog in
   (match golden.status with
   | Finished -> ()
   | Trapped trap ->
@@ -21,7 +31,7 @@ let make ?(hang_factor = 10) ?expected_output ~name m =
   | Some _ | None -> ());
   if golden.read_cands = 0 || golden.write_cands = 0 then
     invalid_arg ("Workload.make: " ^ name ^ " has no injection candidates");
-  { name; prog; golden; budget = (hang_factor * golden.dyn_count) + 1000 }
+  { name; prog; golden; profile; budget = (hang_factor * golden.dyn_count) + 1000 }
 
 let candidates t = function
   | Technique.Read -> t.golden.read_cands

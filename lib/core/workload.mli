@@ -9,6 +9,10 @@ type t = {
   name : string;
   prog : Vm.Program.t;
   golden : Vm.Exec.result;
+  profile : int array array;
+      (** golden-run execution count of each (function, block), indexed
+          [fidx].[bidx]; feeds the static candidate predictor
+          ([Dataflow.Candidates]) and the pruning study *)
   budget : int;  (** watchdog budget for faulty runs *)
 }
 

@@ -1,0 +1,251 @@
+(* Backward demanded-bits analysis (BEC-style).
+
+   The abstract state maps each register to a mask of the bits whose value
+   can still influence anything observable (output bytes, traps, control
+   flow, memory) on some path from the current point.  A flipped bit
+   outside the mask is provably benign.
+
+   Integer masks live in the canonical-value bit positions 0..width-1;
+   [I64] at 63 bits fills the native int exactly, so its full mask is -1.
+   F64 registers cannot be tracked per-bit in a native int (64 > 63 bits),
+   so their demand is boolean: 0 = no path reads the register, -1 = some
+   path may.  All transfer functions preserve that invariant because float
+   demands are only ever created as 0 or -1.
+
+   Soundness convention: an operand whose corruption could change a trap
+   condition (division by zero, a memory address, [Guard]), escape the
+   register file (memory, calls, [Output], [Ret]) or redirect control flow
+   ([Cbr]) is fully demanded regardless of whether the result register is
+   dead.  Pure operators scale their operand demand from the demand on
+   their destination, which is what turns dead registers and masked-off
+   high bits into prunable fault sites. *)
+
+let full_width w = if w >= Sys.int_size then -1 else (1 lsl w) - 1
+
+let full_of ty = if Ir.Ty.is_float ty then -1 else full_width (Ir.Ty.width ty)
+
+(* All bits at or below the highest demanded bit: the carry cone of
+   addition-like operators only propagates upward. *)
+let spread_down d =
+  let d = d lor (d lsr 1) in
+  let d = d lor (d lsr 2) in
+  let d = d lor (d lsr 4) in
+  let d = d lor (d lsr 8) in
+  let d = d lor (d lsr 16) in
+  d lor (d lsr 32)
+
+let is_pow2 m = m > 0 && m land (m - 1) = 0
+
+let log2 m =
+  let rec go k m = if m <= 1 then k else go (k + 1) (m lsr 1) in
+  go 0 m
+
+(* Demand contributed by an instruction to each of its register source
+   operands, given the demand [after] holding after the instruction.
+   Pairs are aligned with [Ir.Instr.src_regs] order (one per Reg slot). *)
+let instr_uses (reg_ty : Ir.Ty.t array) (ins : Ir.Instr.t) ~(after : int array)
+    =
+  let use op d =
+    match (op : Ir.Instr.operand) with
+    | Reg r -> [ (r, d land full_of reg_ty.(r)) ]
+    | Imm _ | FImm _ | Glob _ -> []
+  in
+  let full_use op =
+    match (op : Ir.Instr.operand) with
+    | Reg r -> [ (r, full_of reg_ty.(r)) ]
+    | Imm _ | FImm _ | Glob _ -> []
+  in
+  match ins with
+  | Binop { op; ty; dst; a; b } -> (
+      let w = Ir.Ty.width ty in
+      let fw = full_width w in
+      let d = after.(dst) land fw in
+      let both da db = use a da @ use b db in
+      let scaled = if d = 0 then 0 else fw in
+      match op with
+      | Add | Sub | Mul ->
+          let s = spread_down d in
+          both s s
+      | And ->
+          let da = match b with Imm m -> d land m | _ -> d in
+          let db = match a with Imm m -> d land m | _ -> d in
+          both da db
+      | Or ->
+          let da = match b with Imm m -> d land lnot m land fw | _ -> d in
+          let db = match a with Imm m -> d land lnot m land fw | _ -> d in
+          both da db
+      | Xor -> both d d
+      | Shl -> (
+          match b with
+          | Imm s when s >= 0 && s < w -> both (d lsr s) 0
+          | Imm _ -> both 0 0 (* out-of-range shift: constant 0 *)
+          | _ -> both scaled scaled)
+      | Lshr -> (
+          match b with
+          | Imm s when s >= 0 && s < w -> both (d lsl s land fw) 0
+          | Imm _ -> both 0 0
+          | _ -> both scaled scaled)
+      | Ashr -> (
+          match b with
+          | Imm s when s >= 0 && s < w ->
+              (* result bits >= w-1-s replicate the sign bit *)
+              let low = full_width (w - 1 - s) in
+              let sign = if d land lnot low land fw <> 0 then 1 lsl (w - 1) else 0 in
+              both ((d lsl s land fw) lor sign) 0
+          | Imm _ ->
+              let sign = if d <> 0 then 1 lsl (w - 1) else 0 in
+              both sign 0
+          | _ -> both scaled scaled)
+      | Sdiv | Srem -> (
+          (* a zero divisor traps, so a register divisor is always fully
+             demanded; a non-zero immediate divisor cannot trap *)
+          match b with
+          | Imm 0 -> both fw fw (* always traps; never executes in a
+                                   finishing golden run *)
+          | Imm _ -> both scaled 0
+          | _ -> both scaled fw)
+      | Udiv -> (
+          match b with
+          | Imm m when is_pow2 m -> both (d lsl log2 m land fw) 0
+          | Imm 0 -> both fw fw
+          | Imm _ -> both scaled 0
+          | _ -> both scaled fw)
+      | Urem -> (
+          match b with
+          | Imm m when is_pow2 m -> both (d land (m - 1)) 0
+          | Imm 0 -> both fw fw
+          | Imm _ -> both scaled 0
+          | _ -> both scaled fw))
+  | Fbinop { dst; a; b; _ } ->
+      (* IEEE arithmetic cannot trap in this VM *)
+      let d = if after.(dst) <> 0 then -1 else 0 in
+      use a d @ use b d
+  | Icmp { ty; dst; a; b; _ } ->
+      let d = if after.(dst) land 1 <> 0 then full_width (Ir.Ty.width ty) else 0 in
+      use a d @ use b d
+  | Fcmp { dst; a; b; _ } ->
+      let d = if after.(dst) land 1 <> 0 then -1 else 0 in
+      use a d @ use b d
+  | Select { ty; dst; cond; a; b } ->
+      let d = after.(dst) land full_of ty in
+      let dc = if d <> 0 then 1 else 0 in
+      use cond dc @ use a d @ use b d
+  | Cast { op; from_ty; dst; a; _ } ->
+      let d = after.(dst) in
+      let wf = Ir.Ty.width from_ty in
+      let demand =
+        match op with
+        | Trunc | Zext | Ptrtoint | Inttoptr -> d land full_width wf
+        | Sext ->
+            let low = d land full_width (wf - 1) in
+            let sign =
+              if d land lnot (full_width (wf - 1)) <> 0 then 1 lsl (wf - 1)
+              else 0
+            in
+            low lor sign
+        | Fptosi -> if d <> 0 then -1 else 0
+        | Sitofp -> if d <> 0 then full_width wf else 0
+      in
+      use a demand
+  | Mov { dst; a; _ } -> use a after.(dst)
+  | Load { addr; _ } ->
+      (* a corrupted address can trap even if the loaded value is dead *)
+      full_use addr
+  | Store { value; addr; _ } ->
+      (* memory is not tracked: the stored value escapes *)
+      full_use value @ full_use addr
+  | Gep { dst; base; index; _ } ->
+      (* pure pointer arithmetic: traps happen at the memory access *)
+      let d = after.(dst) land full_width 32 in
+      if d = 0 then use base 0 @ use index 0
+      else
+        use base (spread_down d)
+        @ (match index with
+          | Reg r ->
+              (* only the low 32 bits of the index register are read *)
+              [ (r, full_of reg_ty.(r) land full_width 32) ]
+          | _ -> [])
+  | Call { dst; callee; args } -> (
+      match Ir.Builtins.signature callee with
+      | Some _ ->
+          (* builtins are pure float functions: demand scales *)
+          let d =
+            match dst with
+            | Some r -> if after.(r) <> 0 then -1 else 0
+            | None -> 0
+          in
+          List.concat_map (fun a -> use a d) args
+      | None ->
+          (* user function: arguments escape interprocedurally *)
+          List.concat_map full_use args)
+  | Output { value; _ } -> full_use value
+  | Guard { a; b; _ } -> full_use a @ full_use b
+  | Abort -> []
+
+let term_uses (reg_ty : Ir.Ty.t array) (t : Ir.Instr.terminator) =
+  let full_use op =
+    match (op : Ir.Instr.operand) with
+    | Reg r -> [ (r, full_of reg_ty.(r)) ]
+    | Imm _ | FImm _ | Glob _ -> []
+  in
+  match t with
+  | Br _ | Unreachable | Ret None -> []
+  | Cbr { cond; _ } -> full_use cond
+  | Ret (Some v) -> full_use v
+
+type t = { cfg : Cfg.t; before : int array array array }
+
+module Solver = Fixpoint.Make (struct
+  type t = int array
+
+  let equal (a : t) b = a = b
+  let join a b = Array.mapi (fun i x -> x lor b.(i)) a
+end)
+
+let apply_uses state uses =
+  List.iter (fun (r, d) -> state.(r) <- state.(r) lor d) uses
+
+let instr_step reg_ty state (ins : Ir.Instr.t) =
+  let uses = instr_uses reg_ty ins ~after:(Array.copy state) in
+  (match Ir.Instr.dst_reg ins with Some d -> state.(d) <- 0 | None -> ());
+  apply_uses state uses
+
+let block_entry (f : Ir.Func.t) bidx exit_state =
+  let b = f.f_blocks.(bidx) in
+  let state = Array.copy exit_state in
+  apply_uses state (term_uses f.f_reg_ty b.b_term);
+  for i = Array.length b.b_instrs - 1 downto 0 do
+    instr_step f.f_reg_ty state b.b_instrs.(i)
+  done;
+  state
+
+let analyse_cfg (cfg : Cfg.t) =
+  let f = cfg.func in
+  let nregs = Array.length f.f_reg_ty in
+  let { Solver.input = exits; _ } =
+    Solver.solve ~cfg ~direction:Backward
+      ~init:(fun _ -> Array.make nregs 0)
+      ~transfer:(fun b s -> block_entry f b s)
+  in
+  let before =
+    Array.mapi
+      (fun bidx (b : Ir.Func.block) ->
+        let n = Array.length b.b_instrs in
+        let states = Array.make (n + 2) exits.(bidx) in
+        let state = Array.copy exits.(bidx) in
+        apply_uses state (term_uses f.f_reg_ty b.b_term);
+        states.(n) <- Array.copy state;
+        for i = n - 1 downto 0 do
+          instr_step f.f_reg_ty state b.b_instrs.(i);
+          states.(i) <- Array.copy state
+        done;
+        states)
+      f.f_blocks
+  in
+  { cfg; before }
+
+let analyse f = analyse_cfg (Cfg.of_func f)
+
+let demand_before t ~bidx ~idx = t.before.(bidx).(idx)
+
+let demand_after t ~bidx ~idx = t.before.(bidx).(idx + 1)

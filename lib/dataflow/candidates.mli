@@ -1,0 +1,23 @@
+(** Static prediction of the dynamic injection-candidate counts.
+
+    An instruction is an inject-on-read candidate iff it has at least one
+    register source operand, an inject-on-write candidate iff it writes a
+    register — the same predicate [Vm.Exec] applies per dynamic
+    instruction.  Weighting each block's static counts by its golden-run
+    execution frequency therefore reproduces the dynamic Table II counts
+    {e exactly}, which the test suite asserts for every bench program. *)
+
+type counts = { reads : int; writes : int }
+
+val zero : counts
+val add : counts -> counts -> counts
+
+val block_counts : Ir.Func.block -> counts
+val func_counts : Ir.Func.t -> counts array
+
+val static_counts : Ir.Func.modl -> counts
+(** Unweighted totals over all blocks (each static site counted once). *)
+
+val predict : Ir.Func.modl -> profile:int array array -> counts
+(** Static per-block counts weighted by the golden-run block execution
+    frequencies recorded in [Core.Workload.profile]. *)

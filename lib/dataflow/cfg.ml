@@ -1,0 +1,46 @@
+type t = {
+  func : Ir.Func.t;
+  nblocks : int;
+  succs : int array array;
+  preds : int array array;
+  rpo : int array;
+  reachable : bool array;
+}
+
+let term_succs (t : Ir.Instr.terminator) =
+  match t with
+  | Br l -> [ l ]
+  | Cbr { if_true; if_false; _ } ->
+      if if_true = if_false then [ if_true ] else [ if_true; if_false ]
+  | Ret _ | Unreachable -> []
+
+let of_func (f : Ir.Func.t) =
+  let n = Array.length f.f_blocks in
+  let succs =
+    Array.map
+      (fun (b : Ir.Func.block) -> Array.of_list (term_succs b.b_term))
+      f.f_blocks
+  in
+  let pred_lists = Array.make n [] in
+  Array.iteri
+    (fun b ss -> Array.iter (fun s -> pred_lists.(s) <- b :: pred_lists.(s)) ss)
+    succs;
+  let preds = Array.map (fun l -> Array.of_list (List.rev l)) pred_lists in
+  let reachable = Array.make n false in
+  let post = ref [] in
+  let rec dfs b =
+    if not reachable.(b) then begin
+      reachable.(b) <- true;
+      Array.iter dfs succs.(b);
+      post := b :: !post
+    end
+  in
+  if n > 0 then dfs 0;
+  { func = f; nblocks = n; succs; preds; rpo = Array.of_list !post; reachable }
+
+let unreachable_blocks t =
+  let l = ref [] in
+  for b = t.nblocks - 1 downto 0 do
+    if not t.reachable.(b) then l := b :: !l
+  done;
+  !l

@@ -1,0 +1,57 @@
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) = struct
+  type result = { input : L.t array; output : L.t array }
+
+  let solve ~(cfg : Cfg.t) ~direction ~init ~transfer =
+    let n = cfg.nblocks in
+    let upstream =
+      match direction with Forward -> cfg.preds | Backward -> cfg.succs
+    in
+    (* Iterate reachable blocks in a direction-friendly order, then the
+       unreachable ones (they still get a well-defined fixpoint so that
+       per-point queries never hit an uninitialised block). *)
+    let order =
+      let m = Array.length cfg.rpo in
+      let o = Array.make n 0 in
+      (match direction with
+      | Forward -> Array.blit cfg.rpo 0 o 0 m
+      | Backward -> Array.iteri (fun i b -> o.(m - 1 - i) <- b) cfg.rpo);
+      let k = ref m in
+      for b = 0 to n - 1 do
+        if not cfg.reachable.(b) then begin
+          o.(!k) <- b;
+          incr k
+        end
+      done;
+      o
+    in
+    let input = Array.init n init in
+    let output = Array.init n (fun b -> transfer b input.(b)) in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun b ->
+          let inb =
+            Array.fold_left
+              (fun acc u -> L.join acc output.(u))
+              (init b) upstream.(b)
+          in
+          input.(b) <- inb;
+          let outb = transfer b inb in
+          if not (L.equal outb output.(b)) then begin
+            output.(b) <- outb;
+            changed := true
+          end)
+        order
+    done;
+    { input; output }
+end

@@ -1,0 +1,36 @@
+(** Generic worklist fixpoint engine, functorised over a join-semilattice
+    of abstract block states.
+
+    The engine is direction-agnostic: [input] is the state flowing into a
+    block from its "upstream" neighbours (predecessors for a forward
+    analysis, successors for a backward one) and [output] the result of
+    the block transfer on it.  For a forward analysis [input]/[output]
+    are the block entry/exit states; for a backward one they are the
+    block {e exit}/{e entry} states. *)
+
+module type LATTICE = sig
+  type t
+
+  val equal : t -> t -> bool
+
+  val join : t -> t -> t
+  (** Must be pure: the arguments may be live states of other blocks. *)
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) : sig
+  type result = { input : L.t array; output : L.t array }
+
+  val solve :
+    cfg:Cfg.t ->
+    direction:direction ->
+    init:(int -> L.t) ->
+    transfer:(int -> L.t -> L.t) ->
+    result
+  (** [init b] is the boundary contribution joined into block [b]'s input
+      on every round — the lattice bottom for interior blocks, the
+      boundary state for the entry (forward) or exit blocks (backward).
+      [transfer b s] must be pure.  Termination requires the usual finite
+      ascending-chain condition on the lattice. *)
+end

@@ -1,0 +1,124 @@
+type rule =
+  | Unreachable_code
+  | Dead_store
+  | Unused_register
+  | Read_never_written
+  | Constant_branch
+
+let rule_name = function
+  | Unreachable_code -> "unreachable-code"
+  | Dead_store -> "dead-store"
+  | Unused_register -> "unused-register"
+  | Read_never_written -> "read-never-written"
+  | Constant_branch -> "constant-branch"
+
+type finding = { fn : string; block : string; rule : rule; detail : string }
+
+let to_string f =
+  Printf.sprintf "%s: %s: [%s] %s" f.fn f.block (rule_name f.rule) f.detail
+
+(* Instructions a dead destination makes removable: no trap, no side
+   effect.  Division only counts when the divisor is a non-zero constant. *)
+let pure (i : Ir.Instr.t) =
+  match i with
+  | Binop { op = Sdiv | Udiv | Srem | Urem; b = Imm m; _ } -> m <> 0
+  | Binop { op = Sdiv | Udiv | Srem | Urem; _ } -> false
+  | Binop _ | Fbinop _ | Icmp _ | Fcmp _ | Select _ | Cast _ | Mov _ | Gep _ ->
+      true
+  | Load _ | Call _ | Store _ | Output _ | Guard _ | Abort -> false
+
+let check_func (f : Ir.Func.t) =
+  let findings = ref [] in
+  let report bidx rule detail =
+    findings :=
+      { fn = f.f_name; block = f.f_blocks.(bidx).b_name; rule; detail }
+      :: !findings
+  in
+  let cfg = Cfg.of_func f in
+  let nregs = Array.length f.f_reg_ty in
+  let nparams = List.length f.f_params in
+  (* unreachable code: blocks no path reaches.  Empty unreachable blocks
+     are tolerated — the Build EDSL emits them as join points after
+     branches whose arms both return. *)
+  List.iter
+    (fun b ->
+      if Array.length f.f_blocks.(b).b_instrs > 0 then
+        report b Unreachable_code
+          (Printf.sprintf "%d unreachable instruction(s)"
+             (Array.length f.f_blocks.(b).b_instrs)))
+    (Cfg.unreachable_blocks cfg);
+  (* dead stores: a pure instruction whose destination is dead *)
+  let live = Liveness.analyse cfg in
+  Array.iteri
+    (fun bidx (b : Ir.Func.block) ->
+      if cfg.reachable.(bidx) then
+        Array.iteri
+          (fun idx ins ->
+            match Ir.Instr.dst_reg ins with
+            | Some d
+              when pure ins && not (Bitset.mem (Liveness.live_after live ~bidx ~idx) d)
+              ->
+                report bidx Dead_store
+                  (Printf.sprintf "instruction %d writes dead register %%%d"
+                     idx d)
+            | Some _ | None -> ())
+          b.b_instrs)
+    f.f_blocks;
+  (* register usage, over all blocks including unreachable ones *)
+  let read = Array.make nregs false in
+  let written = Array.make nregs false in
+  Array.iter
+    (fun (b : Ir.Func.block) ->
+      Array.iter
+        (fun ins ->
+          List.iter (fun r -> read.(r) <- true) (Ir.Instr.src_regs ins);
+          match Ir.Instr.dst_reg ins with
+          | Some d -> written.(d) <- true
+          | None -> ())
+        b.b_instrs;
+      List.iter (fun r -> read.(r) <- true) (Ir.Instr.term_src_regs b.b_term))
+    f.f_blocks;
+  for r = nparams to nregs - 1 do
+    if not (read.(r) || written.(r)) then
+      report 0 Unused_register (Printf.sprintf "register %%%d is never used" r)
+    else if read.(r) && not written.(r) then
+      report 0 Read_never_written
+        (Printf.sprintf "register %%%d is read but never written" r)
+  done;
+  (* constant-condition branches *)
+  let reaching = lazy (Reaching.analyse cfg) in
+  let truthiness_of_def (d : Reaching.def) =
+    if Reaching.is_entry d then None
+    else
+      match f.f_blocks.(d.def_bidx).b_instrs.(d.def_idx) with
+      | Mov { a = Imm v; _ } -> Some (v <> 0)
+      | _ -> None
+  in
+  Array.iteri
+    (fun bidx (b : Ir.Func.block) ->
+      if cfg.reachable.(bidx) then
+        match b.b_term with
+        | Cbr { cond = Imm v; _ } ->
+            report bidx Constant_branch
+              (Printf.sprintf "branch condition is the constant %d" v)
+        | Cbr { cond = Reg r; _ } -> (
+            let n = Array.length b.b_instrs in
+            let defs =
+              Reaching.reaching_of_reg (Lazy.force reaching) ~bidx ~idx:n
+                ~reg:r
+            in
+            match List.map truthiness_of_def defs with
+            | [] -> ()
+            | t0 :: rest
+              when t0 <> None && List.for_all (fun t -> t = t0) rest ->
+                report bidx Constant_branch
+                  (Printf.sprintf
+                     "condition %%%d is the constant %b at every reaching \
+                      definition"
+                     r (Option.get t0))
+            | _ -> ())
+        | _ -> ())
+    f.f_blocks;
+  List.rev !findings
+
+let check (m : Ir.Func.modl) = List.concat_map check_func m.m_funcs

@@ -1,0 +1,29 @@
+(** IR linter built on the dataflow analyses.
+
+    Findings are smells, not validity errors ([Ir.Validate] owns those):
+    a program with findings still runs, but dead or unreachable code
+    inflates the injection-candidate space with sites whose outcomes are
+    foregone, skewing campaign statistics.  The bench suite is required
+    to lint clean (see the [@lint] dune alias). *)
+
+type rule =
+  | Unreachable_code
+      (** a non-empty block no path from the entry reaches (empty
+          unreachable join blocks, which the Build EDSL emits, pass) *)
+  | Dead_store
+      (** a pure instruction writing a register that is dead afterwards *)
+  | Unused_register  (** a non-parameter register never read nor written *)
+  | Read_never_written
+      (** a non-parameter register that is read somewhere but never
+          written — it can only ever hold the VM's zero-initialisation *)
+  | Constant_branch
+      (** a conditional branch whose condition is an immediate, or whose
+          every reaching definition is the same-truthiness constant *)
+
+val rule_name : rule -> string
+
+type finding = { fn : string; block : string; rule : rule; detail : string }
+
+val to_string : finding -> string
+val check_func : Ir.Func.t -> finding list
+val check : Ir.Func.modl -> finding list

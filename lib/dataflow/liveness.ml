@@ -1,0 +1,58 @@
+type t = { cfg : Cfg.t; before : Bitset.t array array }
+
+module Solver = Fixpoint.Make (struct
+  type t = Bitset.t
+
+  let equal = Bitset.equal
+  let join = Bitset.union
+end)
+
+(* live-before = (live-after \ def) ∪ uses *)
+let instr_step live (ins : Ir.Instr.t) =
+  (match Ir.Instr.dst_reg ins with
+  | Some d -> Bitset.remove live d
+  | None -> ());
+  List.iter (Bitset.add live) (Ir.Instr.src_regs ins)
+
+let block_entry (b : Ir.Func.block) exit_live =
+  let live = Bitset.copy exit_live in
+  List.iter (Bitset.add live) (Ir.Instr.term_src_regs b.b_term);
+  for i = Array.length b.b_instrs - 1 downto 0 do
+    instr_step live b.b_instrs.(i)
+  done;
+  live
+
+let analyse (cfg : Cfg.t) =
+  let f = cfg.func in
+  let nregs = Array.length f.f_reg_ty in
+  let { Solver.input = exits; _ } =
+    Solver.solve ~cfg ~direction:Backward
+      ~init:(fun _ -> Bitset.create nregs)
+      ~transfer:(fun b s -> block_entry f.f_blocks.(b) s)
+  in
+  let before =
+    Array.mapi
+      (fun bidx (b : Ir.Func.block) ->
+        let n = Array.length b.b_instrs in
+        let states = Array.make (n + 2) exits.(bidx) in
+        let live = Bitset.copy exits.(bidx) in
+        List.iter (Bitset.add live) (Ir.Instr.term_src_regs b.b_term);
+        states.(n) <- Bitset.copy live;
+        for i = n - 1 downto 0 do
+          instr_step live b.b_instrs.(i);
+          states.(i) <- Bitset.copy live
+        done;
+        states)
+      f.f_blocks
+  in
+  { cfg; before }
+
+let live_before t ~bidx ~idx = t.before.(bidx).(idx)
+
+let live_after t ~bidx ~idx = t.before.(bidx).(idx + 1)
+
+let live_in t bidx = t.before.(bidx).(0)
+
+let live_out t bidx =
+  let s = t.before.(bidx) in
+  s.(Array.length s - 1)

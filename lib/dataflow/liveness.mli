@@ -1,0 +1,25 @@
+(** Classic backward may-liveness of virtual registers.
+
+    A register is {e live} at a program point if some path from that
+    point reads it before (or without) overwriting it.  A bit-flip landing
+    in a register that is dead at the flip point can never change the
+    program's behaviour — the coarse, whole-register version of the
+    pruning argument that {!Bitmask} refines to individual bits. *)
+
+type t
+
+val analyse : Cfg.t -> t
+
+val live_before : t -> bidx:int -> idx:int -> Bitset.t
+(** Registers live just before point [idx] of block [bidx]; [idx] equal
+    to the block's instruction count designates the terminator. *)
+
+val live_after : t -> bidx:int -> idx:int -> Bitset.t
+(** Registers live just after point [idx] (after the terminator this is
+    the block's exit state: the join of the successors' entry states). *)
+
+val live_in : t -> int -> Bitset.t
+(** Live registers at a block's entry. *)
+
+val live_out : t -> int -> Bitset.t
+(** Live registers at a block's exit. *)

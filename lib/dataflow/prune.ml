@@ -1,0 +1,180 @@
+type verdict = Provably_benign | Must_run
+
+type t = { func : Ir.Func.t; bm : Bitmask.t }
+
+let analyse f = { func = f; bm = Bitmask.analyse f }
+
+(* An inject-on-read flip lands in the register itself immediately before
+   the instruction executes, so it is seen by (a) every operand slot of
+   the instruction that names the register and (b) — unless the
+   instruction overwrites the register — every later consumer.  The
+   demand at the site is therefore the union of the instruction's own use
+   demands for that register and the residual demand after it. *)
+let read_demand t ~bidx ~idx ~reg =
+  let b = t.func.f_blocks.(bidx) in
+  let n = Array.length b.b_instrs in
+  let after = Bitmask.demand_after t.bm ~bidx ~idx in
+  let uses =
+    if idx = n then Bitmask.term_uses t.func.f_reg_ty b.b_term
+    else Bitmask.instr_uses t.func.f_reg_ty b.b_instrs.(idx) ~after
+  in
+  let use_demand =
+    List.fold_left
+      (fun acc (r, d) -> if r = reg then acc lor d else acc)
+      0 uses
+  in
+  let redefines =
+    idx < n && Ir.Instr.dst_reg b.b_instrs.(idx) = Some reg
+  in
+  let residual = if redefines then 0 else after.(reg) in
+  use_demand lor residual
+
+(* An inject-on-write flip lands in the destination register right after
+   the instruction writes it: only the demand downstream matters. *)
+let write_demand t ~bidx ~idx =
+  let b = t.func.f_blocks.(bidx) in
+  let dst =
+    match Ir.Instr.dst_reg b.b_instrs.(idx) with
+    | Some d -> d
+    | None -> invalid_arg "Prune.write_demand: instruction has no destination"
+  in
+  (Bitmask.demand_after t.bm ~bidx ~idx).(dst)
+
+let is_benign ty ~demand ~bit =
+  if Ir.Ty.is_float ty then demand = 0 else (demand lsr bit) land 1 = 0
+
+(* Bit positions the injector can target: [Ty.width], except f64 where it
+   flips any of the 64 IEEE representation bits. *)
+let flip_width ty = if Ir.Ty.is_float ty then 64 else Ir.Ty.width ty
+
+let benign_bits ty ~demand =
+  if Ir.Ty.is_float ty then (if demand = 0 then 64 else 0)
+  else
+    let w = Ir.Ty.width ty in
+    w - Ir.Bits.popcount (demand land Bitmask.full_width w)
+
+let classify_read t ~bidx ~idx ~reg ~bit =
+  let demand = read_demand t ~bidx ~idx ~reg in
+  if is_benign t.func.f_reg_ty.(reg) ~demand ~bit then Provably_benign
+  else Must_run
+
+let classify_write t ~bidx ~idx ~bit =
+  let b = t.func.f_blocks.(bidx) in
+  let dst = Option.get (Ir.Instr.dst_reg b.b_instrs.(idx)) in
+  let demand = write_demand t ~bidx ~idx in
+  if is_benign t.func.f_reg_ty.(dst) ~demand ~bit then Provably_benign
+  else Must_run
+
+(* A write-site flip of [dst] whose next same-block mention of [dst] is a
+   read at point [j] is outcome-equivalent to the read-site flip at [j]
+   with the same bit: the instructions in between do not touch the
+   register, execute exactly as in the fault-free run (so no trap or hang
+   can separate the two sites), and both occurrences sit in the same
+   block, hence execute in lockstep.  Such experiments are redundant —
+   their outcome is predictable from the read campaign (FastFlip-style
+   composition). *)
+let forwarded_write t ~bidx ~idx =
+  let b = t.func.f_blocks.(bidx) in
+  let n = Array.length b.b_instrs in
+  match Ir.Instr.dst_reg b.b_instrs.(idx) with
+  | None -> None
+  | Some r ->
+      let rec scan j =
+        if j >= n then
+          if List.mem r (Ir.Instr.term_src_regs b.b_term) then Some n
+          else None
+        else
+          let ins = b.b_instrs.(j) in
+          if List.mem r (Ir.Instr.src_regs ins) then Some j
+          else if Ir.Instr.dst_reg ins = Some r then None
+          else scan (j + 1)
+      in
+      scan (idx + 1)
+
+type summary = {
+  read_total : int;
+  read_benign : int;
+  read_redundant : int;
+  write_total : int;
+  write_benign : int;
+  write_redundant : int;
+}
+
+(* Size of the single-bit error space: one element per (dynamic candidate,
+   operand slot, bit position) for reads, (dynamic candidate, bit) for
+   writes — exactly the population the injector samples uniformly.
+   [profile] gives the golden-run execution count of each (function,
+   block), as recorded by [Core.Workload]. *)
+let summarise (m : Ir.Func.modl) ~(profile : int array array) =
+  let acc =
+    ref
+      {
+        read_total = 0;
+        read_benign = 0;
+        read_redundant = 0;
+        write_total = 0;
+        write_benign = 0;
+        write_redundant = 0;
+      }
+  in
+  List.iteri
+    (fun fidx (f : Ir.Func.t) ->
+      let t = analyse f in
+      Array.iteri
+        (fun bidx (b : Ir.Func.block) ->
+          let freq = profile.(fidx).(bidx) in
+          if freq > 0 then begin
+            let n = Array.length b.b_instrs in
+            (* Duplicate slots of the same register at one instruction are
+               redundant: the injector flips the register, so every slot
+               naming it yields the same faulty run. *)
+            let site idx srcs =
+              let seen = ref [] in
+              List.iter
+                (fun reg ->
+                  let ty = f.f_reg_ty.(reg) in
+                  let w = flip_width ty in
+                  let demand = read_demand t ~bidx ~idx ~reg in
+                  let benign = benign_bits ty ~demand in
+                  let dup = List.mem reg !seen in
+                  seen := reg :: !seen;
+                  acc :=
+                    {
+                      !acc with
+                      read_total = !acc.read_total + (freq * w);
+                      read_benign = !acc.read_benign + (freq * benign);
+                      read_redundant =
+                        (!acc.read_redundant
+                        + if dup then freq * (w - benign) else 0);
+                    })
+                srcs
+            in
+            Array.iteri (fun idx ins -> site idx (Ir.Instr.src_regs ins)) b.b_instrs;
+            site n (Ir.Instr.term_src_regs b.b_term);
+            Array.iteri
+              (fun idx ins ->
+                match Ir.Instr.dst_reg ins with
+                | None -> ()
+                | Some dst ->
+                    let ty = f.f_reg_ty.(dst) in
+                    let w = flip_width ty in
+                    let demand = write_demand t ~bidx ~idx in
+                    let benign = benign_bits ty ~demand in
+                    let fwd = forwarded_write t ~bidx ~idx <> None in
+                    acc :=
+                      {
+                        !acc with
+                        write_total = !acc.write_total + (freq * w);
+                        write_benign = !acc.write_benign + (freq * benign);
+                        write_redundant =
+                          (!acc.write_redundant
+                          + if fwd then freq * (w - benign) else 0);
+                      })
+              b.b_instrs
+          end)
+        f.f_blocks)
+    m.m_funcs;
+  !acc
+
+let benign_fraction ~total ~benign =
+  if total = 0 then 0.0 else float_of_int benign /. float_of_int total

@@ -191,7 +191,118 @@ let check (m : Func.modl) =
         check_term b.b_term;
         ignore bi)
       f.f_blocks;
-    where := ""
+    where := "";
+    (* CFG facts.  (The richer analyses live in onebit.dataflow, which
+       depends on this library; these few are re-derived locally.) *)
+    if nblocks > 0 then begin
+      let entry = f.f_blocks.(0) in
+      if
+        entry.b_term = Instr.Unreachable
+        && not (Array.exists (fun i -> i = Instr.Abort) entry.b_instrs)
+      then err "entry block terminates in unreachable without an abort"
+    end;
+    let targets_of (t : Instr.terminator) =
+      match t with
+      | Br l -> [ l ]
+      | Cbr { if_true; if_false; _ } -> [ if_true; if_false ]
+      | Ret _ | Unreachable -> []
+    in
+    let structurally_ok =
+      nblocks > 0
+      && Array.for_all
+           (fun (b : Func.block) ->
+             List.for_all
+               (fun l -> l >= 0 && l < nblocks)
+               (targets_of b.b_term))
+           f.f_blocks
+    in
+    if structurally_ok then begin
+      let succs =
+        Array.map (fun (b : Func.block) -> targets_of b.b_term) f.f_blocks
+      in
+      let reachable = Array.make nblocks false in
+      let rec dfs b =
+        if not reachable.(b) then begin
+          reachable.(b) <- true;
+          List.iter dfs succs.(b)
+        end
+      in
+      dfs 0;
+      let preds = Array.make nblocks [] in
+      Array.iteri
+        (fun b ss ->
+          if reachable.(b) then
+            List.iter (fun s -> preds.(s) <- b :: preds.(s)) ss)
+        succs;
+      (* Must-initialisation: a register read on some reachable path
+         before any definition only ever observes the VM's silent
+         zero-initialisation — almost certainly a bug in the program.
+         Forward analysis, intersection join, parameters initialised. *)
+      let top () = Array.make nregs true in
+      let entry_in = Array.make nregs false in
+      List.iteri
+        (fun i _ -> if i < nregs then entry_in.(i) <- true)
+        f.f_params;
+      let transfer bidx st =
+        let st = Array.copy st in
+        Array.iter
+          (fun ins ->
+            match Instr.dst_reg ins with
+            | Some d when d >= 0 && d < nregs -> st.(d) <- true
+            | Some _ | None -> ())
+          f.f_blocks.(bidx).b_instrs;
+        st
+      in
+      let input =
+        Array.init nblocks (fun b ->
+            if b = 0 then Array.copy entry_in else top ())
+      in
+      let output = Array.init nblocks (fun b -> transfer b input.(b)) in
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        for b = 0 to nblocks - 1 do
+          if reachable.(b) then begin
+            let inb =
+              List.fold_left
+                (fun acc p -> Array.map2 ( && ) acc output.(p))
+                (if b = 0 then Array.copy entry_in else top ())
+                preds.(b)
+            in
+            input.(b) <- inb;
+            let outb = transfer b inb in
+            if outb <> output.(b) then begin
+              output.(b) <- outb;
+              changed := true
+            end
+          end
+        done
+      done;
+      Array.iteri
+        (fun bi (b : Func.block) ->
+          if reachable.(bi) then begin
+            let st = Array.copy input.(bi) in
+            let check_srcs srcs =
+              List.iter
+                (fun r ->
+                  if r >= 0 && r < nregs && not st.(r) then
+                    err "register %%%d may be read before initialisation" r)
+                srcs
+            in
+            Array.iteri
+              (fun ii ins ->
+                where := Printf.sprintf "%s[%d]: " b.b_name ii;
+                check_srcs (Instr.src_regs ins);
+                match Instr.dst_reg ins with
+                | Some d when d >= 0 && d < nregs -> st.(d) <- true
+                | Some _ | None -> ())
+              b.b_instrs;
+            where := Printf.sprintf "%s[term]: " b.b_name;
+            check_srcs (Instr.term_src_regs b.b_term)
+          end)
+        f.f_blocks;
+      where := ""
+    end
   in
   List.iter check_func m.m_funcs;
   match !errors with [] -> Ok () | es -> Error (List.rev es)

@@ -114,7 +114,7 @@ let add_output buf ty (iv : int) (fv : float) =
   | I64 -> add_int64_le buf (to_u64 iv)
   | F64 -> add_int64_le buf (Int64.bits_of_float fv)
 
-let run ?hooks ~budget (prog : Program.t) =
+let run ?hooks ?block_hook ~budget (prog : Program.t) =
   let mem = Memory.clone prog.mem_template in
   let out = Buffer.create 256 in
   let dyn = ref 0 in
@@ -229,6 +229,7 @@ let run ?hooks ~budget (prog : Program.t) =
       | Abort -> raise (Trap.Trap Abort_called)
     in
     let rec run_block bidx =
+      (match block_hook with Some h -> h ~fidx ~bidx | None -> ());
       let b = f.blocks.(bidx) in
       let n = Array.length b.instrs in
       for k = 0 to n - 1 do

@@ -41,7 +41,12 @@ type hooks = {
   post : dyn:int -> frame -> Meta.t -> unit;
 }
 
-val run : ?hooks:hooks -> budget:int -> Program.t -> result
+val run :
+  ?hooks:hooks ->
+  ?block_hook:(fidx:int -> bidx:int -> unit) ->
+  budget:int ->
+  Program.t ->
+  result
 (** Execute the entry function.  [budget] bounds the number of dynamic
     instructions; exceeding it yields [Hung] (the paper's watchdog).  Call
     depth beyond 1000 frames traps as [Stack_overflow]. *)

@@ -3,14 +3,23 @@
     The injector decides candidacy from this: an instruction is an
     inject-on-read candidate iff [srcs] is non-empty, and an
     inject-on-write candidate iff [dst >= 0].  Computed once at load time
-    so the interpreter's hot loop does no list allocation. *)
+    so the interpreter's hot loop does no list allocation.
+
+    The [fidx]/[bidx]/[idx] triple is the instruction's static identity
+    (function index, block index, position within the block; [idx] equal
+    to the block's instruction count denotes the terminator).  It lets
+    analyses map a dynamic candidate back to a static program point
+    ([Dataflow.Prune], [Analysis.Prune_static]). *)
 
 type t = {
   srcs : int array;
       (** register source operand slots, in operand order, duplicates kept *)
   dst : int;  (** destination register, or -1 *)
+  fidx : int;  (** function index in the loaded program *)
+  bidx : int;  (** block index within the function *)
+  idx : int;  (** instruction index within the block; [n] = terminator *)
 }
 
 val no_operands : t
-val of_instr : Ir.Instr.t -> t
-val of_term : Ir.Instr.terminator -> t
+val of_instr : fidx:int -> bidx:int -> idx:int -> Ir.Instr.t -> t
+val of_term : fidx:int -> bidx:int -> idx:int -> Ir.Instr.terminator -> t

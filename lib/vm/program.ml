@@ -131,17 +131,18 @@ let load ?(entry = "main") (m : Ir.Func.modl) =
       (Ir.Func.find_func m name)
   in
   lookup_params := param_tys;
-  let load_func idx (f : Ir.Func.t) =
-    ignore idx;
+  let load_func fidx (f : Ir.Func.t) =
     let blocks =
-      Array.map
-        (fun (b : Ir.Func.block) ->
+      Array.mapi
+        (fun bidx (b : Ir.Func.block) ->
           let instrs = Array.map (canon_instr resolve) b.b_instrs in
           let term = canon_term resolve b.b_term f.f_ret in
           let n = Array.length instrs in
           let metas = Array.make (n + 1) Meta.no_operands in
-          Array.iteri (fun i ins -> metas.(i) <- Meta.of_instr ins) instrs;
-          metas.(n) <- Meta.of_term term;
+          Array.iteri
+            (fun i ins -> metas.(i) <- Meta.of_instr ~fidx ~bidx ~idx:i ins)
+            instrs;
+          metas.(n) <- Meta.of_term ~fidx ~bidx ~idx:n term;
           { instrs; term; metas })
         f.f_blocks
     in

@@ -1,0 +1,25 @@
+(* Lint gate for the bench suite: every registry program, including the
+   [-large] variants, must validate and lint clean.  Run it standalone or
+   via the [@lint] dune alias (`dune build @lint`). *)
+
+let () =
+  let bad = ref 0 in
+  List.iter
+    (fun (e : Bench_suite.Desc.t) ->
+      let m = e.build () in
+      match Ir.Validate.check m with
+      | Error es ->
+          List.iter (fun s -> Printf.printf "%s: invalid: %s\n" e.name s) es;
+          bad := !bad + List.length es
+      | Ok () ->
+          let fs = Dataflow.Lint.check m in
+          List.iter
+            (fun f -> Printf.printf "%s: %s\n" e.name (Dataflow.Lint.to_string f))
+            fs;
+          bad := !bad + List.length fs)
+    (Bench_suite.Registry.all @ Bench_suite.Registry.large);
+  if !bad > 0 then begin
+    Printf.printf "lint: %d finding(s)\n" !bad;
+    exit 1
+  end
+  else print_endline "lint: all registry programs clean"

@@ -31,7 +31,11 @@ let test_table2 () =
       let w = Analysis.Study.workload s r.program in
       Alcotest.(check int) "read cands match workload" w.golden.read_cands
         r.read_cands;
-      Alcotest.(check bool) "asymmetry" true (r.read_cands > r.write_cands))
+      Alcotest.(check bool) "asymmetry" true (r.read_cands > r.write_cands);
+      Alcotest.(check int) "static read prediction exact" r.read_cands
+        r.pred_reads;
+      Alcotest.(check int) "static write prediction exact" r.write_cands
+        r.pred_writes)
     rows
 
 let test_fig1 () =
