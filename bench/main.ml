@@ -11,7 +11,14 @@
      ONEBIT_PROGRAMS  comma-separated subset     (default: all 15)
      ONEBIT_CAP       locations per class in t4  (default 400)
      ONEBIT_PRUNE_N   validation injections per technique in prune-static
-                      (default 40) *)
+                      (default 40)
+     ONEBIT_JOBS      worker domains (0 = one per core; default 1);
+                      results are bit-identical at any value
+     ONEBIT_STORE     directory of the crash-tolerant result store; runs
+                      resume from it and reuse each other's shards
+     ONEBIT_SHARD     experiments per shard (default 25); part of store
+                      keys, so changing it only forfeits reuse
+     ONEBIT_PROGRESS  1 = live progress/metrics line on stderr *)
 
 let env_int name default =
   match Sys.getenv_opt name with
@@ -22,20 +29,39 @@ let n_per_campaign = env_int "ONEBIT_N" 100
 let seed = Int64.of_int (env_int "ONEBIT_SEED" 20170626)
 let t4_cap = env_int "ONEBIT_CAP" 400
 let prune_n = env_int "ONEBIT_PRUNE_N" 40
+let jobs = Engine.jobs_from_env ()
+
+let store =
+  match Sys.getenv_opt "ONEBIT_STORE" with
+  | Some dir when dir <> "" -> Some (Store.open_dir dir)
+  | Some _ | None -> None
+
+let progress = Engine.Progress.create ()
 
 let programs =
   match Sys.getenv_opt "ONEBIT_PROGRAMS" with
   | Some s -> Some (String.split_on_char ',' s)
   | None -> None
 
+let runner =
+  lazy (Engine.runner ~n:n_per_campaign ~seed ~jobs ?store ~progress ())
+
 let study =
   lazy
     (let t0 = Unix.gettimeofday () in
-     let s = Analysis.Study.make ~n:n_per_campaign ~seed ?programs () in
-     Printf.printf
-       "# study: %d programs, %d experiments/campaign, seed %Ld (built in %.1fs)\n\n"
-       (List.length s.workloads) n_per_campaign seed
-       (Unix.gettimeofday () -. t0);
+     let s =
+       Analysis.Study.make ~runner:(Lazy.force runner) ?programs ()
+     in
+     (* Timings go to stderr so stdout is byte-identical across runs and
+        worker counts (the CI determinism smoke diffs it). *)
+     Printf.printf "# study: %d programs, %d experiments/campaign, seed %Ld\n\n"
+       (List.length s.workloads) n_per_campaign seed;
+     Printf.eprintf "# study built in %.1fs (jobs=%d%s)\n"
+       (Unix.gettimeofday () -. t0)
+       jobs
+       (match store with
+       | Some st -> Printf.sprintf ", store=%s" (Store.dir st)
+       | None -> "");
      s)
 
 let tech_name = function
@@ -398,6 +424,30 @@ let run_perf () =
   List.iter
     (fun t -> benchmark (Test.make_grouped ~name:"perf" [ t ]))
     tests;
+  print_newline ();
+  section "Engine scaling: one campaign, sequential vs parallel";
+  let spec = Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 10) in
+  let n = 800 in
+  let time jobs =
+    let t0 = Unix.gettimeofday () in
+    let r = Engine.run_campaign ~jobs workload spec ~n ~seed:7L in
+    (Unix.gettimeofday () -. t0, r)
+  in
+  let cores = Domain.recommended_domain_count () in
+  let seq_t, seq_r = time 1 in
+  Printf.printf "jobs=1   %6.2fs  (sdc=%d, %d core%s available)\n" seq_t
+    seq_r.sdc cores
+    (if cores = 1 then "" else "s");
+  List.iter
+    (fun jobs ->
+      let par_t, par_r = time jobs in
+      Printf.printf "jobs=%-3d %6.2fs  speedup x%.2f  (%s)%s\n" jobs par_t
+        (seq_t /. par_t)
+        (if Core.Campaign.equal_result seq_r par_r then
+           "bit-identical to sequential"
+         else "!! MISMATCH")
+        (if jobs > cores then "  [oversubscribed]" else ""))
+    [ 2; 4; 8 ];
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -659,6 +709,18 @@ let run_prune_static () =
 
 (* ------------------------------------------------------------------ *)
 
+let print_cache_stats () =
+  let s = Core.Runner.cache_stats (Lazy.force runner) in
+  Printf.printf "# cache: %s\n" (Core.Runner.pp_stats s);
+  match store with
+  | Some st ->
+      let ss = Store.stats st in
+      Printf.printf
+        "# store: %d records in %d segment(s), %d bytes (%d truncated, %d \
+         corrupt dropped at open)\n"
+        ss.records ss.segments ss.bytes ss.truncated ss.corrupt
+  | None -> ()
+
 let run_all () =
   run_t2 ();
   run_f1 ();
@@ -672,34 +734,38 @@ let run_all () =
   run_severity ();
   run_targets ();
   run_harden ();
-  run_prune_static ()
+  run_prune_static ();
+  print_cache_stats ()
 
 let () =
   let t0 = Unix.gettimeofday () in
   let cmd = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  (* Force the study eagerly so its banner precedes the section headers. *)
-  (match cmd with "perf" -> () | _ -> ignore (Lazy.force study));
-  (match cmd with
-  | "t2" -> run_t2 ()
-  | "f1" -> run_f1 ()
-  | "f2" -> run_f2 ()
-  | "f3" -> run_f3 ()
-  | "f4" -> run_f4 ()
-  | "f5" -> run_f5 ()
-  | "t3" -> run_t3 ()
-  | "t4" -> run_t4 ()
-  | "rq" -> run_rq ()
-  | "severity" -> run_severity ()
-  | "targets" -> run_targets ()
-  | "harden" -> run_harden ()
-  | "prune-static" -> run_prune_static ()
-  | "perf" -> run_perf ()
-  | "ablate" -> run_ablate ()
-  | "all" -> run_all ()
-  | other ->
-      Printf.eprintf
-        "unknown command %s (expected \
-         t2|f1|f2|f3|f4|f5|t3|t4|rq|severity|targets|harden|prune-static|perf|ablate|all)\n"
-        other;
-      exit 2);
-  Printf.printf "# total elapsed: %.1fs\n" (Unix.gettimeofday () -. t0)
+  Engine.Progress.with_reporter progress (fun () ->
+      (* Force the study eagerly so its banner precedes the section
+         headers. *)
+      (match cmd with "perf" -> () | _ -> ignore (Lazy.force study));
+      match cmd with
+      | "t2" -> run_t2 ()
+      | "f1" -> run_f1 ()
+      | "f2" -> run_f2 ()
+      | "f3" -> run_f3 ()
+      | "f4" -> run_f4 ()
+      | "f5" -> run_f5 ()
+      | "t3" -> run_t3 ()
+      | "t4" -> run_t4 ()
+      | "rq" -> run_rq ()
+      | "severity" -> run_severity ()
+      | "targets" -> run_targets ()
+      | "harden" -> run_harden ()
+      | "prune-static" -> run_prune_static ()
+      | "perf" -> run_perf ()
+      | "ablate" -> run_ablate ()
+      | "all" -> run_all ()
+      | other ->
+          Printf.eprintf
+            "unknown command %s (expected \
+             t2|f1|f2|f3|f4|f5|t3|t4|rq|severity|targets|harden|prune-static|perf|ablate|all)\n"
+            other;
+          exit 2);
+  (match store with Some st -> Store.close st | None -> ());
+  Printf.eprintf "# total elapsed: %.1fs\n" (Unix.gettimeofday () -. t0)

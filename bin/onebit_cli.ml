@@ -3,10 +3,11 @@
    onebit list                      -- programs and candidate counts
    onebit dump PROGRAM              -- print a program's IR
    onebit golden PROGRAM            -- fault-free run summary
-   onebit campaign PROGRAM ...      -- run one campaign
+   onebit campaign PROGRAM ...      -- run one campaign (-j N, --store DIR)
    onebit plan PROGRAM ...          -- run the 91-campaign plan (CSV)
    onebit experiment PROGRAM ...    -- replay one experiment verbosely
-   onebit lint PROGRAM|FILE         -- dataflow linter (exit 1 on findings) *)
+   onebit lint PROGRAM|FILE         -- dataflow linter (exit 1 on findings)
+   onebit engine status|gc          -- inspect / compact a result store *)
 
 open Cmdliner
 
@@ -85,6 +86,36 @@ let seed_arg =
     value & opt int64 20170626L
     & info [ "seed" ] ~docv:"SEED" ~doc:"Base seed for the campaign PRNG.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ]
+        ~env:(Cmd.Env.info "ONEBIT_JOBS")
+        ~docv:"N"
+        ~doc:
+          "Worker domains for campaign execution (0 = one per core).  \
+           Results are bit-identical at any value.")
+
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ]
+        ~env:(Cmd.Env.info "ONEBIT_STORE")
+        ~docv:"DIR"
+        ~doc:
+          "Crash-tolerant result store directory: finished shards are \
+           appended durably as they complete, and shards already present \
+           are not re-executed, so an interrupted run resumes where it \
+           stopped and separate runs reuse each other's work.")
+
+let with_store store_dir f =
+  match store_dir with
+  | None -> f None
+  | Some dir ->
+      let st = Store.open_dir dir in
+      Fun.protect ~finally:(fun () -> Store.close st) (fun () -> f (Some st))
+
 let spec_of technique max_mbf win =
   if max_mbf <= 1 then Core.Spec.single technique
   else Core.Spec.multi technique ~max_mbf ~win
@@ -148,10 +179,15 @@ let golden_cmd =
 (* ---- campaign ---- *)
 
 let campaign_cmd =
-  let run program technique max_mbf win n seed csv =
+  let run program technique max_mbf win n seed csv jobs store_dir =
     let w = load_workload program in
     let spec = spec_of technique max_mbf win in
-    let r = Core.Campaign.run w spec ~n ~seed in
+    let r =
+      with_store store_dir (fun store ->
+          let progress = Engine.Progress.create () in
+          Engine.Progress.with_reporter progress (fun () ->
+              Engine.run_campaign ~jobs ?store ~progress w spec ~n ~seed))
+    in
     if csv then (
       print_endline Core.Csv.header;
       print_endline (Core.Csv.row r))
@@ -187,22 +223,27 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc:"Run one fault-injection campaign.")
     Term.(
       const run $ program_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
-      $ seed_arg $ csv_arg)
+      $ seed_arg $ csv_arg $ jobs_arg $ store_arg)
 
 (* ---- plan ---- *)
 
 let plan_cmd =
-  let run program n seed both technique =
+  let run program n seed both technique jobs store_dir =
     let w = load_workload program in
     let specs =
       if both then Core.Table1.all_specs else Core.Table1.specs technique
     in
-    print_endline Core.Csv.header;
-    List.iter
-      (fun spec ->
-        let r = Core.Campaign.run w spec ~n ~seed in
-        print_endline (Core.Csv.row r))
-      specs
+    with_store store_dir (fun store ->
+        let progress = Engine.Progress.create () in
+        Engine.Progress.with_reporter progress (fun () ->
+            print_endline Core.Csv.header;
+            List.iter
+              (fun spec ->
+                let r =
+                  Engine.run_campaign ~jobs ?store ~progress w spec ~n ~seed
+                in
+                print_endline (Core.Csv.row r))
+              specs))
   in
   let both_arg =
     Arg.(
@@ -214,7 +255,9 @@ let plan_cmd =
        ~doc:
          "Run the paper's campaign plan for one program (91 campaigns per \
           technique), emitting CSV.")
-    Term.(const run $ program_arg $ n_arg $ seed_arg $ both_arg $ technique_arg)
+    Term.(
+      const run $ program_arg $ n_arg $ seed_arg $ both_arg $ technique_arg
+      $ jobs_arg $ store_arg)
 
 (* ---- experiment ---- *)
 
@@ -416,6 +459,98 @@ let harden_cmd =
           resilience against the baseline.")
     Term.(const run $ program_arg $ light_arg $ dump_arg $ n_arg $ seed_arg)
 
+(* ---- engine ---- *)
+
+let require_store store_dir =
+  match store_dir with
+  | Some dir -> dir
+  | None ->
+      Printf.eprintf
+        "engine: a result store is required; pass --store DIR or set \
+         ONEBIT_STORE\n";
+      exit 2
+
+let engine_status_cmd =
+  let run store_dir =
+    let dir = require_store store_dir in
+    let st = Store.open_dir dir in
+    Fun.protect
+      ~finally:(fun () -> Store.close st)
+      (fun () ->
+        let s = Store.stats st in
+        Printf.printf "store:      %s\n" (Store.dir st);
+        Printf.printf "records:    %d\n" s.records;
+        Printf.printf "segments:   %d\n" s.segments;
+        Printf.printf "bytes:      %d\n" s.bytes;
+        Printf.printf "truncated:  %d\n" s.truncated;
+        Printf.printf "corrupt:    %d\n" s.corrupt;
+        (* Per-campaign breakdown: shards and experiments held per
+           (program, spec, n, seed) stream. *)
+        let tbl = Hashtbl.create 16 in
+        Store.fold st
+          (fun (k : Store.key) _shard () ->
+            let id = (k.program, k.technique, k.max_mbf, k.win, k.n, k.seed) in
+            let shards, exps =
+              Option.value (Hashtbl.find_opt tbl id) ~default:(0, 0)
+            in
+            Hashtbl.replace tbl id (shards + 1, exps + (k.hi - k.lo)))
+          ();
+        if Hashtbl.length tbl > 0 then begin
+          let rows =
+            Hashtbl.fold
+              (fun (p, t, m, w, n, seed) (shards, exps) acc ->
+                ( [
+                    p;
+                    Printf.sprintf "%s m=%d w=%s" t m w;
+                    string_of_int n;
+                    Int64.to_string seed;
+                    string_of_int shards;
+                    Printf.sprintf "%d/%d" exps n;
+                  ],
+                  (p, t, m, w, n, seed) )
+                :: acc)
+              tbl []
+            |> List.sort (fun (_, a) (_, b) -> compare a b)
+            |> List.map fst
+          in
+          print_newline ();
+          print_string
+            (Report.Table.render
+               ~header:[ "program"; "spec"; "n"; "seed"; "shards"; "covered" ]
+               rows)
+        end)
+  in
+  Cmd.v
+    (Cmd.info "status"
+       ~doc:"Show result-store statistics and per-campaign coverage.")
+    Term.(const run $ store_arg)
+
+let engine_gc_cmd =
+  let run store_dir =
+    let dir = require_store store_dir in
+    let st = Store.open_dir dir in
+    Fun.protect
+      ~finally:(fun () -> Store.close st)
+      (fun () ->
+        let r = Store.gc st in
+        Printf.printf "live records:   %d\n" r.live_records;
+        Printf.printf "dropped dups:   %d\n" r.dropped_duplicates;
+        Printf.printf "segments:       %d -> %d\n" r.segments_before
+          r.segments_after;
+        Printf.printf "bytes:          %d -> %d\n" r.bytes_before r.bytes_after)
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Compact the result store: rewrite all live records into fresh \
+          segments, dropping duplicates and corrupt tails.")
+    Term.(const run $ store_arg)
+
+let engine_cmd =
+  Cmd.group
+    (Cmd.info "engine" ~doc:"Inspect and maintain the campaign result store.")
+    [ engine_status_cmd; engine_gc_cmd ]
+
 let () =
   let doc = "single/multiple bit-flip fault injection (DSN'17 reproduction)" in
   let info = Cmd.info "onebit" ~version:"1.0.0" ~doc in
@@ -424,5 +559,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; dump_cmd; golden_cmd; campaign_cmd; plan_cmd;
-            experiment_cmd; run_ir_cmd; lint_cmd; harden_cmd;
+            experiment_cmd; run_ir_cmd; lint_cmd; harden_cmd; engine_cmd;
           ]))

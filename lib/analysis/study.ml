@@ -1,6 +1,6 @@
 type t = { runner : Core.Runner.t; workloads : Core.Workload.t list }
 
-let make ?n ?seed ?programs () =
+let make ?n ?seed ?runner ?programs () =
   let entries =
     match programs with
     | None -> Bench_suite.Registry.all
@@ -19,7 +19,12 @@ let make ?n ?seed ?programs () =
           (e.build ()))
       entries
   in
-  { runner = Core.Runner.create ?n ?seed (); workloads }
+  let runner =
+    match runner with
+    | Some r -> r
+    | None -> Core.Runner.create ?n ?seed ()
+  in
+  { runner; workloads }
 
 let workload t name =
   match

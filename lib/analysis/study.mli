@@ -6,10 +6,15 @@
 
 type t = { runner : Core.Runner.t; workloads : Core.Workload.t list }
 
-val make : ?n:int -> ?seed:int64 -> ?programs:string list -> unit -> t
+val make :
+  ?n:int -> ?seed:int64 -> ?runner:Core.Runner.t -> ?programs:string list ->
+  unit -> t
 (** Build workloads for the named programs (default: all 15), asserting
     each golden run matches its native reference.  [n] is the per-campaign
-    experiment count (default 200). *)
+    experiment count (default 200).  [runner] substitutes a pre-built
+    campaign runner — how the bench harness and CLI plug in the parallel,
+    store-backed engine ([Engine.runner]) without this library depending
+    on it; when given, [n] and [seed] are ignored in its favour. *)
 
 val workload : t -> string -> Core.Workload.t
 (** @raise Invalid_argument on unknown name. *)

@@ -15,8 +15,25 @@ type result = {
   weighted_total : float;
 }
 
-let run ?(keep_experiments = false) ?spacing workload spec ~n ~seed =
-  if n <= 0 then invalid_arg "Campaign.run: n must be positive";
+type shard = {
+  lo : int;
+  hi : int;
+  s_benign : int;
+  s_detected : int;
+  s_hang : int;
+  s_no_output : int;
+  s_sdc : int;
+  s_traps : (Vm.Trap.t * int) list;
+  s_activation : (int * int) list;
+  s_weighted_sdc : float;
+  s_weighted_total : float;
+  s_experiments : Experiment.t array;
+}
+
+let sort_traps traps = List.sort compare traps
+
+let run_shard ?(keep_experiments = false) ?spacing workload spec ~seed ~lo ~hi =
+  if lo < 0 || hi <= lo then invalid_arg "Campaign.run_shard: bad range";
   let base = Prng.of_seed seed in
   let benign = ref 0
   and detected = ref 0
@@ -26,15 +43,16 @@ let run ?(keep_experiments = false) ?spacing workload spec ~n ~seed =
   let traps = Hashtbl.create 8 in
   let activation = Stats.Histogram.create () in
   let weighted_sdc = ref 0.0 and weighted_total = ref 0.0 in
-  let kept = if keep_experiments then Array.make n None else [||] in
-  for i = 0 to n - 1 do
+  let kept = if keep_experiments then Array.make (hi - lo) None else [||] in
+  for i = lo to hi - 1 do
     let rng = Prng.split_at base i in
     let e = Experiment.run ?spacing workload spec rng in
     (match e.outcome with
     | Benign -> incr benign
     | Detected trap ->
         incr detected;
-        Hashtbl.replace traps trap (1 + Option.value ~default:0 (Hashtbl.find_opt traps trap))
+        Hashtbl.replace traps trap
+          (1 + Option.value ~default:0 (Hashtbl.find_opt traps trap))
     | Hang -> incr hang
     | No_output -> incr no_output
     | Sdc -> incr sdc);
@@ -45,29 +63,84 @@ let run ?(keep_experiments = false) ?spacing workload spec ~n ~seed =
         weighted_total := !weighted_total +. w;
         if Outcome.is_sdc e.outcome then weighted_sdc := !weighted_sdc +. w
     | None -> ());
-    if keep_experiments then kept.(i) <- Some e
+    if keep_experiments then kept.(i - lo) <- Some e
   done;
-  let experiments =
+  let s_experiments =
     if keep_experiments then
       Array.map (function Some e -> e | None -> assert false) kept
     else [||]
   in
   {
-    workload_name = workload.Workload.name;
+    lo;
+    hi;
+    s_benign = !benign;
+    s_detected = !detected;
+    s_hang = !hang;
+    s_no_output = !no_output;
+    s_sdc = !sdc;
+    s_traps =
+      sort_traps (Hashtbl.fold (fun t c acc -> (t, c) :: acc) traps []);
+    s_activation = Stats.Histogram.to_alist activation;
+    s_weighted_sdc = !weighted_sdc;
+    s_weighted_total = !weighted_total;
+    s_experiments;
+  }
+
+let merge ~workload_name spec ~n ~seed shards =
+  if n <= 0 then invalid_arg "Campaign.merge: n must be positive";
+  let shards = List.sort (fun a b -> compare a.lo b.lo) shards in
+  let covered =
+    List.fold_left
+      (fun pos s ->
+        if s.lo <> pos then
+          invalid_arg
+            (Printf.sprintf
+               "Campaign.merge: shard gap/overlap at %d (next shard starts \
+                at %d)"
+               pos s.lo);
+        s.hi)
+      0 shards
+  in
+  if covered <> n then
+    invalid_arg
+      (Printf.sprintf "Campaign.merge: shards cover [0, %d) but n = %d"
+         covered n);
+  let sum f = List.fold_left (fun acc s -> acc + f s) 0 shards in
+  let sumf f = List.fold_left (fun acc s -> acc +. f s) 0.0 shards in
+  let traps = Hashtbl.create 8 in
+  let activation = Stats.Histogram.create () in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (t, c) ->
+          Hashtbl.replace traps t
+            (c + Option.value ~default:0 (Hashtbl.find_opt traps t)))
+        s.s_traps;
+      List.iter
+        (fun (k, c) -> Stats.Histogram.add_count activation k c)
+        s.s_activation)
+    shards;
+  {
+    workload_name;
     spec;
     n;
     seed;
-    benign = !benign;
-    detected = !detected;
-    hang = !hang;
-    no_output = !no_output;
-    sdc = !sdc;
-    traps = Hashtbl.fold (fun t c acc -> (t, c) :: acc) traps [];
+    benign = sum (fun s -> s.s_benign);
+    detected = sum (fun s -> s.s_detected);
+    hang = sum (fun s -> s.s_hang);
+    no_output = sum (fun s -> s.s_no_output);
+    sdc = sum (fun s -> s.s_sdc);
+    traps = sort_traps (Hashtbl.fold (fun t c acc -> (t, c) :: acc) traps []);
     activation;
-    experiments;
-    weighted_sdc = !weighted_sdc;
-    weighted_total = !weighted_total;
+    experiments = Array.concat (List.map (fun s -> s.s_experiments) shards);
+    weighted_sdc = sumf (fun s -> s.s_weighted_sdc);
+    weighted_total = sumf (fun s -> s.s_weighted_total);
   }
+
+let run ?(keep_experiments = false) ?spacing workload spec ~n ~seed =
+  if n <= 0 then invalid_arg "Campaign.run: n must be positive";
+  merge ~workload_name:workload.Workload.name spec ~n ~seed
+    [ run_shard ~keep_experiments ?spacing workload spec ~seed ~lo:0 ~hi:n ]
 
 let sdc_ci r = Stats.Proportion.wald ~successes:r.sdc ~trials:r.n ()
 
@@ -80,3 +153,20 @@ let sdc_pct r = 100. *. float_of_int r.sdc /. float_of_int r.n
 let weighted_sdc_pct r =
   if r.weighted_total <= 0.0 then 0.0
   else 100. *. r.weighted_sdc /. r.weighted_total
+
+let equal_result a b =
+  let experiment_equal (x : Experiment.t) (y : Experiment.t) =
+    x.outcome = y.outcome && x.activated = y.activated
+    && x.dyn_count = y.dyn_count
+    && String.equal x.output y.output
+  in
+  String.equal a.workload_name b.workload_name
+  && Spec.equal a.spec b.spec && a.n = b.n && a.seed = b.seed
+  && a.benign = b.benign && a.detected = b.detected && a.hang = b.hang
+  && a.no_output = b.no_output && a.sdc = b.sdc && a.traps = b.traps
+  && Stats.Histogram.to_alist a.activation
+     = Stats.Histogram.to_alist b.activation
+  && a.weighted_sdc = b.weighted_sdc
+  && a.weighted_total = b.weighted_total
+  && Array.length a.experiments = Array.length b.experiments
+  && Array.for_all2 experiment_equal a.experiments b.experiments

@@ -24,11 +24,57 @@ type result = {
   weighted_total : float;  (** sum of weights over all experiments *)
 }
 
+type shard = {
+  lo : int;  (** first experiment index of the shard (inclusive) *)
+  hi : int;  (** one past the last experiment index (exclusive) *)
+  s_benign : int;
+  s_detected : int;
+  s_hang : int;
+  s_no_output : int;
+  s_sdc : int;
+  s_traps : (Vm.Trap.t * int) list;  (** canonically sorted *)
+  s_activation : (int * int) list;  (** key-sorted histogram alist *)
+  s_weighted_sdc : float;
+  s_weighted_total : float;
+  s_experiments : Experiment.t array;  (** empty unless kept *)
+}
+(** The partial result of experiments [lo..hi-1] of a campaign.  Shards
+    are the unit of parallel dispatch ({!Engine}) and of durable storage
+    ({!Store}): because experiment [i] always runs on the private
+    generator [Prng.split_at base i], a shard's content depends only on
+    [(workload, spec, seed, lo, hi)] — never on which worker ran it or
+    in what order. *)
+
+val run_shard :
+  ?keep_experiments:bool ->
+  ?spacing:[ `Faulty | `Golden ] ->
+  Workload.t -> Spec.t -> seed:int64 -> lo:int -> hi:int -> shard
+(** Run experiments [lo..hi-1].  Requires [0 <= lo < hi]. *)
+
+val merge :
+  workload_name:string -> Spec.t -> n:int -> seed:int64 -> shard list ->
+  result
+(** Reassemble a campaign result from shards.  The shards must tile
+    [0, n) exactly (any order); counters are summed, trap breakdowns and
+    activation histograms are folded pointwise, and kept experiments are
+    concatenated in index order.  All sums are exact (the weighted
+    estimators add small integers represented as floats), so the merged
+    result is identical whatever the sharding — this is what makes
+    engine runs reproducible at any worker count.
+
+    @raise Invalid_argument if the shards leave a gap or overlap. *)
+
 val run :
   ?keep_experiments:bool ->
   ?spacing:[ `Faulty | `Golden ] ->
   Workload.t -> Spec.t -> n:int -> seed:int64 -> result
-(** Requires [n > 0].  [?spacing] as in {!Injector.create}. *)
+(** Requires [n > 0].  [?spacing] as in {!Injector.create}.  Equivalent
+    to running the single shard [0, n) and merging it. *)
+
+val equal_result : result -> result -> bool
+(** Structural equality, including the trap breakdown, the activation
+    histogram and (outcome, activated, dyn_count, output) of any kept
+    experiments.  Backs the jobs-independence property tests. *)
 
 val sdc_ci : result -> Stats.Proportion.ci
 val detection_ci : result -> Stats.Proportion.ci

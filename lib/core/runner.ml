@@ -1,11 +1,36 @@
+type stats = {
+  mutable mem_hits : int;
+  mutable dispatched : int;
+  mutable store_shard_hits : int;
+  mutable shards_executed : int;
+}
+
+type dispatch =
+  stats ->
+  keep_experiments:bool ->
+  Workload.t -> Spec.t -> n:int -> seed:int64 -> Campaign.result
+
 type t = {
   n : int;
   seed : int64;
   cache : (string, Campaign.result) Hashtbl.t;
+  dispatch : dispatch;
+  stats : stats;
 }
 
-let create ?(n = 200) ?(seed = 20170626L) () =
-  { n; seed; cache = Hashtbl.create 512 }
+let sequential : dispatch =
+ fun _stats ~keep_experiments workload spec ~n ~seed ->
+  Campaign.run ~keep_experiments workload spec ~n ~seed
+
+let create ?(n = 200) ?(seed = 20170626L) ?(dispatch = sequential) () =
+  {
+    n;
+    seed;
+    cache = Hashtbl.create 512;
+    dispatch;
+    stats =
+      { mem_hits = 0; dispatched = 0; store_shard_hits = 0; shards_executed = 0 };
+  }
 
 let n t = t.n
 
@@ -26,11 +51,14 @@ let run_key kept workload_name spec n =
 let get t ~kept workload spec =
   let key = run_key kept workload.Workload.name spec t.n in
   match Hashtbl.find_opt t.cache key with
-  | Some r -> r
+  | Some r ->
+      t.stats.mem_hits <- t.stats.mem_hits + 1;
+      r
   | None ->
+      t.stats.dispatched <- t.stats.dispatched + 1;
       let seed = derived_seed t workload.Workload.name spec in
       let r =
-        Campaign.run ~keep_experiments:kept workload spec ~n:t.n ~seed
+        t.dispatch t.stats ~keep_experiments:kept workload spec ~n:t.n ~seed
       in
       Hashtbl.replace t.cache key r;
       r
@@ -38,3 +66,17 @@ let get t ~kept workload spec =
 let campaign t workload spec = get t ~kept:false workload spec
 let campaign_kept t workload spec = get t ~kept:true workload spec
 let cache_size t = Hashtbl.length t.cache
+let cache_stats t = t.stats
+
+let pp_stats s =
+  Printf.sprintf
+    "%d memory hit%s, %d campaign%s dispatched, %d shard%s from store, %d \
+     shard%s executed"
+    s.mem_hits
+    (if s.mem_hits = 1 then "" else "s")
+    s.dispatched
+    (if s.dispatched = 1 then "" else "s")
+    s.store_shard_hits
+    (if s.store_shard_hits = 1 then "" else "s")
+    s.shards_executed
+    (if s.shards_executed = 1 then "" else "s")

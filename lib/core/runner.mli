@@ -3,11 +3,37 @@
     The analyses reuse many campaigns (the Fig. 4/5 grids feed Table III,
     whose best configurations feed Table IV), so the runner caches results
     keyed by (workload, spec, n, seed).  Results are deterministic, which
-    makes the cache semantically transparent. *)
+    makes the cache semantically transparent.
+
+    The runner itself is a thin client: campaigns it has not memoised are
+    delegated to a {!dispatch} function.  The default dispatch runs the
+    campaign sequentially in-process; [Engine.dispatch] substitutes a
+    parallel, store-backed execution engine without the analyses having to
+    change. *)
 
 type t
 
-val create : ?n:int -> ?seed:int64 -> unit -> t
+type stats = {
+  mutable mem_hits : int;  (** campaigns answered from the in-memory cache *)
+  mutable dispatched : int;  (** campaigns handed to the dispatch function *)
+  mutable store_shard_hits : int;
+      (** shards answered by a durable result store (engine dispatch only) *)
+  mutable shards_executed : int;
+      (** shards actually executed (engine dispatch only) *)
+}
+
+type dispatch =
+  stats ->
+  keep_experiments:bool ->
+  Workload.t -> Spec.t -> n:int -> seed:int64 -> Campaign.result
+(** How a cache miss is computed.  The dispatch receives the runner's
+    {!stats} record so an engine can account store hits and executed
+    shards where the caller can see them. *)
+
+val sequential : dispatch
+(** The default: a plain in-process {!Campaign.run}. *)
+
+val create : ?n:int -> ?seed:int64 -> ?dispatch:dispatch -> unit -> t
 (** Default experiment count per campaign and base seed (defaults: 200
     experiments, seed 20170626 — the DSN'17 conference date).  The seed of
     a given campaign is derived from the base seed, the workload name and
@@ -20,6 +46,14 @@ val campaign : t -> Workload.t -> Spec.t -> Campaign.result
 
 val campaign_kept : t -> Workload.t -> Spec.t -> Campaign.result
 (** Like {!campaign} but with per-experiment records retained; cached
-    separately. *)
+    separately, and never answered from a durable store (experiment
+    records are not persisted). *)
 
 val cache_size : t -> int
+
+val cache_stats : t -> stats
+(** The live counters (not a copy): hits and misses of the in-memory
+    cache, plus store/shard accounting filled in by engine dispatches. *)
+
+val pp_stats : stats -> string
+(** One-line human-readable rendering of {!cache_stats}. *)

@@ -5,10 +5,13 @@ type t = {
   profile : int array array;
       (* golden-run execution count of each (function, block) *)
   budget : int;
+  digest : string;
+      (* md5 of the printed IR; part of every result-store key *)
 }
 
 let make ?(hang_factor = 10) ?expected_output ~name m =
   let prog = Vm.Program.load m in
+  let digest = Digest.to_hex (Digest.string (Ir.Pp.modl m)) in
   let profile =
     Array.map
       (fun (f : Vm.Program.lfunc) -> Array.make (Array.length f.blocks) 0)
@@ -31,7 +34,14 @@ let make ?(hang_factor = 10) ?expected_output ~name m =
   | Some _ | None -> ());
   if golden.read_cands = 0 || golden.write_cands = 0 then
     invalid_arg ("Workload.make: " ^ name ^ " has no injection candidates");
-  { name; prog; golden; profile; budget = (hang_factor * golden.dyn_count) + 1000 }
+  {
+    name;
+    prog;
+    golden;
+    profile;
+    budget = (hang_factor * golden.dyn_count) + 1000;
+    digest;
+  }
 
 let candidates t = function
   | Technique.Read -> t.golden.read_cands

@@ -14,6 +14,10 @@ type t = {
           [fidx].[bidx]; feeds the static candidate predictor
           ([Dataflow.Candidates]) and the pruning study *)
   budget : int;  (** watchdog budget for faulty runs *)
+  digest : string;
+      (** md5 hex digest of the printed IR; campaign results are only
+          reusable across processes when the program text is unchanged, so
+          the digest is part of every result-store key *)
 }
 
 val make : ?hang_factor:int -> ?expected_output:string -> name:string ->

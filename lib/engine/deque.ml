@@ -1,0 +1,66 @@
+(* A mutex-protected double-ended work queue.
+
+   Tasks here are coarse (a shard is tens of whole-program fault-injection
+   runs, ~10-100 ms), so a lock per operation is noise next to the work it
+   hands out; in exchange the deque is trivially correct under any
+   interleaving, unlike a Chase-Lev implementation.  The owner pushes and
+   pops at the bottom (LIFO, cache-warm); thieves steal from the top
+   (FIFO, oldest shard first). *)
+
+type 'a t = {
+  mutable buf : 'a option array;
+  mutable head : int;  (* index of the top (steal) end *)
+  mutable len : int;
+  lock : Mutex.t;
+}
+
+let create ?(capacity = 64) () =
+  {
+    buf = Array.make (max 1 capacity) None;
+    head = 0;
+    len = 0;
+    lock = Mutex.create ();
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) None in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push_bottom t x =
+  locked t (fun () ->
+      if t.len = Array.length t.buf then grow t;
+      t.buf.((t.head + t.len) mod Array.length t.buf) <- Some x;
+      t.len <- t.len + 1)
+
+let pop_bottom t =
+  locked t (fun () ->
+      if t.len = 0 then None
+      else begin
+        let i = (t.head + t.len - 1) mod Array.length t.buf in
+        let x = t.buf.(i) in
+        t.buf.(i) <- None;
+        t.len <- t.len - 1;
+        x
+      end)
+
+let steal_top t =
+  locked t (fun () ->
+      if t.len = 0 then None
+      else begin
+        let x = t.buf.(t.head) in
+        t.buf.(t.head) <- None;
+        t.head <- (t.head + 1) mod Array.length t.buf;
+        t.len <- t.len - 1;
+        x
+      end)
+
+let length t = locked t (fun () -> t.len)

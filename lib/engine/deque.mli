@@ -1,0 +1,13 @@
+(** Mutex-protected work-stealing deque.
+
+    One deque per worker: the owner pushes/pops at the bottom, idle
+    workers steal from the top.  Shard tasks are coarse enough that the
+    lock never shows up next to the work it hands out. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val push_bottom : 'a t -> 'a -> unit
+val pop_bottom : 'a t -> 'a option
+val steal_top : 'a t -> 'a option
+val length : 'a t -> int

@@ -1,0 +1,152 @@
+(* Multicore campaign execution engine.
+
+   A campaign of n experiments is split into fixed-size shards; shards are
+   the unit of parallel dispatch (Pool, over work-stealing deques) and of
+   durable storage (Store).  Results are bit-identical at any worker
+   count because experiment i always runs on the private generator
+   [Prng.split_at base i] and shard merging is exact (Campaign.merge).
+
+   Shard boundaries depend only on (n, shard_size) — never on [jobs] — so
+   a store populated by one run is hit by any later run, whatever its
+   parallelism, and a killed run resumes by re-executing only the shards
+   that never made it to the store. *)
+
+module Deque = Deque
+module Pool = Pool
+module Progress = Progress
+
+let default_shard_size = 25
+
+let shard_size_from_env () =
+  match Option.bind (Sys.getenv_opt "ONEBIT_SHARD") int_of_string_opt with
+  | Some s when s > 0 -> s
+  | Some _ | None -> default_shard_size
+
+let jobs_from_env () =
+  match Option.bind (Sys.getenv_opt "ONEBIT_JOBS") int_of_string_opt with
+  | Some j when j > 0 -> j
+  | Some _ -> Domain.recommended_domain_count ()
+  | None -> 1
+
+let resolve_jobs jobs =
+  if jobs <= 0 then Domain.recommended_domain_count () else jobs
+
+let shards_of ~n ~shard_size =
+  if n <= 0 then invalid_arg "Engine.shards_of: n must be positive";
+  let s = max 1 shard_size in
+  let rec go lo acc =
+    if lo >= n then List.rev acc else go (lo + s) ((lo, min n (lo + s)) :: acc)
+  in
+  go 0 []
+
+type run_stats = {
+  shards_from_store : int;
+  shards_executed : int;
+  experiments_from_store : int;
+}
+
+let run_campaign_stats ?(jobs = 1) ?shard_size ?store ?progress
+    ?(keep_experiments = false) workload spec ~n ~seed =
+  if n <= 0 then invalid_arg "Engine.run_campaign: n must be positive";
+  let jobs = resolve_jobs jobs in
+  let shard_size =
+    match shard_size with Some s -> max 1 s | None -> shard_size_from_env ()
+  in
+  let ranges = Array.of_list (shards_of ~n ~shard_size) in
+  let nshards = Array.length ranges in
+  let results : Core.Campaign.shard option array = Array.make nshards None in
+  (* Kept experiment records are never persisted, so a kept campaign is
+     computed in full (still in parallel) rather than read back. *)
+  let store = if keep_experiments then None else store in
+  let key_of (lo, hi) =
+    match store with
+    | None -> None
+    | Some st ->
+        Some
+          ( st,
+            Store.key ~program:workload.Core.Workload.name
+              ~digest:workload.Core.Workload.digest ~spec ~n ~seed ~lo ~hi )
+  in
+  (match progress with
+  | Some p ->
+      Progress.begin_campaign p
+        ~label:
+          (workload.Core.Workload.name ^ " " ^ Core.Spec.label spec)
+        ~total:n
+  | None -> ());
+  let from_store = ref 0 and exp_from_store = ref 0 in
+  let todo = ref [] in
+  Array.iteri
+    (fun i range ->
+      let hit =
+        match key_of range with
+        | Some (st, key) -> Store.lookup st key
+        | None -> None
+      in
+      match hit with
+      | Some shard ->
+          results.(i) <- Some shard;
+          incr from_store;
+          exp_from_store := !exp_from_store + (shard.hi - shard.lo);
+          (match progress with
+          | Some p -> Progress.record_shard p ~from_store:true shard
+          | None -> ())
+      | None -> todo := i :: !todo)
+    ranges;
+  let todo = Array.of_list (List.rev !todo) in
+  let task i ~worker =
+    let lo, hi = ranges.(i) in
+    let t0 = Unix.gettimeofday () in
+    let shard =
+      Core.Campaign.run_shard ~keep_experiments workload spec ~seed ~lo ~hi
+    in
+    results.(i) <- Some shard;
+    (match key_of ranges.(i) with
+    | Some (st, key) -> Store.add st key shard
+    | None -> ());
+    match progress with
+    | Some p ->
+        Progress.record_shard p ~worker
+          ~busy:(Unix.gettimeofday () -. t0)
+          ~from_store:false shard
+    | None -> ()
+  in
+  Pool.run ~jobs (Array.map (fun i -> task i) todo);
+  let shards =
+    Array.to_list results
+    |> List.map (function Some s -> s | None -> assert false)
+  in
+  let result =
+    Core.Campaign.merge ~workload_name:workload.Core.Workload.name spec ~n
+      ~seed shards
+  in
+  ( result,
+    {
+      shards_from_store = !from_store;
+      shards_executed = Array.length todo;
+      experiments_from_store = !exp_from_store;
+    } )
+
+let run_campaign ?jobs ?shard_size ?store ?progress ?keep_experiments
+    workload spec ~n ~seed =
+  fst
+    (run_campaign_stats ?jobs ?shard_size ?store ?progress ?keep_experiments
+       workload spec ~n ~seed)
+
+let dispatch ?(jobs = 1) ?shard_size ?store ?progress () :
+    Core.Runner.dispatch =
+ fun stats ~keep_experiments workload spec ~n ~seed ->
+  let result, rs =
+    run_campaign_stats ~jobs ?shard_size ?store ?progress ~keep_experiments
+      workload spec ~n ~seed
+  in
+  stats.Core.Runner.store_shard_hits <-
+    stats.Core.Runner.store_shard_hits + rs.shards_from_store;
+  stats.Core.Runner.shards_executed <-
+    stats.Core.Runner.shards_executed + rs.shards_executed;
+  result
+
+let runner ?n ?seed ?(jobs = 1) ?shard_size ?store ?progress () =
+  Core.Runner.create ?n ?seed
+    ~dispatch:(dispatch ~jobs ?shard_size ?store ?progress ())
+    ()

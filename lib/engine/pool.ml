@@ -1,0 +1,63 @@
+(* Fixed pool of worker domains over a work-stealing deque per worker.
+
+   Tasks are distributed round-robin across the deques up front; each
+   worker drains its own deque bottom-first and steals from its neighbours
+   (oldest task first) when empty.  The calling domain participates as
+   worker 0, so [jobs = 1] spawns no domains at all and runs the tasks
+   inline.  Tasks never spawn tasks, so a worker that finds every deque
+   empty is done for good; [Domain.join] is the completion barrier. *)
+
+let run ~jobs (tasks : (worker:int -> unit) array) =
+  let ntasks = Array.length tasks in
+  if ntasks = 0 then ()
+  else begin
+    let jobs = max 1 (min jobs ntasks) in
+    if jobs = 1 then Array.iter (fun f -> f ~worker:0) tasks
+    else begin
+      let deques = Array.init jobs (fun _ -> Deque.create ()) in
+      Array.iteri (fun i _ -> Deque.push_bottom deques.(i mod jobs) i) tasks;
+      let take me =
+        match Deque.pop_bottom deques.(me) with
+        | Some _ as t -> t
+        | None ->
+            let rec steal k =
+              if k >= jobs then None
+              else
+                match Deque.steal_top deques.((me + k) mod jobs) with
+                | Some _ as t -> t
+                | None -> steal (k + 1)
+            in
+            steal 1
+      in
+      (* Tasks are all enqueued before any domain starts and never spawn
+         tasks, so deque emptiness is monotone: once [take] finds every
+         deque empty, no task will ever appear again and the worker can
+         exit instead of waiting — in-flight tasks finish on the workers
+         that claimed them, and [Domain.join] below is the barrier. *)
+      let worker me =
+        let rec loop () =
+          match take me with
+          | Some i ->
+              tasks.(i) ~worker:me;
+              loop ()
+          | None -> ()
+        in
+        loop ()
+      in
+      let failure = Atomic.make None in
+      let guarded me () =
+        try worker me
+        with exn ->
+          (* Record the first failure; this worker's unclaimed tasks are
+             picked up by thieves, and the error re-raises after joins. *)
+          ignore (Atomic.compare_and_set failure None (Some exn))
+      in
+      let domains =
+        Array.init (jobs - 1) (fun i ->
+            Domain.spawn (fun () -> guarded (i + 1) ()))
+      in
+      guarded 0 ();
+      Array.iter Domain.join domains;
+      match Atomic.get failure with Some exn -> raise exn | None -> ()
+    end
+  end

@@ -1,0 +1,9 @@
+(** Fixed worker-domain pool with work stealing.
+
+    [run ~jobs tasks] executes every task, using the calling domain as
+    worker 0 plus [jobs - 1] spawned domains (none for [jobs = 1]).
+    Each task receives the id of the worker that ran it.  Returns when
+    all tasks have finished; if a task raises, the first such exception
+    is re-raised in the caller after all workers have stopped. *)
+
+val run : jobs:int -> (worker:int -> unit) array -> unit

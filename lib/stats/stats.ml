@@ -48,6 +48,15 @@ module Histogram = struct
     t.counts.(key) <- t.counts.(key) + 1;
     t.total <- t.total + 1
 
+  let add_count t key count =
+    if key < 0 then invalid_arg "Histogram.add_count: negative key";
+    if count < 0 then invalid_arg "Histogram.add_count: negative count";
+    if count > 0 then begin
+      ensure t key;
+      t.counts.(key) <- t.counts.(key) + count;
+      t.total <- t.total + count
+    end
+
   let count t key =
     if key < 0 || key >= Array.length t.counts then 0 else t.counts.(key)
 

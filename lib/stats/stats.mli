@@ -37,6 +37,11 @@ module Histogram : sig
 
   val create : unit -> t
   val add : t -> int -> unit
+
+  val add_count : t -> int -> int -> unit
+  (** [add_count t key c] records [c] occurrences of [key] at once; how
+      shard histograms are folded back together after a parallel run. *)
+
   val count : t -> int -> int
   val total : t -> int
 

@@ -1,0 +1,29 @@
+(** Minimal JSON codec with a canonical rendering.
+
+    The store checksums each record over its serialised form, so the one
+    property this codec guarantees beyond round-tripping is that
+    [to_string] of a parsed canonical document reproduces the input bytes
+    exactly (no whitespace, ["%.17g"] numbers, integral floats printed as
+    integers). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+val mem : string -> t -> t option
+(** Object field lookup. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** Also accepts [Int] (integral floats render without a point). *)
+
+val to_str : t -> string option
+val to_list : t -> t list option

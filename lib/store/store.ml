@@ -1,0 +1,418 @@
+(* Append-only, checksummed, segmented result store.
+
+   Layout: a directory of `seg-NNNNNN.jsonl` files.  Each line is one
+   record `{"c":"<md5>","k":KEY,"v":VALUE}` where the checksum is the md5
+   of the canonical serialisation of `{"k":KEY,"v":VALUE}`.  Appends go to
+   the highest-numbered segment and are flushed record-by-record, so a
+   killed run loses at most the record being written — which the loader
+   recognises as a truncated tail and drops.  Compaction (gc) writes the
+   live records to a fresh segment under a temporary name, fsyncs it, and
+   renames it into place before unlinking the old segments; rename is the
+   atomic commit point. *)
+
+module Jsonx = Jsonx
+
+type key = {
+  program : string;
+  digest : string;  (* md5 hex of the printed IR *)
+  technique : string;
+  max_mbf : int;
+  win : string;
+  n : int;
+  seed : int64;
+  lo : int;
+  hi : int;
+}
+
+let key ~program ~digest ~(spec : Core.Spec.t) ~n ~seed ~lo ~hi =
+  {
+    program;
+    digest;
+    technique = Core.Technique.to_string spec.technique;
+    max_mbf = spec.max_mbf;
+    win = Core.Win.to_string spec.win;
+    n;
+    seed;
+    lo;
+    hi;
+  }
+
+let key_json k =
+  Jsonx.Obj
+    [
+      ("p", Str k.program);
+      ("d", Str k.digest);
+      ("t", Str k.technique);
+      ("m", Int k.max_mbf);
+      ("w", Str k.win);
+      ("n", Int k.n);
+      ("s", Str (Int64.to_string k.seed));
+      ("lo", Int k.lo);
+      ("hi", Int k.hi);
+    ]
+
+let key_of_json j =
+  let open Jsonx in
+  let ( let* ) = Option.bind in
+  let* p = Option.bind (mem "p" j) to_str in
+  let* d = Option.bind (mem "d" j) to_str in
+  let* t = Option.bind (mem "t" j) to_str in
+  let* m = Option.bind (mem "m" j) to_int in
+  let* w = Option.bind (mem "w" j) to_str in
+  let* n = Option.bind (mem "n" j) to_int in
+  let* s = Option.bind (mem "s" j) to_str in
+  let* seed = Int64.of_string_opt s in
+  let* lo = Option.bind (mem "lo" j) to_int in
+  let* hi = Option.bind (mem "hi" j) to_int in
+  Some
+    { program = p; digest = d; technique = t; max_mbf = m; win = w; n; seed;
+      lo; hi }
+
+let shard_json (s : Core.Campaign.shard) =
+  Jsonx.Obj
+    [
+      ("b", Int s.s_benign);
+      ("det", Int s.s_detected);
+      ("h", Int s.s_hang);
+      ("no", Int s.s_no_output);
+      ("sdc", Int s.s_sdc);
+      ( "traps",
+        Arr
+          (List.map
+             (fun (t, c) ->
+               Jsonx.Arr [ Str (Vm.Trap.to_string t); Int c ])
+             s.s_traps) );
+      ( "act",
+        Arr
+          (List.map (fun (k, c) -> Jsonx.Arr [ Int k; Int c ]) s.s_activation)
+      );
+      ("ws", Float s.s_weighted_sdc);
+      ("wt", Float s.s_weighted_total);
+    ]
+
+let shard_of_json ~lo ~hi j : Core.Campaign.shard option =
+  let open Jsonx in
+  let ( let* ) = Option.bind in
+  let* b = Option.bind (mem "b" j) to_int in
+  let* det = Option.bind (mem "det" j) to_int in
+  let* h = Option.bind (mem "h" j) to_int in
+  let* no = Option.bind (mem "no" j) to_int in
+  let* sdc = Option.bind (mem "sdc" j) to_int in
+  let* traps_j = Option.bind (mem "traps" j) to_list in
+  let* act_j = Option.bind (mem "act" j) to_list in
+  let* ws = Option.bind (mem "ws" j) to_float in
+  let* wt = Option.bind (mem "wt" j) to_float in
+  let* traps =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match item with
+        | Arr [ Str name; Int c ] ->
+            let* trap = Vm.Trap.of_string name in
+            Some ((trap, c) :: acc)
+        | _ -> None)
+      (Some []) traps_j
+  in
+  let* act =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match item with
+        | Arr [ Int k; Int c ] -> Some ((k, c) :: acc)
+        | _ -> None)
+      (Some []) act_j
+  in
+  Some
+    {
+      Core.Campaign.lo;
+      hi;
+      s_benign = b;
+      s_detected = det;
+      s_hang = h;
+      s_no_output = no;
+      s_sdc = sdc;
+      s_traps = List.rev traps;
+      s_activation = List.rev act;
+      s_weighted_sdc = ws;
+      s_weighted_total = wt;
+      s_experiments = [||];
+    }
+
+let record_line k shard =
+  let payload =
+    Jsonx.to_string (Obj [ ("k", key_json k); ("v", shard_json shard) ])
+  in
+  let sum = Digest.to_hex (Digest.string payload) in
+  Printf.sprintf "{\"c\":\"%s\",%s" sum
+    (String.sub payload 1 (String.length payload - 1))
+
+(* Decode one line; distinguishes a well-formed record from damage. *)
+let decode_line line : (key * Core.Campaign.shard, [ `Damaged ]) result =
+  match Jsonx.of_string line with
+  | Error _ -> Error `Damaged
+  | Ok j -> (
+      let open Jsonx in
+      match (mem "c" j, mem "k" j, mem "v" j) with
+      | Some (Str sum), Some kj, Some vj -> (
+          let payload = to_string (Obj [ ("k", kj); ("v", vj) ]) in
+          if not (String.equal sum (Digest.to_hex (Digest.string payload)))
+          then Error `Damaged
+          else
+            match key_of_json kj with
+            | None -> Error `Damaged
+            | Some k -> (
+                match shard_of_json ~lo:k.lo ~hi:k.hi vj with
+                | Some shard -> Ok (k, shard)
+                | None -> Error `Damaged))
+      | _ -> Error `Damaged)
+
+type stats = {
+  records : int;
+  segments : int;
+  bytes : int;
+  truncated : int;  (** incomplete tail records dropped at open *)
+  corrupt : int;  (** checksum/shape-rejected records dropped at open *)
+}
+
+type gc_report = {
+  live_records : int;
+  dropped_duplicates : int;
+  segments_before : int;
+  segments_after : int;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+type t = {
+  dir : string;
+  segment_bytes : int;
+  fsync : bool;
+  index : (string, key * Core.Campaign.shard) Hashtbl.t;
+  lock : Mutex.t;
+  mutable active : int;
+  mutable chan : out_channel;
+  mutable active_bytes : int;
+  mutable segment_list : int list;  (* ascending segment numbers *)
+  mutable truncated : int;
+  mutable corrupt : int;
+  mutable duplicates : int;  (* records shadowed by a later same-key record *)
+}
+
+let segment_name i = Printf.sprintf "seg-%06d.jsonl" i
+let segment_path t i = Filename.concat t.dir (segment_name i)
+
+let parse_segment_name name =
+  if
+    String.length name = 16
+    && String.sub name 0 4 = "seg-"
+    && Filename.check_suffix name ".jsonl"
+  then int_of_string_opt (String.sub name 4 6)
+  else None
+
+let list_segments dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map parse_segment_name
+  |> List.sort compare
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let canonical_key k = Jsonx.to_string (key_json k)
+
+let load_segment t ~is_last path =
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  let len = String.length text in
+  let ends_with_newline = len > 0 && text.[len - 1] = '\n' in
+  let lines = String.split_on_char '\n' text in
+  (* split_on_char leaves a trailing "" when the text ends with '\n'. *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let total = List.length lines in
+  List.iteri
+    (fun i line ->
+      if String.length line > 0 then
+        match decode_line line with
+        | Ok (k, shard) ->
+            let ck = canonical_key k in
+            if Hashtbl.mem t.index ck then t.duplicates <- t.duplicates + 1;
+            Hashtbl.replace t.index ck (k, shard)
+        | Error `Damaged ->
+            (* An unterminated final line of the newest segment is the
+               signature of a run killed mid-append; anything else is
+               corruption. *)
+            if is_last && i = total - 1 && not ends_with_newline then
+              t.truncated <- t.truncated + 1
+            else t.corrupt <- t.corrupt + 1)
+    lines
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let open_dir ?(segment_bytes = 8 * 1024 * 1024) ?(fsync = false) dir =
+  mkdir_p dir;
+  let segments = list_segments dir in
+  let t =
+    {
+      dir;
+      segment_bytes;
+      fsync;
+      index = Hashtbl.create 1024;
+      lock = Mutex.create ();
+      active = (match List.rev segments with s :: _ -> s | [] -> 1);
+      chan = stdout (* replaced below *);
+      active_bytes = 0;
+      segment_list = (match segments with [] -> [ 1 ] | l -> l);
+      truncated = 0;
+      corrupt = 0;
+      duplicates = 0;
+    }
+  in
+  let last = List.length segments - 1 in
+  List.iteri
+    (fun i s ->
+      load_segment t ~is_last:(i = last) (segment_path t s))
+    segments;
+  let active_path = segment_path t t.active in
+  t.chan <-
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 active_path;
+  t.active_bytes <- file_size active_path;
+  t
+
+let flush_chan t =
+  flush t.chan;
+  if t.fsync then Unix.fsync (Unix.descr_of_out_channel t.chan)
+
+let rotate_locked t =
+  flush_chan t;
+  close_out t.chan;
+  t.active <- t.active + 1;
+  t.segment_list <- t.segment_list @ [ t.active ];
+  t.chan <-
+    open_out_gen
+      [ Open_append; Open_creat; Open_binary ]
+      0o644 (segment_path t t.active);
+  t.active_bytes <- 0
+
+let add t k shard =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      let ck = canonical_key k in
+      if not (Hashtbl.mem t.index ck) then begin
+        let line = record_line k shard in
+        if
+          t.active_bytes > 0
+          && t.active_bytes + String.length line + 1 > t.segment_bytes
+        then rotate_locked t;
+        output_string t.chan line;
+        output_char t.chan '\n';
+        flush_chan t;
+        t.active_bytes <- t.active_bytes + String.length line + 1;
+        Hashtbl.replace t.index ck
+          (k, { shard with Core.Campaign.s_experiments = [||] })
+      end)
+
+let lookup t k =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      Option.map snd (Hashtbl.find_opt t.index (canonical_key k)))
+
+let fold t f acc =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () -> Hashtbl.fold (fun _ (k, shard) acc -> f k shard acc) t.index acc)
+
+let stats t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      flush t.chan;
+      let bytes =
+        List.fold_left
+          (fun acc s ->
+            let p = segment_path t s in
+            acc + (if Sys.file_exists p then file_size p else 0))
+          0 t.segment_list
+      in
+      {
+        records = Hashtbl.length t.index;
+        segments = List.length t.segment_list;
+        bytes;
+        truncated = t.truncated;
+        corrupt = t.corrupt;
+      })
+
+let gc t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      flush t.chan;
+      let bytes_before =
+        List.fold_left
+          (fun acc s ->
+            let p = segment_path t s in
+            acc + (if Sys.file_exists p then file_size p else 0))
+          0 t.segment_list
+      in
+      let segments_before = List.length t.segment_list in
+      let old_segments = t.segment_list in
+      close_out t.chan;
+      let fresh = t.active + 1 in
+      let final_path = segment_path t fresh in
+      let tmp_path = final_path ^ ".tmp" in
+      let oc = open_out_bin tmp_path in
+      let live =
+        Hashtbl.fold (fun _ (k, shard) acc -> (k, shard) :: acc) t.index []
+        |> List.sort (fun ((a : key), _) (b, _) -> compare a b)
+      in
+      List.iter
+        (fun (k, shard) ->
+          output_string oc (record_line k shard);
+          output_char oc '\n')
+        live;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc);
+      close_out oc;
+      Sys.rename tmp_path final_path;
+      List.iter
+        (fun s ->
+          let p = segment_path t s in
+          if Sys.file_exists p then Sys.remove p)
+        old_segments;
+      t.active <- fresh;
+      t.segment_list <- [ fresh ];
+      t.chan <-
+        open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 final_path;
+      t.active_bytes <- file_size final_path;
+      let dropped = t.duplicates in
+      t.duplicates <- 0;
+      {
+        live_records = List.length live;
+        dropped_duplicates = dropped;
+        segments_before;
+        segments_after = 1;
+        bytes_before;
+        bytes_after = t.active_bytes;
+      })
+
+let close t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      flush t.chan;
+      (try Unix.fsync (Unix.descr_of_out_channel t.chan)
+       with Unix.Unix_error _ -> ());
+      close_out t.chan)
+
+let dir t = t.dir

@@ -1,0 +1,73 @@
+(** Crash-tolerant, append-only campaign result store.
+
+    Results are stored at shard granularity, keyed by (program, IR digest,
+    spec, n, seed, shard range), as checksummed JSONL records in numbered
+    segment files.  Appends are flushed record-by-record so a killed run
+    loses at most the record being written; the loader drops an
+    unterminated tail record and rejects any record whose checksum or
+    shape is wrong.  Compaction rewrites the live records into a fresh
+    segment with an atomic rename.
+
+    The store is safe to share between the engine's worker domains: all
+    operations take an internal lock. *)
+
+module Jsonx : module type of Jsonx
+(** The canonical JSON codec used for records (re-exported for tests). *)
+
+type t
+
+type key = {
+  program : string;
+  digest : string;  (** md5 hex of the printed IR ({!Core.Workload.digest}) *)
+  technique : string;
+  max_mbf : int;
+  win : string;
+  n : int;  (** campaign size the shard belongs to *)
+  seed : int64;
+  lo : int;
+  hi : int;
+}
+
+val key :
+  program:string ->
+  digest:string ->
+  spec:Core.Spec.t ->
+  n:int -> seed:int64 -> lo:int -> hi:int -> key
+
+type stats = {
+  records : int;
+  segments : int;
+  bytes : int;
+  truncated : int;  (** incomplete tail records dropped at open *)
+  corrupt : int;  (** checksum/shape-rejected records dropped at open *)
+}
+
+type gc_report = {
+  live_records : int;
+  dropped_duplicates : int;
+  segments_before : int;
+  segments_after : int;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+val open_dir : ?segment_bytes:int -> ?fsync:bool -> string -> t
+(** Open (creating if necessary) a store directory.  [segment_bytes]
+    (default 8 MiB) bounds a segment before rotation; [fsync] (default
+    false) additionally fsyncs after every appended record — record
+    flushes alone already survive a killed process, fsync extends that to
+    a crashed machine. *)
+
+val lookup : t -> key -> Core.Campaign.shard option
+val add : t -> key -> Core.Campaign.shard -> unit
+(** Durably append one shard result (no-op if the key is already
+    present).  Kept experiment records are not persisted. *)
+
+val fold : t -> (key -> Core.Campaign.shard -> 'a -> 'a) -> 'a -> 'a
+val stats : t -> stats
+val gc : t -> gc_report
+(** Compact: rewrite live records into one fresh segment (fsync + atomic
+    rename), then unlink the old segments. *)
+
+val close : t -> unit
+val dir : t -> string

@@ -25,3 +25,5 @@ let all =
     Stack_overflow;
     Guard_violation;
   ]
+
+let of_string s = List.find_opt (fun t -> String.equal (to_string t) s) all

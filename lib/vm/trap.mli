@@ -18,3 +18,7 @@ exception Trap of t
 
 val to_string : t -> string
 val all : t list
+
+val of_string : string -> t option
+(** Inverse of {!to_string}; how the result store deserialises trap
+    breakdowns. *)
