@@ -88,26 +88,55 @@ let seed_arg =
 
 let jobs_arg =
   Arg.(
-    value & opt int 1
-    & info [ "j"; "jobs" ]
-        ~env:(Cmd.Env.info "ONEBIT_JOBS")
-        ~docv:"N"
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Worker domains for campaign execution (0 = one per core).  \
-           Results are bit-identical at any value.")
+          "Worker domains for campaign execution (0 = one per core; \
+           overrides $(b,ONEBIT_JOBS)).  Results are bit-identical at any \
+           value.")
 
 let store_arg =
   Arg.(
     value
     & opt (some string) None
-    & info [ "store" ]
-        ~env:(Cmd.Env.info "ONEBIT_STORE")
-        ~docv:"DIR"
+    & info [ "store" ] ~docv:"DIR"
         ~doc:
-          "Crash-tolerant result store directory: finished shards are \
-           appended durably as they complete, and shards already present \
-           are not re-executed, so an interrupted run resumes where it \
-           stopped and separate runs reuse each other's work.")
+          "Crash-tolerant result store directory (overrides \
+           $(b,ONEBIT_STORE)): finished shards are appended durably as \
+           they complete, and shards already present are not re-executed, \
+           so an interrupted run resumes where it stopped and separate \
+           runs reuse each other's work.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Enable metrics collection and write a Prometheus-style text \
+           dump to $(docv) at exit ($(b,-) for stderr; overrides \
+           $(b,ONEBIT_METRICS)).")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Enable span tracing and write the spans as JSONL to $(docv) at \
+           exit ($(b,-) for stderr; overrides $(b,ONEBIT_TRACE)).")
+
+(* Flag > environment > default: layer the CLI flags over the
+   environment-resolved configuration.  The environment sinks are armed
+   once at startup (see the main entry point); flag-given sinks are
+   added here. *)
+let resolve_config ?jobs ?store ?metrics ?trace () =
+  let cfg =
+    Core.Config.override ?jobs ?store ?metrics ?trace (Core.Config.of_env ())
+  in
+  Obs.install_sink ?metrics ?trace ();
+  cfg
 
 let with_store store_dir f =
   match store_dir with
@@ -179,14 +208,17 @@ let golden_cmd =
 (* ---- campaign ---- *)
 
 let campaign_cmd =
-  let run program technique max_mbf win n seed csv jobs store_dir =
+  let run program technique max_mbf win n seed csv jobs store_dir metrics
+      trace =
+    let cfg = resolve_config ?jobs ?store:store_dir ?metrics ?trace () in
     let w = load_workload program in
     let spec = spec_of technique max_mbf win in
     let r =
-      with_store store_dir (fun store ->
+      with_store cfg.Core.Config.store (fun store ->
           let progress = Engine.Progress.create () in
           Engine.Progress.with_reporter progress (fun () ->
-              Engine.run_campaign ~jobs ?store ~progress w spec ~n ~seed))
+              Engine.run_campaign ~jobs:cfg.Core.Config.jobs ?store ~progress
+                w spec ~n ~seed))
     in
     if csv then (
       print_endline Core.Csv.header;
@@ -223,24 +255,26 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc:"Run one fault-injection campaign.")
     Term.(
       const run $ program_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
-      $ seed_arg $ csv_arg $ jobs_arg $ store_arg)
+      $ seed_arg $ csv_arg $ jobs_arg $ store_arg $ metrics_arg $ trace_arg)
 
 (* ---- plan ---- *)
 
 let plan_cmd =
-  let run program n seed both technique jobs store_dir =
+  let run program n seed both technique jobs store_dir metrics trace =
+    let cfg = resolve_config ?jobs ?store:store_dir ?metrics ?trace () in
     let w = load_workload program in
     let specs =
       if both then Core.Table1.all_specs else Core.Table1.specs technique
     in
-    with_store store_dir (fun store ->
+    with_store cfg.Core.Config.store (fun store ->
         let progress = Engine.Progress.create () in
         Engine.Progress.with_reporter progress (fun () ->
             print_endline Core.Csv.header;
             List.iter
               (fun spec ->
                 let r =
-                  Engine.run_campaign ~jobs ?store ~progress w spec ~n ~seed
+                  Engine.run_campaign ~jobs:cfg.Core.Config.jobs ?store
+                    ~progress w spec ~n ~seed
                 in
                 print_endline (Core.Csv.row r))
               specs))
@@ -257,7 +291,7 @@ let plan_cmd =
           technique), emitting CSV.")
     Term.(
       const run $ program_arg $ n_arg $ seed_arg $ both_arg $ technique_arg
-      $ jobs_arg $ store_arg)
+      $ jobs_arg $ store_arg $ metrics_arg $ trace_arg)
 
 (* ---- experiment ---- *)
 
@@ -459,6 +493,35 @@ let harden_cmd =
           resilience against the baseline.")
     Term.(const run $ program_arg $ light_arg $ dump_arg $ n_arg $ seed_arg)
 
+(* ---- metrics ---- *)
+
+let metrics_cmd =
+  let run program =
+    Obs.set_enabled true;
+    (match program with
+    | Some p ->
+        (* Loading a workload performs exactly one golden VM run, so the
+           vm_* counters show that run's instruction/trap totals. *)
+        ignore (load_workload p)
+    | None -> ());
+    print_string (Obs.render ())
+  in
+  let program_opt =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM"
+          ~doc:
+            "Optional program whose golden run populates the VM counters \
+             before dumping.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Print the metrics registry as a Prometheus-style text dump.  \
+          Without $(i,PROGRAM) every registered metric is shown at zero — \
+          a machine-readable catalogue of the instrumentation.")
+    Term.(const run $ program_opt)
+
 (* ---- engine ---- *)
 
 let require_store store_dir =
@@ -472,7 +535,9 @@ let require_store store_dir =
 
 let engine_status_cmd =
   let run store_dir =
-    let dir = require_store store_dir in
+    match (resolve_config ?store:store_dir ()).Core.Config.store with
+    | None -> print_endline "no store configured"
+    | Some dir ->
     let st = Store.open_dir dir in
     Fun.protect
       ~finally:(fun () -> Store.close st)
@@ -527,7 +592,9 @@ let engine_status_cmd =
 
 let engine_gc_cmd =
   let run store_dir =
-    let dir = require_store store_dir in
+    let dir =
+      require_store (resolve_config ?store:store_dir ()).Core.Config.store
+    in
     let st = Store.open_dir dir in
     Fun.protect
       ~finally:(fun () -> Store.close st)
@@ -552,6 +619,9 @@ let engine_cmd =
     [ engine_status_cmd; engine_gc_cmd ]
 
 let () =
+  (* Arm any ONEBIT_METRICS / ONEBIT_TRACE sinks for every subcommand;
+     flag-given sinks are added per-command by [resolve_config]. *)
+  Core.Config.install (Core.Config.of_env ());
   let doc = "single/multiple bit-flip fault injection (DSN'17 reproduction)" in
   let info = Cmd.info "onebit" ~version:"1.0.0" ~doc in
   exit
@@ -559,5 +629,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; dump_cmd; golden_cmd; campaign_cmd; plan_cmd;
-            experiment_cmd; run_ir_cmd; lint_cmd; harden_cmd; engine_cmd;
+            experiment_cmd; run_ir_cmd; lint_cmd; harden_cmd; metrics_cmd;
+            engine_cmd;
           ]))

@@ -1,0 +1,101 @@
+(* Unified runtime configuration.
+
+   Every ONEBIT_* environment variable is resolved here and nowhere
+   else; CLI flags override by way of [override].  Precedence is
+   flag > environment > default, and each resolver preserves the
+   historical lenient parsing (an unparsable value falls back rather
+   than failing, ONEBIT_JOBS=0 means one worker per core, an empty
+   ONEBIT_STORE means no store). *)
+
+type t = {
+  n : int;
+  seed : int64;
+  programs : string list option;
+  cap : int;
+  prune_n : int;
+  jobs : int;
+  shard_size : int;
+  store : string option;
+  progress : bool;
+  metrics : string option;
+  trace : string option;
+}
+
+let default =
+  {
+    n = 100;
+    seed = 20170626L;
+    programs = None;
+    cap = 400;
+    prune_n = 40;
+    jobs = 1;
+    shard_size = 25;
+    store = None;
+    progress = false;
+    metrics = None;
+    trace = None;
+  }
+
+(* [jobs] semantics shared by env and flags: a positive value is taken
+   literally, 0 (or an unparsable env value) means one worker per
+   recommended domain. *)
+let resolve_jobs j =
+  if j > 0 then j else Domain.recommended_domain_count ()
+
+let of_env ?(getenv = Sys.getenv_opt) () =
+  let int name fallback =
+    match Option.bind (getenv name) int_of_string_opt with
+    | Some v -> v
+    | None -> fallback
+  in
+  let path name =
+    match getenv name with Some p when p <> "" -> Some p | _ -> None
+  in
+  {
+    n = int "ONEBIT_N" default.n;
+    seed =
+      (match Option.bind (getenv "ONEBIT_SEED") Int64.of_string_opt with
+      | Some s -> s
+      | None -> default.seed);
+    programs = Option.map (String.split_on_char ',') (getenv "ONEBIT_PROGRAMS");
+    cap = int "ONEBIT_CAP" default.cap;
+    prune_n = int "ONEBIT_PRUNE_N" default.prune_n;
+    jobs =
+      (match getenv "ONEBIT_JOBS" with
+      | None -> default.jobs
+      | Some s -> (
+          match int_of_string_opt s with
+          | Some j when j > 0 -> j
+          | Some _ | None -> Domain.recommended_domain_count ()));
+    shard_size =
+      (match Option.bind (getenv "ONEBIT_SHARD") int_of_string_opt with
+      | Some s when s > 0 -> s
+      | Some _ | None -> default.shard_size);
+    store = path "ONEBIT_STORE";
+    progress =
+      (match getenv "ONEBIT_PROGRESS" with
+      | Some ("1" | "true" | "yes") -> true
+      | Some _ | None -> false);
+    metrics = path "ONEBIT_METRICS";
+    trace = path "ONEBIT_TRACE";
+  }
+
+let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
+    ?progress ?metrics ?trace t =
+  let opt v fallback = Option.value v ~default:fallback in
+  {
+    n = opt n t.n;
+    seed = opt seed t.seed;
+    programs = (match programs with Some p -> Some p | None -> t.programs);
+    cap = opt cap t.cap;
+    prune_n = opt prune_n t.prune_n;
+    jobs = (match jobs with Some j -> resolve_jobs j | None -> t.jobs);
+    shard_size =
+      (match shard_size with Some s when s > 0 -> s | Some _ -> t.shard_size | None -> t.shard_size);
+    store = (match store with Some d -> Some d | None -> t.store);
+    progress = opt progress t.progress;
+    metrics = (match metrics with Some p -> Some p | None -> t.metrics);
+    trace = (match trace with Some p -> Some p | None -> t.trace);
+  }
+
+let install t = Obs.install_sink ?metrics:t.metrics ?trace:t.trace ()

@@ -1,0 +1,69 @@
+(** Unified runtime configuration — the single source of truth for every
+    [ONEBIT_*] environment variable.
+
+    Resolution precedence is CLI flag > environment > default:
+    {!of_env} reads the environment, {!override} layers explicit (flag)
+    values on top, and no other module in the repository may call
+    [Sys.getenv] on an [ONEBIT_*] name.
+
+    Variables covered:
+    - [ONEBIT_N] — experiments per campaign (bench; default 100)
+    - [ONEBIT_SEED] — base campaign seed (default 20170626)
+    - [ONEBIT_PROGRAMS] — comma-separated program subset (bench)
+    - [ONEBIT_CAP] — Table IV replay cap (default 400)
+    - [ONEBIT_PRUNE_N] — prune-static validation injections (default 40)
+    - [ONEBIT_JOBS] — worker domains; 0 or unparsable = one per core,
+      unset = 1
+    - [ONEBIT_SHARD] — experiments per shard (default 25)
+    - [ONEBIT_STORE] — result-store directory (empty = none)
+    - [ONEBIT_PROGRESS] — 1/true/yes = live stderr reporter
+    - [ONEBIT_METRICS] — metrics dump path, written at exit
+      ("-"/"stderr" = stderr); setting it enables collection
+    - [ONEBIT_TRACE] — JSONL span-trace path, written at exit; setting
+      it enables collection and tracing *)
+
+type t = {
+  n : int;
+  seed : int64;
+  programs : string list option;
+  cap : int;
+  prune_n : int;
+  jobs : int;  (** resolved: always >= 1 *)
+  shard_size : int;
+  store : string option;
+  progress : bool;
+  metrics : string option;
+  trace : string option;
+}
+
+val default : t
+
+val of_env : ?getenv:(string -> string option) -> unit -> t
+(** Resolve from the environment ([getenv] defaults to
+    [Sys.getenv_opt]; injectable for tests). *)
+
+val override :
+  ?n:int ->
+  ?seed:int64 ->
+  ?programs:string list ->
+  ?cap:int ->
+  ?prune_n:int ->
+  ?jobs:int ->
+  ?shard_size:int ->
+  ?store:string ->
+  ?progress:bool ->
+  ?metrics:string ->
+  ?trace:string ->
+  t -> t
+(** Layer explicit values (CLI flags) over a resolved configuration.
+    [jobs <= 0] means one worker per recommended domain; a
+    non-positive [shard_size] is ignored. *)
+
+val resolve_jobs : int -> int
+(** [resolve_jobs j] is [j] if positive, else the recommended domain
+    count. *)
+
+val install : t -> unit
+(** Arm the observability sinks described by [metrics]/[trace]
+    (enables collection and registers at-exit dump writers); a no-op if
+    neither is set. *)

@@ -6,11 +6,18 @@ type t = {
   output : string;
 }
 
+let m_experiments = Obs.Metrics.counter "onebit_injector_experiments_total"
+let m_activations = Obs.Metrics.counter "onebit_injector_activations_total"
+
 let run_inj workload (spec : Spec.t) inj =
   let res = Vm.Exec.run ~hooks:(Injector.hooks inj) ~budget:workload.Workload.budget
       workload.prog
   in
   ignore spec;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_experiments;
+    Obs.Metrics.add m_activations (Injector.activated inj)
+  end;
   {
     outcome = Outcome.classify ~golden_output:workload.golden.output res;
     activated = Injector.activated inj;

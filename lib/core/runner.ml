@@ -53,12 +53,19 @@ let get t ~kept workload spec =
   match Hashtbl.find_opt t.cache key with
   | Some r ->
       t.stats.mem_hits <- t.stats.mem_hits + 1;
+      Obs.Snapshot.count { Obs.Snapshot.zero with mem_hits = 1 };
       r
   | None ->
       t.stats.dispatched <- t.stats.dispatched + 1;
+      Obs.Snapshot.count { Obs.Snapshot.zero with dispatched = 1 };
       let seed = derived_seed t workload.Workload.name spec in
       let r =
-        t.dispatch t.stats ~keep_experiments:kept workload spec ~n:t.n ~seed
+        let dispatch () =
+          t.dispatch t.stats ~keep_experiments:kept workload spec ~n:t.n ~seed
+        in
+        if Obs.Trace.enabled () then
+          Obs.Trace.with_span ("dispatch " ^ key) dispatch
+        else dispatch ()
       in
       Hashtbl.replace t.cache key r;
       r
@@ -68,15 +75,14 @@ let campaign_kept t workload spec = get t ~kept:true workload spec
 let cache_size t = Hashtbl.length t.cache
 let cache_stats t = t.stats
 
-let pp_stats s =
-  Printf.sprintf
-    "%d memory hit%s, %d campaign%s dispatched, %d shard%s from store, %d \
-     shard%s executed"
-    s.mem_hits
-    (if s.mem_hits = 1 then "" else "s")
-    s.dispatched
-    (if s.dispatched = 1 then "" else "s")
-    s.store_shard_hits
-    (if s.store_shard_hits = 1 then "" else "s")
-    s.shards_executed
-    (if s.shards_executed = 1 then "" else "s")
+let snapshot_of_stats s =
+  {
+    Obs.Snapshot.zero with
+    mem_hits = s.mem_hits;
+    dispatched = s.dispatched;
+    shards_from_store = s.store_shard_hits;
+    shards_executed = s.shards_executed;
+  }
+
+let snapshot t = snapshot_of_stats t.stats
+let pp_stats s = Obs.Snapshot.pp (snapshot_of_stats s)

@@ -21,6 +21,11 @@ type stats = {
   mutable shards_executed : int;
       (** shards actually executed (engine dispatch only) *)
 }
+(** Legacy mutable per-runner accounting.  The fields remain writable
+    because engine dispatches fill them in, but readers should prefer
+    {!snapshot}, the unified [Obs.Snapshot.t] view shared with the
+    engine; the same totals also appear in a metrics dump as the
+    [onebit_runner_*_total] counters. *)
 
 type dispatch =
   stats ->
@@ -55,5 +60,11 @@ val cache_stats : t -> stats
 (** The live counters (not a copy): hits and misses of the in-memory
     cache, plus store/shard accounting filled in by engine dispatches. *)
 
+val snapshot : t -> Obs.Snapshot.t
+(** The runner's accounting as the unified snapshot value (the same
+    shape the engine reports); experiment totals are zero because the
+    runner counts whole campaigns, not experiments. *)
+
 val pp_stats : stats -> string
-(** One-line human-readable rendering of {!cache_stats}. *)
+(** One-line human-readable rendering of {!cache_stats}.  Alias for
+    [Obs.Snapshot.pp] over the converted record. *)

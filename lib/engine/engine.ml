@@ -17,19 +17,11 @@ module Progress = Progress
 
 let default_shard_size = 25
 
-let shard_size_from_env () =
-  match Option.bind (Sys.getenv_opt "ONEBIT_SHARD") int_of_string_opt with
-  | Some s when s > 0 -> s
-  | Some _ | None -> default_shard_size
-
-let jobs_from_env () =
-  match Option.bind (Sys.getenv_opt "ONEBIT_JOBS") int_of_string_opt with
-  | Some j when j > 0 -> j
-  | Some _ -> Domain.recommended_domain_count ()
-  | None -> 1
-
-let resolve_jobs jobs =
-  if jobs <= 0 then Domain.recommended_domain_count () else jobs
+(* Deprecated wrappers: runtime configuration now resolves in one place,
+   [Core.Config].  Kept so out-of-tree callers keep compiling. *)
+let shard_size_from_env () = (Core.Config.of_env ()).Core.Config.shard_size
+let jobs_from_env () = (Core.Config.of_env ()).Core.Config.jobs
+let resolve_jobs = Core.Config.resolve_jobs
 
 let shards_of ~n ~shard_size =
   if n <= 0 then invalid_arg "Engine.shards_of: n must be positive";
@@ -39,19 +31,29 @@ let shards_of ~n ~shard_size =
   in
   go 0 []
 
-type run_stats = {
+type run_stats = Obs.Snapshot.t = {
+  mem_hits : int;
+  dispatched : int;
   shards_from_store : int;
   shards_executed : int;
   experiments_from_store : int;
+  experiments_executed : int;
 }
+
+let span_if_tracing name f =
+  if Obs.Trace.enabled () then Obs.Trace.with_span name f else f ()
 
 let run_campaign_stats ?(jobs = 1) ?shard_size ?store ?progress
     ?(keep_experiments = false) workload spec ~n ~seed =
   if n <= 0 then invalid_arg "Engine.run_campaign: n must be positive";
   let jobs = resolve_jobs jobs in
   let shard_size =
-    match shard_size with Some s -> max 1 s | None -> shard_size_from_env ()
+    match shard_size with
+    | Some s -> max 1 s
+    | None -> (Core.Config.of_env ()).Core.Config.shard_size
   in
+  let label = workload.Core.Workload.name ^ " " ^ Core.Spec.label spec in
+  span_if_tracing ("campaign " ^ label) @@ fun () ->
   let ranges = Array.of_list (shards_of ~n ~shard_size) in
   let nshards = Array.length ranges in
   let results : Core.Campaign.shard option array = Array.make nshards None in
@@ -68,11 +70,7 @@ let run_campaign_stats ?(jobs = 1) ?shard_size ?store ?progress
               ~digest:workload.Core.Workload.digest ~spec ~n ~seed ~lo ~hi )
   in
   (match progress with
-  | Some p ->
-      Progress.begin_campaign p
-        ~label:
-          (workload.Core.Workload.name ^ " " ^ Core.Spec.label spec)
-        ~total:n
+  | Some p -> Progress.begin_campaign p ~label ~total:n
   | None -> ());
   let from_store = ref 0 and exp_from_store = ref 0 in
   let todo = ref [] in
@@ -96,6 +94,7 @@ let run_campaign_stats ?(jobs = 1) ?shard_size ?store ?progress
   let todo = Array.of_list (List.rev !todo) in
   let task i ~worker =
     let lo, hi = ranges.(i) in
+    span_if_tracing (Printf.sprintf "shard %d-%d %s" lo hi label) @@ fun () ->
     let t0 = Unix.gettimeofday () in
     let shard =
       Core.Campaign.run_shard ~keep_experiments workload spec ~seed ~lo ~hi
@@ -120,12 +119,17 @@ let run_campaign_stats ?(jobs = 1) ?shard_size ?store ?progress
     Core.Campaign.merge ~workload_name:workload.Core.Workload.name spec ~n
       ~seed shards
   in
-  ( result,
+  let stats =
     {
+      Obs.Snapshot.zero with
       shards_from_store = !from_store;
       shards_executed = Array.length todo;
       experiments_from_store = !exp_from_store;
-    } )
+      experiments_executed = n - !exp_from_store;
+    }
+  in
+  Obs.Snapshot.count stats;
+  (result, stats)
 
 let run_campaign ?jobs ?shard_size ?store ?progress ?keep_experiments
     workload spec ~n ~seed =

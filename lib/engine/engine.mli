@@ -7,7 +7,11 @@
     scheduling order.  Shard boundaries depend only on (n, shard size),
     never on the worker count, which is what lets a durable {!Store}
     populated by one run satisfy any later run and lets a killed run
-    resume by executing only its missing shards. *)
+    resume by executing only its missing shards.
+
+    Runtime knobs (worker count, shard size, store path, …) resolve in
+    {!Core.Config}; the [*_from_env] helpers here are deprecated
+    wrappers over it. *)
 
 module Deque = Deque
 module Pool = Pool
@@ -17,22 +21,31 @@ val default_shard_size : int
 (** 25 experiments per shard. *)
 
 val shard_size_from_env : unit -> int
-(** [ONEBIT_SHARD] if set to a positive integer, else
-    {!default_shard_size}. *)
+  [@@ocaml.deprecated "use Core.Config.of_env instead"]
+(** [(Core.Config.of_env ()).shard_size]: [ONEBIT_SHARD] if set to a
+    positive integer, else {!default_shard_size}. *)
 
 val jobs_from_env : unit -> int
-(** [ONEBIT_JOBS] if set: a positive integer is taken literally, 0 or a
-    non-integer means one worker per recommended domain; unset means 1
-    (sequential). *)
+  [@@ocaml.deprecated "use Core.Config.of_env instead"]
+(** [(Core.Config.of_env ()).jobs]: [ONEBIT_JOBS] if set (a positive
+    integer is taken literally, 0 or a non-integer means one worker per
+    recommended domain); unset means 1 (sequential). *)
 
 val shards_of : n:int -> shard_size:int -> (int * int) list
 (** The canonical [(lo, hi)] tiling of [0, n). *)
 
-type run_stats = {
+type run_stats = Obs.Snapshot.t = {
+  mem_hits : int;
+  dispatched : int;
   shards_from_store : int;
   shards_executed : int;
   experiments_from_store : int;
+  experiments_executed : int;
 }
+(** Per-call accounting, now the unified {!Obs.Snapshot.t} shared with
+    {!Core.Runner}.  An engine call leaves [mem_hits] and [dispatched]
+    zero — those belong to the memoising runner; use
+    {!Obs.Snapshot.add} to accumulate across calls. *)
 
 val run_campaign_stats :
   ?jobs:int ->
@@ -43,11 +56,11 @@ val run_campaign_stats :
   Core.Workload.t -> Core.Spec.t -> n:int -> seed:int64 ->
   Core.Campaign.result * run_stats
 (** Run one campaign.  [jobs <= 0] means one worker per recommended
-    domain; [jobs] defaults to 1 and [shard_size] to
-    {!shard_size_from_env}.  With a [store], shards already present are
-    not re-executed and newly computed shards are appended durably as
-    they finish ([keep_experiments] campaigns bypass the store: per-
-    experiment records are not persisted). *)
+    domain; [jobs] defaults to 1 and [shard_size] to the
+    [Core.Config.of_env] resolution of [ONEBIT_SHARD].  With a [store],
+    shards already present are not re-executed and newly computed shards
+    are appended durably as they finish ([keep_experiments] campaigns
+    bypass the store: per-experiment records are not persisted). *)
 
 val run_campaign :
   ?jobs:int ->

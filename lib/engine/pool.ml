@@ -5,14 +5,54 @@
    (oldest task first) when empty.  The calling domain participates as
    worker 0, so [jobs = 1] spawns no domains at all and runs the tasks
    inline.  Tasks never spawn tasks, so a worker that finds every deque
-   empty is done for good; [Domain.join] is the completion barrier. *)
+   empty is done for good; [Domain.join] is the completion barrier.
+
+   Observability: task and steal counts plus per-worker busy/idle wall
+   time go to the default metrics registry.  Timing is only taken when
+   collection is enabled, so a disabled run pays one flag check per
+   pool invocation. *)
+
+let m_tasks = Obs.Metrics.counter "onebit_engine_tasks_total"
+let m_steals = Obs.Metrics.counter "onebit_engine_steals_total"
+
+let worker_gauge name w =
+  Obs.Metrics.gauge ~labels:[ ("worker", string_of_int w) ] name
+
+(* Run every task of one worker through [f], accounting busy time; the
+   idle remainder of the worker's lifetime is recorded on exit. *)
+let instrumented me loop =
+  if not (Obs.Metrics.enabled ()) then loop (fun f -> f ())
+  else begin
+    let busy = ref 0.0 in
+    let started = Unix.gettimeofday () in
+    let timed f =
+      let t0 = Unix.gettimeofday () in
+      Fun.protect
+        ~finally:(fun () -> busy := !busy +. (Unix.gettimeofday () -. t0))
+        f
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        let total = Unix.gettimeofday () -. started in
+        Obs.Metrics.gadd (worker_gauge "onebit_engine_worker_busy_seconds" me)
+          !busy;
+        Obs.Metrics.gadd (worker_gauge "onebit_engine_worker_idle_seconds" me)
+          (Float.max 0.0 (total -. !busy)))
+      (fun () -> loop timed)
+  end
 
 let run ~jobs (tasks : (worker:int -> unit) array) =
   let ntasks = Array.length tasks in
   if ntasks = 0 then ()
   else begin
     let jobs = max 1 (min jobs ntasks) in
-    if jobs = 1 then Array.iter (fun f -> f ~worker:0) tasks
+    if jobs = 1 then
+      instrumented 0 (fun timed ->
+          Array.iter
+            (fun f ->
+              Obs.Metrics.incr m_tasks;
+              timed (fun () -> f ~worker:0))
+            tasks)
     else begin
       let deques = Array.init jobs (fun _ -> Deque.create ()) in
       Array.iteri (fun i _ -> Deque.push_bottom deques.(i mod jobs) i) tasks;
@@ -24,7 +64,9 @@ let run ~jobs (tasks : (worker:int -> unit) array) =
               if k >= jobs then None
               else
                 match Deque.steal_top deques.((me + k) mod jobs) with
-                | Some _ as t -> t
+                | Some _ as t ->
+                    Obs.Metrics.incr m_steals;
+                    t
                 | None -> steal (k + 1)
             in
             steal 1
@@ -35,14 +77,16 @@ let run ~jobs (tasks : (worker:int -> unit) array) =
          exit instead of waiting — in-flight tasks finish on the workers
          that claimed them, and [Domain.join] below is the barrier. *)
       let worker me =
-        let rec loop () =
-          match take me with
-          | Some i ->
-              tasks.(i) ~worker:me;
-              loop ()
-          | None -> ()
-        in
-        loop ()
+        instrumented me (fun timed ->
+            let rec loop () =
+              match take me with
+              | Some i ->
+                  Obs.Metrics.incr m_tasks;
+                  timed (fun () -> tasks.(i) ~worker:me);
+                  loop ()
+              | None -> ()
+            in
+            loop ())
       in
       let failure = Atomic.make None in
       let guarded me () =

@@ -131,6 +131,18 @@ let snapshot t =
         per_worker = Array.copy t.workers;
       })
 
+(* Live VM-instruction throughput from the metrics registry, when the
+   observability layer is collecting; empty otherwise so a plain
+   progress line is unchanged. *)
+let obs_suffix elapsed =
+  if (not (Obs.Metrics.enabled ())) || elapsed <= 0.0 then ""
+  else
+    match Obs.Metrics.find "onebit_vm_instructions_total" with
+    | Some (Obs.Metrics.Counter n) when n > 0 ->
+        Printf.sprintf " | %.1fM vm-instr/s"
+          (float_of_int n /. elapsed /. 1e6)
+    | _ -> ""
+
 let render s =
   let util =
     if Array.length s.per_worker = 0 || s.elapsed <= 0.0 then ""
@@ -145,16 +157,12 @@ let render s =
   in
   Printf.sprintf
     "%s %d/%d | %.0f exp/s | eta %.0fs | cum %d run + %d stored | b:%d d:%d \
-     h:%d n:%d s:%d%s"
+     h:%d n:%d s:%d%s%s"
     s.campaign_label s.campaign_done s.campaign_total s.rate s.eta
     s.experiments s.from_store s.benign s.detected s.hang s.no_output s.sdc
-    util
+    util (obs_suffix s.elapsed)
 
-let enabled_from_env () =
-  match Sys.getenv_opt "ONEBIT_PROGRESS" with
-  | Some ("1" | "true" | "yes") -> true
-  | Some _ -> false
-  | None -> false
+let enabled_from_env () = (Core.Config.of_env ()).Core.Config.progress
 
 let with_reporter ?(interval = 0.5) ?enabled t f =
   let enabled =

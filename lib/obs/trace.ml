@@ -1,0 +1,104 @@
+(* Lightweight span tracing.
+
+   A span is a begin/end event pair; spans nest per domain (begin A,
+   begin B, end B, end A).  Events carry a wall-clock timestamp and the
+   recording domain's id and are kept in one mutex-guarded buffer —
+   spans are coarse (campaigns, shards, dispatches), so contention on
+   the buffer is negligible next to the work they bracket.  Export is
+   JSONL, one event per line, in recording order. *)
+
+type event = { name : string; ph : char; (* 'B' | 'E' *) ts : float; dom : int }
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let lock = Mutex.create ()
+let buf : event list ref = ref [] (* newest first *)
+
+let record name ph =
+  let e =
+    {
+      name;
+      ph;
+      ts = Unix.gettimeofday ();
+      dom = (Domain.self () :> int);
+    }
+  in
+  Mutex.lock lock;
+  buf := e :: !buf;
+  Mutex.unlock lock
+
+type span = { s_name : string; s_live : bool }
+
+let null = { s_name = ""; s_live = false }
+
+let begin_ name =
+  if enabled () then begin
+    record name 'B';
+    { s_name = name; s_live = true }
+  end
+  else null
+
+let end_ s = if s.s_live && enabled () then record s.s_name 'E'
+
+let with_span name f =
+  let s = begin_ name in
+  Fun.protect ~finally:(fun () -> end_ s) f
+
+let events () =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) (fun () -> List.rev !buf)
+
+let clear () =
+  Mutex.lock lock;
+  buf := [];
+  Mutex.unlock lock
+
+(* Per-domain stack discipline: every E matches the most recent open B
+   of its domain, and nothing is left open. *)
+let well_formed evs =
+  let stacks = Hashtbl.create 8 in
+  let ok =
+    List.for_all
+      (fun e ->
+        let st = Option.value (Hashtbl.find_opt stacks e.dom) ~default:[] in
+        match e.ph with
+        | 'B' ->
+            Hashtbl.replace stacks e.dom (e.name :: st);
+            true
+        | 'E' -> (
+            match st with
+            | top :: rest when String.equal top e.name ->
+                Hashtbl.replace stacks e.dom rest;
+                true
+            | _ -> false)
+        | _ -> false)
+      evs
+  in
+  ok && Hashtbl.fold (fun _ st acc -> acc && st = []) stacks true
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_of_event e =
+  Printf.sprintf "{\"name\":\"%s\",\"ph\":\"%c\",\"ts\":%.6f,\"dom\":%d}"
+    (escape e.name) e.ph e.ts e.dom
+
+let export_jsonl oc =
+  List.iter
+    (fun e ->
+      output_string oc (json_of_event e);
+      output_char oc '\n')
+    (events ())

@@ -183,6 +183,14 @@ type gc_report = {
   bytes_after : int;
 }
 
+let m_appends = Obs.Metrics.counter "onebit_store_appends_total"
+let m_rotations = Obs.Metrics.counter "onebit_store_rotations_total"
+let m_lookup_hits = Obs.Metrics.counter "onebit_store_lookup_hits_total"
+let m_lookup_misses = Obs.Metrics.counter "onebit_store_lookup_misses_total"
+let m_truncated = Obs.Metrics.counter "onebit_store_truncated_records_total"
+let m_corrupt = Obs.Metrics.counter "onebit_store_corrupt_records_total"
+let m_fsync = Obs.Metrics.histogram "onebit_store_fsync_seconds"
+
 type t = {
   dir : string;
   segment_bytes : int;
@@ -245,9 +253,14 @@ let load_segment t ~is_last path =
             (* An unterminated final line of the newest segment is the
                signature of a run killed mid-append; anything else is
                corruption. *)
-            if is_last && i = total - 1 && not ends_with_newline then
-              t.truncated <- t.truncated + 1
-            else t.corrupt <- t.corrupt + 1)
+            if is_last && i = total - 1 && not ends_with_newline then begin
+              t.truncated <- t.truncated + 1;
+              Obs.Metrics.incr m_truncated
+            end
+            else begin
+              t.corrupt <- t.corrupt + 1;
+              Obs.Metrics.incr m_corrupt
+            end)
     lines
 
 let file_size path = (Unix.stat path).Unix.st_size
@@ -284,10 +297,17 @@ let open_dir ?(segment_bytes = 8 * 1024 * 1024) ?(fsync = false) dir =
 
 let flush_chan t =
   flush t.chan;
-  if t.fsync then Unix.fsync (Unix.descr_of_out_channel t.chan)
+  if t.fsync then
+    if Obs.Metrics.enabled () then begin
+      let t0 = Unix.gettimeofday () in
+      Unix.fsync (Unix.descr_of_out_channel t.chan);
+      Obs.Metrics.observe m_fsync (Unix.gettimeofday () -. t0)
+    end
+    else Unix.fsync (Unix.descr_of_out_channel t.chan)
 
 let rotate_locked t =
   flush_chan t;
+  Obs.Metrics.incr m_rotations;
   close_out t.chan;
   t.active <- t.active + 1;
   t.segment_list <- t.segment_list @ [ t.active ];
@@ -312,6 +332,7 @@ let add t k shard =
         output_string t.chan line;
         output_char t.chan '\n';
         flush_chan t;
+        Obs.Metrics.incr m_appends;
         t.active_bytes <- t.active_bytes + String.length line + 1;
         Hashtbl.replace t.index ck
           (k, { shard with Core.Campaign.s_experiments = [||] })
@@ -322,7 +343,10 @@ let lookup t k =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
-      Option.map snd (Hashtbl.find_opt t.index (canonical_key k)))
+      let hit = Hashtbl.find_opt t.index (canonical_key k) in
+      Obs.Metrics.incr
+        (match hit with Some _ -> m_lookup_hits | None -> m_lookup_misses);
+      Option.map snd hit)
 
 let fold t f acc =
   Mutex.lock t.lock;

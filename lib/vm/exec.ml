@@ -23,6 +23,36 @@ type hooks = {
 
 exception Hang_exn
 
+(* Observability: whole-run accounting only — the interpreter loop is
+   untouched, so recording cannot perturb execution and costs nothing
+   per instruction.  The counters are registered once at module init;
+   recording self-gates on [Obs.Metrics.enabled]. *)
+let m_runs = Obs.Metrics.counter "onebit_vm_runs_total"
+let m_instructions = Obs.Metrics.counter "onebit_vm_instructions_total"
+let m_hangs = Obs.Metrics.counter "onebit_vm_hangs_total"
+
+let m_traps =
+  List.map
+    (fun t ->
+      ( t,
+        Obs.Metrics.counter
+          ~labels:[ ("kind", Trap.to_string t) ]
+          "onebit_vm_traps_total" ))
+    Trap.all
+
+let record_run result =
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_runs;
+    Obs.Metrics.add m_instructions result.dyn_count;
+    match result.status with
+    | Finished -> ()
+    | Hung -> Obs.Metrics.incr m_hangs
+    | Trapped t -> (
+        match List.assoc_opt t m_traps with
+        | Some c -> Obs.Metrics.incr c
+        | None -> ())
+  end
+
 let golden_budget = 100_000_000
 let max_call_depth = 1000
 
@@ -288,10 +318,14 @@ let run ?hooks ?block_hook ~budget (prog : Program.t) =
     | Trap.Trap t -> Trapped t
     | Hang_exn -> Hung
   in
-  {
-    status;
-    output = Buffer.contents out;
-    dyn_count = !dyn;
-    read_cands = !read_cands;
-    write_cands = !write_cands;
-  }
+  let result =
+    {
+      status;
+      output = Buffer.contents out;
+      dyn_count = !dyn;
+      read_cands = !read_cands;
+      write_cands = !write_cands;
+    }
+  in
+  record_run result;
+  result
