@@ -359,10 +359,15 @@ let run_perf () =
   let open Bechamel in
   let entry = Option.get (Bench_suite.Registry.find "crc32") in
   let workload = Core.Workload.make ~name:"crc32" (entry.build ()) in
-  let golden_run =
-    Test.make ~name:"golden-run(crc32)"
+  let golden_run_seed =
+    Test.make ~name:"golden-run(crc32,seed)"
       (Staged.stage (fun () ->
            ignore (Vm.Exec.run ~budget:Vm.Exec.golden_budget workload.prog)))
+  in
+  let golden_run_compiled =
+    Test.make ~name:"golden-run(crc32,compiled)"
+      (Staged.stage (fun () ->
+           ignore (Vm.Code.run ~budget:Vm.Exec.golden_budget workload.code)))
   in
   let one_exp tech name =
     let counter = ref 0 in
@@ -377,7 +382,8 @@ let run_perf () =
   in
   let tests =
     [
-      golden_run;
+      golden_run_seed;
+      golden_run_compiled;
       one_exp Core.Technique.Read "experiment(crc32,read,m=3)";
       one_exp Core.Technique.Write "experiment(crc32,write,m=3)";
     ]
@@ -401,6 +407,69 @@ let run_perf () =
   List.iter
     (fun t -> benchmark (Test.make_grouped ~name:"perf" [ t ]))
     tests;
+  print_newline ();
+  (* -- decode-once pipeline vs the seed interpreter -- *)
+  let pipeline_progs = [ "crc32"; "qsort"; "fft" ] in
+  section "Compiled pipeline: golden-run interpreter throughput, seed vs compiled";
+  (* Time-boxed repetition: run each backend for ~0.5s of wall clock and
+     report dynamic instructions per second. *)
+  let rate run =
+    ignore (run ()) (* warm-up *);
+    let t0 = Unix.gettimeofday () in
+    let instrs = ref 0 in
+    while Unix.gettimeofday () -. t0 < 0.5 do
+      instrs := !instrs + (run () : Vm.Exec.result).dyn_count
+    done;
+    float_of_int !instrs /. (Unix.gettimeofday () -. t0)
+  in
+  Printf.printf "%-10s %14s %14s %9s\n" "program" "seed instr/s"
+    "compiled" "speedup";
+  List.iter
+    (fun name ->
+      let e = Option.get (Bench_suite.Registry.find name) in
+      let p = Vm.Program.load (e.build ()) in
+      let code = Vm.Code.compile p in
+      let seed_rate =
+        rate (fun () -> Vm.Exec.run ~budget:Vm.Exec.golden_budget p)
+      in
+      let comp_rate =
+        rate (fun () -> Vm.Code.run ~budget:Vm.Exec.golden_budget code)
+      in
+      Printf.printf "%-10s %14.3e %14.3e %8.2fx\n" name seed_rate comp_rate
+        (comp_rate /. seed_rate))
+    pipeline_progs;
+  print_newline ();
+  section "Compiled pipeline: end-to-end campaign wall-clock, seed vs compiled";
+  let saved_backend = Core.Config.active_backend () in
+  let pipeline_spec = Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 10) in
+  let n_pipeline = 300 in
+  Printf.printf "%-10s %10s %10s %9s   (%s over %d experiments)\n" "program"
+    "seed" "compiled" "speedup"
+    (Core.Spec.label pipeline_spec)
+    n_pipeline;
+  List.iter
+    (fun name ->
+      let e = Option.get (Bench_suite.Registry.find name) in
+      let w =
+        Core.Workload.make ~name ~expected_output:(e.reference ())
+          (e.build ())
+      in
+      let campaign backend =
+        Core.Config.set_backend backend;
+        let t0 = Unix.gettimeofday () in
+        let r = Core.Campaign.run w pipeline_spec ~n:n_pipeline ~seed:5L in
+        (Unix.gettimeofday () -. t0, r)
+      in
+      ignore (campaign Core.Config.Compiled) (* warm-up *);
+      let seed_t, seed_r = campaign Core.Config.Seed in
+      let comp_t, comp_r = campaign Core.Config.Compiled in
+      Printf.printf "%-10s %9.2fs %9.2fs %8.2fx   %s\n" name seed_t comp_t
+        (seed_t /. comp_t)
+        (if Core.Campaign.equal_result seed_r comp_r then
+           "bit-identical results"
+         else "!! MISMATCH"))
+    pipeline_progs;
+  Core.Config.set_backend saved_backend;
   print_newline ();
   section "Engine scaling: one campaign, sequential vs parallel";
   let spec = Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 10) in

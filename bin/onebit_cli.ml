@@ -304,12 +304,12 @@ let experiment_cmd =
     (* Re-run with an inspectable injector. *)
     let candidates = Core.Workload.candidates w technique in
     let inj = Core.Injector.create ~spec ~candidates rng in
-    let res =
-      Vm.Exec.run ~hooks:(Core.Injector.hooks inj) ~budget:w.budget w.prog
-    in
+    let res = Core.Experiment.run_raw w inj in
     let outcome = Core.Outcome.classify ~golden_output:w.golden.output res in
     Printf.printf "experiment %d of %s on %s\n" index (Core.Spec.label spec)
       program;
+    Printf.printf "backend:    %s\n"
+      (Core.Config.backend_name (Core.Config.active_backend ()));
     Printf.printf "outcome:    %s\n" (Core.Outcome.to_string outcome);
     Printf.printf "dyn count:  %d (golden %d)\n" res.dyn_count
       w.golden.dyn_count;
@@ -335,6 +335,87 @@ let experiment_cmd =
     Term.(
       const run $ program_arg $ technique_arg $ mbf_arg $ win_arg $ index_arg
       $ seed_arg)
+
+(* ---- reproduce ---- *)
+
+let reproduce_cmd =
+  let run program technique max_mbf win n seed index =
+    if index < 0 || index >= n then begin
+      Printf.eprintf "index %d out of range (campaign has n=%d experiments)\n"
+        index n;
+      exit 2
+    end;
+    let w = load_workload program in
+    let spec = spec_of technique max_mbf win in
+    (* The campaign's own record of experiment [index] ... *)
+    let r = Core.Campaign.run ~keep_experiments:true w spec ~n ~seed in
+    let stored = r.experiments.(index) in
+    (* ... and an independent replay from the same (seed, index). *)
+    let rng = Prng.split_at (Prng.of_seed seed) index in
+    let candidates = Core.Workload.candidates w technique in
+    let inj = Core.Injector.create ~spec ~candidates rng in
+    let res = Core.Experiment.run_raw w inj in
+    let outcome = Core.Outcome.classify ~golden_output:w.golden.output res in
+    Printf.printf "reproduce %d of %s on %s (n=%d, seed=%Ld)\n" index
+      (Core.Spec.label spec) program n seed;
+    Printf.printf "backend:    %s\n"
+      (Core.Config.backend_name (Core.Config.active_backend ()));
+    Printf.printf "outcome:    %s\n" (Core.Outcome.to_string outcome);
+    Printf.printf "dyn count:  %d (golden %d)\n" res.dyn_count
+      w.golden.dyn_count;
+    Printf.printf "activated:  %d of %d\n" (Core.Injector.activated inj)
+      max_mbf;
+    List.iteri
+      (fun i (j : Core.Injector.injection) ->
+        Printf.printf "  flip %d: dyn=%d cand=%d reg=%%%d slot=%d bit=%d\n" i
+          j.inj_dyn j.inj_cand j.inj_reg j.inj_slot j.inj_bit)
+      (Core.Injector.injections inj);
+    let injection_equal (a : Core.Injector.injection)
+        (b : Core.Injector.injection) =
+      a.inj_dyn = b.inj_dyn && a.inj_cand = b.inj_cand
+      && a.inj_reg = b.inj_reg && a.inj_ty = b.inj_ty
+      && a.inj_slot = b.inj_slot && a.inj_bit = b.inj_bit
+      && a.inj_weight = b.inj_weight
+    in
+    let mismatches =
+      List.filter_map
+        (fun (what, ok) -> if ok then None else Some what)
+        [
+          ("outcome", stored.outcome = outcome);
+          ("activated", stored.activated = Core.Injector.activated inj);
+          ("dyn count", stored.dyn_count = res.dyn_count);
+          ("output", String.equal stored.output res.output);
+          ( "first injection",
+            match (stored.first, Core.Injector.first_injection inj) with
+            | None, None -> true
+            | Some a, Some b -> injection_equal a b
+            | _ -> false );
+        ]
+    in
+    if mismatches = [] then
+      print_endline "replay matches the stored campaign record"
+    else begin
+      Printf.eprintf "replay DIVERGES from the stored campaign record: %s\n"
+        (String.concat ", " mismatches);
+      exit 1
+    end
+  in
+  let index_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "i"; "index" ] ~docv:"I"
+          ~doc:"Experiment index within the campaign stream.")
+  in
+  Cmd.v
+    (Cmd.info "reproduce"
+       ~doc:
+         "Re-run one experiment of a campaign and assert that the replay \
+          matches the campaign's stored record exactly (outcome, activation \
+          count, first injection, dynamic length, output).  Prints which \
+          execution backend produced the result; exits 1 on divergence.")
+    Term.(
+      const run $ program_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
+      $ seed_arg $ index_arg)
 
 (* ---- run-ir ---- *)
 
@@ -629,6 +710,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; dump_cmd; golden_cmd; campaign_cmd; plan_cmd;
-            experiment_cmd; run_ir_cmd; lint_cmd; harden_cmd; metrics_cmd;
-            engine_cmd;
+            experiment_cmd; reproduce_cmd; run_ir_cmd; lint_cmd; harden_cmd;
+            metrics_cmd; engine_cmd;
           ]))

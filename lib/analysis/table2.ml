@@ -12,14 +12,18 @@ type row = {
 let compute (study : Study.t) =
   List.map
     (fun (w : Core.Workload.t) ->
-      let package, suite, pred =
+      let pred =
+        (* The workload's compiled code already carries per-block site
+           tables; no need to rebuild and re-walk the IR. *)
+        Dataflow.Candidates.predict_sites
+          ~reads:(Vm.Code.site_reads w.code)
+          ~writes:(Vm.Code.site_writes w.code)
+          ~profile:w.profile
+      in
+      let package, suite =
         match Bench_suite.Registry.find w.name with
-        | Some e ->
-            let p =
-              Dataflow.Candidates.predict (e.build ()) ~profile:w.profile
-            in
-            (e.package, e.suite, Some p)
-        | None -> ("?", "?", None)
+        | Some e -> (e.package, e.suite)
+        | None -> ("?", "?")
       in
       {
         program = w.name;
@@ -28,7 +32,7 @@ let compute (study : Study.t) =
         dyn_count = w.golden.dyn_count;
         read_cands = w.golden.read_cands;
         write_cands = w.golden.write_cands;
-        pred_reads = (match pred with Some p -> p.reads | None -> -1);
-        pred_writes = (match pred with Some p -> p.writes | None -> -1);
+        pred_reads = pred.reads;
+        pred_writes = pred.writes;
       })
     study.workloads

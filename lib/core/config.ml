@@ -7,6 +7,17 @@
    than failing, ONEBIT_JOBS=0 means one worker per core, an empty
    ONEBIT_STORE means no store). *)
 
+type backend = Seed | Compiled
+
+let backend_name = function Seed -> "seed" | Compiled -> "compiled"
+
+(* Lenient, like every other resolver: unknown values fall back. *)
+let backend_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "seed" | "interp" | "interpreter" -> Some Seed
+  | "compiled" | "code" | "vm" -> Some Compiled
+  | _ -> None
+
 type t = {
   n : int;
   seed : int64;
@@ -19,6 +30,7 @@ type t = {
   progress : bool;
   metrics : string option;
   trace : string option;
+  backend : backend;
 }
 
 let default =
@@ -34,6 +46,7 @@ let default =
     progress = false;
     metrics = None;
     trace = None;
+    backend = Compiled;
   }
 
 (* [jobs] semantics shared by env and flags: a positive value is taken
@@ -78,10 +91,14 @@ let of_env ?(getenv = Sys.getenv_opt) () =
       | Some _ | None -> false);
     metrics = path "ONEBIT_METRICS";
     trace = path "ONEBIT_TRACE";
+    backend =
+      (match Option.bind (getenv "ONEBIT_BACKEND") backend_of_string with
+      | Some b -> b
+      | None -> default.backend);
   }
 
 let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
-    ?progress ?metrics ?trace t =
+    ?progress ?metrics ?trace ?backend t =
   let opt v fallback = Option.value v ~default:fallback in
   {
     n = opt n t.n;
@@ -96,6 +113,24 @@ let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
     progress = opt progress t.progress;
     metrics = (match metrics with Some p -> Some p | None -> t.metrics);
     trace = (match trace with Some p -> Some p | None -> t.trace);
+    backend = opt backend t.backend;
   }
 
-let install t = Obs.install_sink ?metrics:t.metrics ?trace:t.trace ()
+(* Process-wide active backend: what [Experiment]/[Workload] dispatch on
+   when no configuration is threaded through explicitly.  Resolved
+   lazily from the environment on first read so library users who never
+   touch Config still honour ONEBIT_BACKEND. *)
+let active = ref None
+let set_backend b = active := Some b
+
+let active_backend () =
+  match !active with
+  | Some b -> b
+  | None ->
+      let b = (of_env ()).backend in
+      active := Some b;
+      b
+
+let install t =
+  set_backend t.backend;
+  Obs.install_sink ?metrics:t.metrics ?trace:t.trace ()

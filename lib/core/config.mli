@@ -20,7 +20,22 @@
     - [ONEBIT_METRICS] — metrics dump path, written at exit
       ("-"/"stderr" = stderr); setting it enables collection
     - [ONEBIT_TRACE] — JSONL span-trace path, written at exit; setting
-      it enables collection and tracing *)
+      it enables collection and tracing
+    - [ONEBIT_BACKEND] — execution backend: "seed" (per-instruction
+      interpreter) or "compiled" (decode-once micro-op pipeline, the
+      default); the two are bit-identical, the knob exists for
+      differential testing and benchmarking *)
+
+type backend = Seed | Compiled
+(** Which VM executes workloads: the seed interpreter ({!Vm.Exec.run})
+    or the compiled micro-op pipeline ({!Vm.Code.run}). *)
+
+val backend_name : backend -> string
+(** ["seed"] or ["compiled"]. *)
+
+val backend_of_string : string -> backend option
+(** Lenient: ["seed"]/["interp"]/["interpreter"] and
+    ["compiled"]/["code"]/["vm"], case-insensitive; [None] otherwise. *)
 
 type t = {
   n : int;
@@ -34,6 +49,7 @@ type t = {
   progress : bool;
   metrics : string option;
   trace : string option;
+  backend : backend;
 }
 
 val default : t
@@ -54,6 +70,7 @@ val override :
   ?progress:bool ->
   ?metrics:string ->
   ?trace:string ->
+  ?backend:backend ->
   t -> t
 (** Layer explicit values (CLI flags) over a resolved configuration.
     [jobs <= 0] means one worker per recommended domain; a
@@ -65,5 +82,15 @@ val resolve_jobs : int -> int
 
 val install : t -> unit
 (** Arm the observability sinks described by [metrics]/[trace]
-    (enables collection and registers at-exit dump writers); a no-op if
-    neither is set. *)
+    (enables collection and registers at-exit dump writers; a no-op if
+    neither is set) and make [t.backend] the process-wide active
+    backend. *)
+
+val active_backend : unit -> backend
+(** The process-wide backend {!Experiment} and {!Workload} dispatch on.
+    Resolved lazily from [ONEBIT_BACKEND] on first read unless
+    {!set_backend} or {!install} has fixed it. *)
+
+val set_backend : backend -> unit
+(** Fix the process-wide backend (benchmarks and differential tests
+    flip this between timed sections). *)

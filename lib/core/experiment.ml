@@ -9,10 +9,19 @@ type t = {
 let m_experiments = Obs.Metrics.counter "onebit_injector_experiments_total"
 let m_activations = Obs.Metrics.counter "onebit_injector_activations_total"
 
+let run_raw (workload : Workload.t) inj =
+  match Config.active_backend () with
+  | Config.Seed ->
+      Vm.Exec.run
+        ~hooks:(Injector.hooks inj)
+        ~budget:workload.budget workload.prog
+  | Config.Compiled ->
+      Vm.Code.run
+        ~events:(Injector.events inj)
+        ~budget:workload.budget workload.code
+
 let run_inj workload (spec : Spec.t) inj =
-  let res = Vm.Exec.run ~hooks:(Injector.hooks inj) ~budget:workload.Workload.budget
-      workload.prog
-  in
+  let res = run_raw workload inj in
   ignore spec;
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.incr m_experiments;

@@ -11,6 +11,12 @@ type t = {
   output : string;  (** the faulty run's output stream *)
 }
 
+val run_raw : Workload.t -> Injector.t -> Vm.Exec.result
+(** Execute one faulty run of the workload under an injector, on the
+    active backend ({!Config.active_backend}): seed interpreter with
+    {!Injector.hooks}, or compiled pipeline with {!Injector.events}.
+    Building block for {!run}/{!run_at} and the CLI's replay commands. *)
+
 val run :
   ?spacing:[ `Faulty | `Golden ] -> Workload.t -> Spec.t -> Prng.t -> t
 (** Run one experiment with a private generator ([?spacing] as in

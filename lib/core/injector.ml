@@ -171,6 +171,50 @@ let on_candidate t ~dyn frame meta =
       t.cand_seen <- t.cand_seen + 1
   | Wait_next target_dyn -> if dyn >= target_dyn then fire_next t ~dyn frame meta
 
+(* ---- run-until-event schedule (compiled backend) ---- *)
+
+(* Next watched-candidate ordinal the injector must observe, or max_int
+   when none is pending on the ordinal axis. *)
+let next_cand t = match t.state with Wait_first c -> c | _ -> max_int
+
+(* Next dynamic index of interest, or max_int. *)
+let next_dyn t = match t.state with Wait_next d -> d | _ -> max_int
+
+(* Unlike [on_candidate], the compiled loop maintains the candidate
+   ordinal itself and only enters the slow path at a scheduled event, so
+   [cand_seen] is assigned (not incremented) from the ordinal the loop
+   hands us. *)
+let on_event t ~dyn ~cand frame meta =
+  match t.state with
+  | Done -> ()
+  | Wait_first target ->
+      if cand = target then begin
+        t.cand_seen <- cand;
+        fire_first t ~dyn frame meta
+      end
+  | Wait_next target_dyn ->
+      if dyn >= target_dyn then fire_next t ~dyn frame meta
+
+let events t : Vm.Code.events =
+  let watch =
+    match t.spec.technique with
+    | Technique.Read -> `Read
+    | Technique.Write -> `Write
+  in
+  let rec ev =
+    {
+      Vm.Code.watch;
+      ev_cand = next_cand t;
+      ev_dyn = next_dyn t;
+      handle =
+        (fun ~dyn ~cand frame meta ->
+          on_event t ~dyn ~cand frame meta;
+          ev.Vm.Code.ev_cand <- next_cand t;
+          ev.Vm.Code.ev_dyn <- next_dyn t);
+    }
+  in
+  ev
+
 let hooks t : Vm.Exec.hooks =
   match t.spec.technique with
   | Technique.Read ->

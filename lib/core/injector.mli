@@ -46,7 +46,16 @@ val create :
     a multi-bit model.  Requires [candidates > 0]. *)
 
 val hooks : t -> Vm.Exec.hooks
-(** VM hooks implementing the injection state machine. *)
+(** VM hooks implementing the injection state machine (seed backend). *)
+
+val events : t -> Vm.Code.events
+(** The same state machine as a run-until-event schedule for the
+    compiled backend ({!Vm.Code.run}): yields the next target candidate
+    ordinal (first flip, known at creation) or dynamic index (subsequent
+    flips, scheduled from the window size when the previous one lands).
+    PRNG draws happen in the same order as under {!hooks}, so the two
+    backends produce bit-identical injections.  Use an injector instance
+    with exactly one of [hooks]/[events]. *)
 
 val activated : t -> int
 (** Number of flips actually performed so far. *)

@@ -1,6 +1,8 @@
 type t = {
   name : string;
   prog : Vm.Program.t;
+  code : Vm.Code.t;
+      (* decoded once here, shared immutably across engine domains *)
   golden : Vm.Exec.result;
   profile : int array array;
       (* golden-run execution count of each (function, block) *)
@@ -12,6 +14,7 @@ type t = {
 let make ?(hang_factor = 10) ?expected_output ~name m =
   let prog = Vm.Program.load m in
   let digest = Digest.to_hex (Digest.string (Ir.Pp.modl m)) in
+  let code = Vm.Code.compile ~digest prog in
   let profile =
     Array.map
       (fun (f : Vm.Program.lfunc) -> Array.make (Array.length f.blocks) 0)
@@ -20,7 +23,12 @@ let make ?(hang_factor = 10) ?expected_output ~name m =
   let block_hook ~fidx ~bidx =
     profile.(fidx).(bidx) <- profile.(fidx).(bidx) + 1
   in
-  let golden = Vm.Exec.run ~block_hook ~budget:Vm.Exec.golden_budget prog in
+  let golden =
+    match Config.active_backend () with
+    | Config.Seed -> Vm.Exec.run ~block_hook ~budget:Vm.Exec.golden_budget prog
+    | Config.Compiled ->
+        Vm.Code.run ~block_hook ~budget:Vm.Exec.golden_budget code
+  in
   (match golden.status with
   | Finished -> ()
   | Trapped trap ->
@@ -37,6 +45,7 @@ let make ?(hang_factor = 10) ?expected_output ~name m =
   {
     name;
     prog;
+    code;
     golden;
     profile;
     budget = (hang_factor * golden.dyn_count) + 1000;

@@ -8,6 +8,10 @@
 type t = {
   name : string;
   prog : Vm.Program.t;
+  code : Vm.Code.t;
+      (** the program's compiled form, decoded once at workload creation
+          (digest-keyed, so repeated loads of the same IR share it) and
+          used by the [Compiled] backend ({!Config.active_backend}) *)
   golden : Vm.Exec.result;
   profile : int array array;
       (** golden-run execution count of each (function, block), indexed

@@ -21,3 +21,13 @@ val static_counts : Ir.Func.modl -> counts
 val predict : Ir.Func.modl -> profile:int array array -> counts
 (** Static per-block counts weighted by the golden-run block execution
     frequencies recorded in [Core.Workload.profile]. *)
+
+val predict_sites :
+  reads:int array array ->
+  writes:int array array ->
+  profile:int array array ->
+  counts
+(** Like {!predict}, but consuming pre-counted per-block site tables
+    (indexed [fidx].[bidx], as produced by [Vm.Code.site_reads]/
+    [site_writes]) instead of re-walking the IR; plain arrays so this
+    library stays VM-independent. *)

@@ -1,0 +1,757 @@
+(* Decode-once, run-many execution pipeline.
+
+   [compile] lowers a loaded {!Program.t} into flat per-function micro-op
+   arrays: opcodes are pre-split into int/float variants with their
+   masks/shift counts precomputed, every operand is resolved to a slot in
+   the frame's register file (immediates are interned into constant slots
+   appended after the real registers, so an operand read is always one
+   array load — no [Reg|Imm|Glob] match), call targets and block
+   successors are integer indices, and list-typed call arguments are
+   arrays.  The per-site candidate metadata ({!Meta.t}) and packed
+   candidate flags ride alongside each micro-op.
+
+   [run] is an event-driven loop: the fast path pays one flags load and
+   at most one integer compare per candidate instruction; the hooked slow
+   path (the fault injector) is entered only when the scheduled event
+   threshold is crossed, after which execution resumes at full speed.
+   Golden runs and post-final-flip execution see thresholds of [max_int]
+   and never leave the fast path.
+
+   The decode is behaviour-preserving by construction: every micro-op's
+   semantics is the specialisation of the corresponding [Exec.step] case
+   with the operand resolution and type dispatch hoisted to decode time.
+   The differential suite (test/suite_vm_code.ml) and the CI pipeline
+   smoke hold the two backends bit-identical. *)
+
+type events = {
+  watch : [ `Read | `Write ];
+      (* which candidate stream is monitored for events *)
+  mutable ev_cand : int;
+      (* fire when the watched candidate ordinal reaches this *)
+  mutable ev_dyn : int;
+      (* or when, at a watched candidate, dyn reaches this *)
+  handle : dyn:int -> cand:int -> Exec.frame -> Meta.t -> unit;
+      (* the slow path; must refresh ev_cand/ev_dyn before returning *)
+}
+
+type callrec = {
+  c_dst : int; (* destination register; -1 = result discarded *)
+  c_dst_f : bool; (* callee returns f64 *)
+  c_callee : int; (* cfunc index *)
+  c_args : int array; (* caller slots, one per callee parameter *)
+  c_arg_f : bool array; (* per parameter: float register file *)
+}
+
+(* Micro-ops.  All fields are immediate ints (slots, masks, shift counts,
+   pc targets) except the builtin closures and the call record, so a
+   fetched micro-op costs one tag dispatch and unboxed field reads.
+   Naming: [m] = result mask (-1 when the type is full-width), [k] = the
+   sign-extension shift (63 - width, 0 when full-width), [w] = width. *)
+type uop =
+  | Uadd of int * int * int * int (* dst, a, b, m *)
+  | Usub of int * int * int * int
+  | Umul of int * int * int * int
+  | Usdiv of int * int * int * int * int (* dst, a, b, k, m *)
+  | Uudiv_s of int * int * int (* dst, a, b; width <= 32 *)
+  | Uudiv_l of int * int * int * int (* dst, a, b, m; 64-bit path *)
+  | Usrem of int * int * int * int * int (* dst, a, b, k, m *)
+  | Uurem_s of int * int * int
+  | Uurem_l of int * int * int * int
+  | Uand of int * int * int
+  | Uor of int * int * int
+  | Uxor of int * int * int
+  | Ushl of int * int * int * int * int (* dst, a, b, w, m *)
+  | Ulshr of int * int * int * int (* dst, a, b, w *)
+  | Uashr of int * int * int * int * int * int (* dst, a, b, w, k, m *)
+  | Uicmp of int * int * int * int * int (* op, k, dst, a, b *)
+  | Ufadd of int * int * int (* dst, a, b over flts *)
+  | Ufsub of int * int * int
+  | Ufmul of int * int * int
+  | Ufdiv of int * int * int
+  | Ufcmp of int * int * int * int (* op, dst, a, b *)
+  | Usel_i of int * int * int * int (* dst, cond, a, b *)
+  | Usel_f of int * int * int * int
+  | Umask of int * int * int (* dst, a, m: trunc/ptrtoint/inttoptr *)
+  | Usext of int * int * int * int (* dst, a, k(from), m(to) *)
+  | Ufptosi of int * int * int (* dst, a(f), m(to) *)
+  | Usitofp of int * int * int (* dst(f), a, k(from) *)
+  | Umov_i of int * int (* dst, a; also zext *)
+  | Umov_f of int * int
+  | Uload_i of int * int * int (* dst, addr, width-bytes *)
+  | Uload_f of int * int
+  | Ustore_i of int * int * int (* value, addr, width-bytes *)
+  | Ustore_f of int * int
+  | Ugep of int * int * int * int (* dst, base, index, scale *)
+  | Ucall of callrec
+  | Ucall_b1 of int * (float -> float) * int (* dst(-1 = none), f, a *)
+  | Ucall_b2 of int * (float -> float -> float) * int * int
+  | Uout_i of int * int (* slot, size tag 0:u8 1:u16 2:u32 3:u64 *)
+  | Uout_f of int
+  | Uguard_i of int * int
+  | Uguard_f of int * int
+  | Uabort (* Abort instruction and Unreachable terminator *)
+  | Ujmp of int * int (* pc, bidx *)
+  | Ucbr of int * int * int * int * int (* cond, tpc, tbidx, fpc, fbidx *)
+  | Uret
+  | Uret_i of int
+  | Uret_f of int
+
+type cfunc = {
+  name : string;
+  uops : uop array; (* blocks flattened in order; block b at block_off.(b) *)
+  flags : int array;
+      (* per-uop: bit0 read-candidate, bit1 write-candidate,
+         bits 2.. destination register + 1 (0 = no destination) *)
+  metas : Meta.t array; (* per-uop; only touched on the slow path *)
+  block_off : int array;
+  int_init : int array; (* nslots; constant slots pre-filled *)
+  flt_init : float array;
+  lw_init : int array; (* nregs of -1 *)
+  reg_ty : Ir.Ty.t array; (* the real registers only *)
+  site_reads : int array; (* per block: static read-candidate sites *)
+  site_writes : int array;
+}
+
+type t = {
+  funcs : cfunc array;
+  main : int;
+  mem_template : Memory.t;
+  source : Program.t;
+}
+
+let program t = t.source
+
+(* ---- decode ---- *)
+
+let mask_of ty =
+  let w = Ir.Ty.width ty in
+  if w >= 63 then -1 else (1 lsl w) - 1
+
+let sext_shift ty =
+  let w = Ir.Ty.width ty in
+  if w >= 63 then 0 else 63 - w
+
+let icmp_tag : Ir.Instr.icmp -> int = function
+  | Eq -> 0
+  | Ne -> 1
+  | Slt -> 2
+  | Sle -> 3
+  | Sgt -> 4
+  | Sge -> 5
+  | Ult -> 6
+  | Ule -> 7
+  | Ugt -> 8
+  | Uge -> 9
+
+let fcmp_tag : Ir.Instr.fcmp -> int = function
+  | Foeq -> 0
+  | Fone -> 1
+  | Folt -> 2
+  | Fole -> 3
+  | Fogt -> 4
+  | Foge -> 5
+
+let out_tag : Ir.Ty.t -> int = function
+  | I1 | I8 -> 0
+  | I16 -> 1
+  | I32 | Ptr -> 2
+  | I64 -> 3
+  | F64 -> assert false
+
+let compile_func (p : Program.t) (f : Program.lfunc) : cfunc =
+  let nregs = Array.length f.reg_ty in
+  let next = ref nregs in
+  let iconsts : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let fconsts : (int64, int) Hashtbl.t = Hashtbl.create 4 in
+  let ivals = ref [] and fvals = ref [] in
+  let reg r =
+    assert (r >= 0 && r < nregs);
+    r
+  in
+  let islot (op : Ir.Instr.operand) =
+    match op with
+    | Reg r -> reg r
+    | Imm n -> (
+        match Hashtbl.find_opt iconsts n with
+        | Some s -> s
+        | None ->
+            let s = !next in
+            incr next;
+            Hashtbl.add iconsts n s;
+            ivals := (s, n) :: !ivals;
+            s)
+    | FImm _ | Glob _ -> assert false (* canonicalised by Program.load *)
+  in
+  let fslot (op : Ir.Instr.operand) =
+    match op with
+    | Reg r -> reg r
+    | FImm x -> (
+        let bits = Int64.bits_of_float x in
+        match Hashtbl.find_opt fconsts bits with
+        | Some s -> s
+        | None ->
+            let s = !next in
+            incr next;
+            Hashtbl.add fconsts bits s;
+            fvals := (s, x) :: !fvals;
+            s)
+    | Imm _ | Glob _ -> assert false
+  in
+  let block_off = Array.make (Array.length f.blocks) 0 in
+  let total = ref 0 in
+  Array.iteri
+    (fun b (blk : Program.lblock) ->
+      block_off.(b) <- !total;
+      total := !total + Array.length blk.instrs + 1)
+    f.blocks;
+  let decode_instr (ins : Ir.Instr.t) : uop =
+    match ins with
+    | Binop { op; ty; dst; a; b } -> (
+        let dst = reg dst and a = islot a and b = islot b in
+        let m = mask_of ty and k = sext_shift ty and w = Ir.Ty.width ty in
+        match op with
+        | Add -> Uadd (dst, a, b, m)
+        | Sub -> Usub (dst, a, b, m)
+        | Mul -> Umul (dst, a, b, m)
+        | Sdiv -> Usdiv (dst, a, b, k, m)
+        | Udiv -> if w <= 32 then Uudiv_s (dst, a, b) else Uudiv_l (dst, a, b, m)
+        | Srem -> Usrem (dst, a, b, k, m)
+        | Urem -> if w <= 32 then Uurem_s (dst, a, b) else Uurem_l (dst, a, b, m)
+        | And -> Uand (dst, a, b)
+        | Or -> Uor (dst, a, b)
+        | Xor -> Uxor (dst, a, b)
+        | Shl -> Ushl (dst, a, b, w, m)
+        | Lshr -> Ulshr (dst, a, b, w)
+        | Ashr -> Uashr (dst, a, b, w, k, m))
+    | Fbinop { op; dst; a; b } -> (
+        let dst = reg dst and a = fslot a and b = fslot b in
+        match op with
+        | Fadd -> Ufadd (dst, a, b)
+        | Fsub -> Ufsub (dst, a, b)
+        | Fmul -> Ufmul (dst, a, b)
+        | Fdiv -> Ufdiv (dst, a, b))
+    | Icmp { op; ty; dst; a; b } ->
+        Uicmp (icmp_tag op, sext_shift ty, reg dst, islot a, islot b)
+    | Fcmp { op; dst; a; b } -> Ufcmp (fcmp_tag op, reg dst, fslot a, fslot b)
+    | Select { ty; dst; cond; a; b } ->
+        if Ir.Ty.is_float ty then
+          Usel_f (reg dst, islot cond, fslot a, fslot b)
+        else Usel_i (reg dst, islot cond, islot a, islot b)
+    | Cast { op; from_ty; to_ty; dst; a } -> (
+        match op with
+        | Trunc | Ptrtoint | Inttoptr -> Umask (reg dst, islot a, mask_of to_ty)
+        | Zext -> Umov_i (reg dst, islot a)
+        | Sext -> Usext (reg dst, islot a, sext_shift from_ty, mask_of to_ty)
+        | Fptosi -> Ufptosi (reg dst, fslot a, mask_of to_ty)
+        | Sitofp -> Usitofp (reg dst, islot a, sext_shift from_ty))
+    | Mov { ty; dst; a } ->
+        if Ir.Ty.is_float ty then Umov_f (reg dst, fslot a)
+        else Umov_i (reg dst, islot a)
+    | Load { ty; dst; addr } ->
+        if Ir.Ty.is_float ty then Uload_f (reg dst, islot addr)
+        else Uload_i (reg dst, islot addr, Ir.Ty.bytes ty)
+    | Store { ty; value; addr } ->
+        if Ir.Ty.is_float ty then Ustore_f (fslot value, islot addr)
+        else Ustore_i (islot value, islot addr, Ir.Ty.bytes ty)
+    | Gep { dst; base; index; scale } ->
+        Ugep (reg dst, islot base, islot index, scale)
+    | Call { dst; callee; args } -> (
+        match Hashtbl.find_opt p.targets callee with
+        | None -> assert false (* validated *)
+        | Some (B1 fn) ->
+            Ucall_b1
+              ( (match dst with Some d -> reg d | None -> -1),
+                fn,
+                fslot (List.hd args) )
+        | Some (B2 fn) -> (
+            match args with
+            | [ a; b ] ->
+                Ucall_b2
+                  ( (match dst with Some d -> reg d | None -> -1),
+                    fn,
+                    fslot a,
+                    fslot b )
+            | _ -> assert false)
+        | Some (Fn cidx) ->
+            let cf = p.funcs.(cidx) in
+            let c_arg_f = Array.map Ir.Ty.is_float cf.params in
+            let c_args =
+              Array.of_list
+                (List.mapi
+                   (fun i arg -> if c_arg_f.(i) then fslot arg else islot arg)
+                   args)
+            in
+            let c_dst, c_dst_f =
+              match (dst, cf.ret) with
+              | Some d, Some rt -> (reg d, Ir.Ty.is_float rt)
+              | _ -> (-1, false)
+            in
+            Ucall { c_dst; c_dst_f; c_callee = cidx; c_args; c_arg_f })
+    | Output { ty; value } ->
+        if Ir.Ty.is_float ty then Uout_f (fslot value)
+        else Uout_i (islot value, out_tag ty)
+    | Guard { ty; a; b } ->
+        if Ir.Ty.is_float ty then Uguard_f (fslot a, fslot b)
+        else Uguard_i (islot a, islot b)
+    | Abort -> Uabort
+  in
+  let decode_term (t : Ir.Instr.terminator) : uop =
+    match t with
+    | Br l -> Ujmp (block_off.(l), l)
+    | Cbr { cond; if_true; if_false } ->
+        Ucbr (islot cond, block_off.(if_true), if_true, block_off.(if_false),
+              if_false)
+    | Ret None -> Uret
+    | Ret (Some v) -> (
+        match f.ret with
+        | Some rt when Ir.Ty.is_float rt -> Uret_f (fslot v)
+        | Some _ -> Uret_i (islot v)
+        | None -> Uret)
+    | Unreachable -> Uabort
+  in
+  let uops = Array.make !total Uret in
+  let metas = Array.make !total Meta.no_operands in
+  let flags = Array.make !total 0 in
+  let nblocks = Array.length f.blocks in
+  let site_reads = Array.make nblocks 0 in
+  let site_writes = Array.make nblocks 0 in
+  Array.iteri
+    (fun b (blk : Program.lblock) ->
+      let off = block_off.(b) in
+      let n = Array.length blk.instrs in
+      for k = 0 to n - 1 do
+        uops.(off + k) <- decode_instr blk.instrs.(k)
+      done;
+      uops.(off + n) <- decode_term blk.term;
+      for k = 0 to n do
+        let m = blk.metas.(k) in
+        metas.(off + k) <- m;
+        let rd = if Array.length m.srcs > 0 then 1 else 0 in
+        let wr = if m.dst >= 0 then 2 else 0 in
+        flags.(off + k) <- rd lor wr lor ((m.dst + 1) lsl 2);
+        site_reads.(b) <- site_reads.(b) + rd;
+        if wr <> 0 then site_writes.(b) <- site_writes.(b) + 1
+      done)
+    f.blocks;
+  let nslots = !next in
+  let int_init = Array.make nslots 0 in
+  let flt_init = Array.make nslots 0.0 in
+  List.iter (fun (s, v) -> int_init.(s) <- v) !ivals;
+  List.iter (fun (s, v) -> flt_init.(s) <- v) !fvals;
+  {
+    name = f.name;
+    uops;
+    flags;
+    metas;
+    block_off;
+    int_init;
+    flt_init;
+    lw_init = Array.make nregs (-1);
+    reg_ty = f.reg_ty;
+    site_reads;
+    site_writes;
+  }
+
+(* ---- decode cache ---- *)
+
+(* Plain counters are maintained unconditionally (they are two atomics
+   per *decode*, not per instruction) so tests can observe cache
+   behaviour without enabling metrics; the Obs counters mirror them when
+   collection is on. *)
+let decode_count = Atomic.make 0
+let hit_count = Atomic.make 0
+let m_decodes = Obs.Metrics.counter "onebit_vm_decodes_total"
+let m_cache_hits = Obs.Metrics.counter "onebit_vm_decode_cache_hits_total"
+let m_cache_entries = Obs.Metrics.gauge "onebit_vm_decode_cache_entries"
+
+let cache : (string, t) Hashtbl.t = Hashtbl.create 16
+let cache_lock = Mutex.create ()
+
+let cache_stats () = (Atomic.get decode_count, Atomic.get hit_count)
+
+let compile_uncached (p : Program.t) : t =
+  Atomic.incr decode_count;
+  if Obs.Metrics.enabled () then Obs.Metrics.incr m_decodes;
+  {
+    funcs = Array.map (compile_func p) p.funcs;
+    main = p.main;
+    mem_template = p.mem_template;
+    source = p;
+  }
+
+let compile ?digest (p : Program.t) : t =
+  match digest with
+  | None -> compile_uncached p
+  | Some dg ->
+      Mutex.protect cache_lock (fun () ->
+          match Hashtbl.find_opt cache dg with
+          | Some c ->
+              Atomic.incr hit_count;
+              if Obs.Metrics.enabled () then Obs.Metrics.incr m_cache_hits;
+              c
+          | None ->
+              let c = compile_uncached p in
+              Hashtbl.replace cache dg c;
+              if Obs.Metrics.enabled () then
+                Obs.Metrics.set m_cache_entries
+                  (float_of_int (Hashtbl.length cache));
+              c)
+
+let site_reads t = Array.map (fun cf -> Array.copy cf.site_reads) t.funcs
+let site_writes t = Array.map (fun cf -> Array.copy cf.site_writes) t.funcs
+
+(* ---- execution ---- *)
+
+exception Hang_exn
+
+type rstate = {
+  mutable dyn : int;
+  mutable rc : int;
+  mutable wc : int;
+  mutable ret_i : int;
+  mutable ret_f : float;
+}
+
+(* Shared placeholder for eventless runs; its thresholds are never read
+   because the watch flags are false, and it is never mutated. *)
+let no_events =
+  {
+    watch = `Read;
+    ev_cand = max_int;
+    ev_dyn = max_int;
+    handle = (fun ~dyn:_ ~cand:_ _ _ -> ());
+  }
+
+let to_u64 v = Int64.logand (Int64.of_int v) 0x7FFFFFFFFFFFFFFFL
+
+let run ?events ?block_hook ~budget (code : t) =
+  let mem = Memory.clone code.mem_template in
+  let out = Buffer.create 256 in
+  let st = { dyn = 0; rc = 0; wc = 0; ret_i = 0; ret_f = 0.0 } in
+  let watch_read, watch_write, ev =
+    match events with
+    | Some e -> (e.watch = `Read, e.watch = `Write, e)
+    | None -> (false, false, no_events)
+  in
+  let has_bh = Option.is_some block_hook in
+  let bh =
+    match block_hook with Some h -> h | None -> fun ~fidx:_ ~bidx:_ -> ()
+  in
+  let funcs = code.funcs in
+  let rec exec_fn fidx (frame : Exec.frame) depth =
+    let cf = Array.unsafe_get funcs fidx in
+    let uops = cf.uops and flags = cf.flags and metas = cf.metas in
+    let ints = frame.Exec.ints
+    and flts = frame.Exec.flts
+    and lw = frame.Exec.last_write in
+    if has_bh then bh ~fidx ~bidx:0;
+    let pc = ref 0 in
+    let running = ref true in
+    while !running do
+      let i = !pc in
+      let d = st.dyn in
+      st.dyn <- d + 1;
+      if d >= budget then raise Hang_exn;
+      let fl = Array.unsafe_get flags i in
+      if fl land 1 <> 0 then begin
+        let c = st.rc in
+        st.rc <- c + 1;
+        if watch_read && (c >= ev.ev_cand || d >= ev.ev_dyn) then
+          ev.handle ~dyn:d ~cand:c frame (Array.unsafe_get metas i)
+      end;
+      (match Array.unsafe_get uops i with
+      | Uadd (dst, a, b, m) ->
+          Array.unsafe_set ints dst
+            ((Array.unsafe_get ints a + Array.unsafe_get ints b) land m);
+          pc := i + 1
+      | Usub (dst, a, b, m) ->
+          Array.unsafe_set ints dst
+            ((Array.unsafe_get ints a - Array.unsafe_get ints b) land m);
+          pc := i + 1
+      | Umul (dst, a, b, m) ->
+          Array.unsafe_set ints dst
+            ((Array.unsafe_get ints a * Array.unsafe_get ints b) land m);
+          pc := i + 1
+      | Usdiv (dst, a, b, k, m) ->
+          let y = Array.unsafe_get ints b in
+          if y = 0 then raise (Trap.Trap Div_by_zero);
+          let x = Array.unsafe_get ints a in
+          Array.unsafe_set ints dst
+            ((((x lsl k) asr k) / ((y lsl k) asr k)) land m);
+          pc := i + 1
+      | Uudiv_s (dst, a, b) ->
+          let y = Array.unsafe_get ints b in
+          if y = 0 then raise (Trap.Trap Div_by_zero);
+          Array.unsafe_set ints dst (Array.unsafe_get ints a / y);
+          pc := i + 1
+      | Uudiv_l (dst, a, b, m) ->
+          let y = Array.unsafe_get ints b in
+          if y = 0 then raise (Trap.Trap Div_by_zero);
+          let x = Array.unsafe_get ints a in
+          Array.unsafe_set ints dst
+            (Int64.to_int (Int64.div (to_u64 x) (to_u64 y)) land m);
+          pc := i + 1
+      | Usrem (dst, a, b, k, m) ->
+          let y = Array.unsafe_get ints b in
+          if y = 0 then raise (Trap.Trap Div_by_zero);
+          let x = Array.unsafe_get ints a in
+          Array.unsafe_set ints dst
+            (Stdlib.( mod ) ((x lsl k) asr k) ((y lsl k) asr k) land m);
+          pc := i + 1
+      | Uurem_s (dst, a, b) ->
+          let y = Array.unsafe_get ints b in
+          if y = 0 then raise (Trap.Trap Div_by_zero);
+          Array.unsafe_set ints dst (Stdlib.( mod ) (Array.unsafe_get ints a) y);
+          pc := i + 1
+      | Uurem_l (dst, a, b, m) ->
+          let y = Array.unsafe_get ints b in
+          if y = 0 then raise (Trap.Trap Div_by_zero);
+          let x = Array.unsafe_get ints a in
+          Array.unsafe_set ints dst
+            (Int64.to_int (Int64.rem (to_u64 x) (to_u64 y)) land m);
+          pc := i + 1
+      | Uand (dst, a, b) ->
+          Array.unsafe_set ints dst
+            (Array.unsafe_get ints a land Array.unsafe_get ints b);
+          pc := i + 1
+      | Uor (dst, a, b) ->
+          Array.unsafe_set ints dst
+            (Array.unsafe_get ints a lor Array.unsafe_get ints b);
+          pc := i + 1
+      | Uxor (dst, a, b) ->
+          Array.unsafe_set ints dst
+            (Array.unsafe_get ints a lxor Array.unsafe_get ints b);
+          pc := i + 1
+      | Ushl (dst, a, b, w, m) ->
+          let y = Array.unsafe_get ints b in
+          Array.unsafe_set ints dst
+            (if y < 0 || y >= w then 0
+             else (Array.unsafe_get ints a lsl y) land m);
+          pc := i + 1
+      | Ulshr (dst, a, b, w) ->
+          let y = Array.unsafe_get ints b in
+          Array.unsafe_set ints dst
+            (if y < 0 || y >= w then 0 else Array.unsafe_get ints a lsr y);
+          pc := i + 1
+      | Uashr (dst, a, b, w, k, m) ->
+          let y = Array.unsafe_get ints b in
+          let s = if y < 0 || y >= w then w - 1 else y in
+          Array.unsafe_set ints dst
+            ((((Array.unsafe_get ints a lsl k) asr k) asr s) land m);
+          pc := i + 1
+      | Uicmp (op, k, dst, a, b) ->
+          let x = Array.unsafe_get ints a and y = Array.unsafe_get ints b in
+          let r =
+            match op with
+            | 0 -> x = y
+            | 1 -> x <> y
+            | 2 -> (x lsl k) asr k < (y lsl k) asr k
+            | 3 -> (x lsl k) asr k <= (y lsl k) asr k
+            | 4 -> (x lsl k) asr k > (y lsl k) asr k
+            | 5 -> (x lsl k) asr k >= (y lsl k) asr k
+            | 6 -> x lxor min_int < y lxor min_int
+            | 7 -> x lxor min_int <= y lxor min_int
+            | 8 -> x lxor min_int > y lxor min_int
+            | _ -> x lxor min_int >= y lxor min_int
+          in
+          Array.unsafe_set ints dst (if r then 1 else 0);
+          pc := i + 1
+      | Ufadd (dst, a, b) ->
+          Array.unsafe_set flts dst
+            (Array.unsafe_get flts a +. Array.unsafe_get flts b);
+          pc := i + 1
+      | Ufsub (dst, a, b) ->
+          Array.unsafe_set flts dst
+            (Array.unsafe_get flts a -. Array.unsafe_get flts b);
+          pc := i + 1
+      | Ufmul (dst, a, b) ->
+          Array.unsafe_set flts dst
+            (Array.unsafe_get flts a *. Array.unsafe_get flts b);
+          pc := i + 1
+      | Ufdiv (dst, a, b) ->
+          Array.unsafe_set flts dst
+            (Array.unsafe_get flts a /. Array.unsafe_get flts b);
+          pc := i + 1
+      | Ufcmp (op, dst, a, b) ->
+          let x = Array.unsafe_get flts a and y = Array.unsafe_get flts b in
+          let ordered = (not (Float.is_nan x)) && not (Float.is_nan y) in
+          let r =
+            match op with
+            | 0 -> ordered && x = y
+            | 1 -> ordered && x <> y
+            | 2 -> x < y
+            | 3 -> x <= y
+            | 4 -> x > y
+            | _ -> x >= y
+          in
+          Array.unsafe_set ints dst (if r then 1 else 0);
+          pc := i + 1
+      | Usel_i (dst, c, a, b) ->
+          Array.unsafe_set ints dst
+            (if Array.unsafe_get ints c <> 0 then Array.unsafe_get ints a
+             else Array.unsafe_get ints b);
+          pc := i + 1
+      | Usel_f (dst, c, a, b) ->
+          Array.unsafe_set flts dst
+            (if Array.unsafe_get ints c <> 0 then Array.unsafe_get flts a
+             else Array.unsafe_get flts b);
+          pc := i + 1
+      | Umask (dst, a, m) ->
+          Array.unsafe_set ints dst (Array.unsafe_get ints a land m);
+          pc := i + 1
+      | Usext (dst, a, k, m) ->
+          Array.unsafe_set ints dst
+            (((Array.unsafe_get ints a lsl k) asr k) land m);
+          pc := i + 1
+      | Ufptosi (dst, a, m) ->
+          let x = Array.unsafe_get flts a in
+          Array.unsafe_set ints dst
+            (if Float.is_nan x || Float.abs x >= 4.611686018427387904e18 then 0
+             else int_of_float x land m);
+          pc := i + 1
+      | Usitofp (dst, a, k) ->
+          Array.unsafe_set flts dst
+            (float_of_int ((Array.unsafe_get ints a lsl k) asr k));
+          pc := i + 1
+      | Umov_i (dst, a) ->
+          Array.unsafe_set ints dst (Array.unsafe_get ints a);
+          pc := i + 1
+      | Umov_f (dst, a) ->
+          Array.unsafe_set flts dst (Array.unsafe_get flts a);
+          pc := i + 1
+      | Uload_i (dst, addr, w) ->
+          Array.unsafe_set ints dst
+            (Memory.read_int mem ~width:w ~addr:(Array.unsafe_get ints addr));
+          pc := i + 1
+      | Uload_f (dst, addr) ->
+          Array.unsafe_set flts dst
+            (Memory.read_f64 mem ~addr:(Array.unsafe_get ints addr));
+          pc := i + 1
+      | Ustore_i (v, addr, w) ->
+          Memory.write_int mem ~width:w
+            ~addr:(Array.unsafe_get ints addr)
+            (Array.unsafe_get ints v);
+          pc := i + 1
+      | Ustore_f (v, addr) ->
+          Memory.write_f64 mem
+            ~addr:(Array.unsafe_get ints addr)
+            (Array.unsafe_get flts v);
+          pc := i + 1
+      | Ugep (dst, base, index, scale) ->
+          let idx =
+            ((Array.unsafe_get ints index land 0xFFFFFFFF) lsl 31) asr 31
+          in
+          Array.unsafe_set ints dst
+            ((Array.unsafe_get ints base + (idx * scale)) land 0xFFFFFFFF);
+          pc := i + 1
+      | Ucall cr ->
+          if depth >= Exec.max_call_depth then
+            raise (Trap.Trap Stack_overflow);
+          let cf2 = Array.unsafe_get funcs cr.c_callee in
+          let cframe =
+            {
+              Exec.ints = Array.copy cf2.int_init;
+              flts = Array.copy cf2.flt_init;
+              reg_ty = cf2.reg_ty;
+              last_write = Array.copy cf2.lw_init;
+            }
+          in
+          let n = Array.length cr.c_args in
+          for j = 0 to n - 1 do
+            if cr.c_arg_f.(j) then
+              cframe.Exec.flts.(j) <- Array.unsafe_get flts cr.c_args.(j)
+            else cframe.Exec.ints.(j) <- Array.unsafe_get ints cr.c_args.(j)
+          done;
+          exec_fn cr.c_callee cframe (depth + 1);
+          if cr.c_dst >= 0 then
+            if cr.c_dst_f then Array.unsafe_set flts cr.c_dst st.ret_f
+            else Array.unsafe_set ints cr.c_dst st.ret_i;
+          pc := i + 1
+      | Ucall_b1 (dst, fn, a) ->
+          let r = fn (Array.unsafe_get flts a) in
+          if dst >= 0 then Array.unsafe_set flts dst r;
+          pc := i + 1
+      | Ucall_b2 (dst, fn, a, b) ->
+          let r = fn (Array.unsafe_get flts a) (Array.unsafe_get flts b) in
+          if dst >= 0 then Array.unsafe_set flts dst r;
+          pc := i + 1
+      | Uout_i (s, tag) ->
+          let v = Array.unsafe_get ints s in
+          (match tag with
+          | 0 -> Buffer.add_uint8 out (v land 0xFF)
+          | 1 -> Buffer.add_uint16_le out v
+          | 2 -> Buffer.add_int32_le out (Int32.of_int v)
+          | _ -> Buffer.add_int64_le out (to_u64 v));
+          pc := i + 1
+      | Uout_f s ->
+          Buffer.add_int64_le out (Int64.bits_of_float (Array.unsafe_get flts s));
+          pc := i + 1
+      | Uguard_i (a, b) ->
+          if Array.unsafe_get ints a <> Array.unsafe_get ints b then
+            raise (Trap.Trap Guard_violation);
+          pc := i + 1
+      | Uguard_f (a, b) ->
+          if
+            not
+              (Int64.equal
+                 (Int64.bits_of_float (Array.unsafe_get flts a))
+                 (Int64.bits_of_float (Array.unsafe_get flts b)))
+          then raise (Trap.Trap Guard_violation);
+          pc := i + 1
+      | Uabort -> raise (Trap.Trap Abort_called)
+      | Ujmp (p, bidx) ->
+          pc := p;
+          if has_bh then bh ~fidx ~bidx
+      | Ucbr (c, tpc, tb, fpc, fb) ->
+          if Array.unsafe_get ints c <> 0 then begin
+            pc := tpc;
+            if has_bh then bh ~fidx ~bidx:tb
+          end
+          else begin
+            pc := fpc;
+            if has_bh then bh ~fidx ~bidx:fb
+          end
+      | Uret -> running := false
+      | Uret_i s ->
+          st.ret_i <- Array.unsafe_get ints s;
+          running := false
+      | Uret_f s ->
+          st.ret_f <- Array.unsafe_get flts s;
+          running := false);
+      if fl land 2 <> 0 then begin
+        let c = st.wc in
+        st.wc <- c + 1;
+        Array.unsafe_set lw ((fl lsr 2) - 1) d;
+        if watch_write && (c >= ev.ev_cand || d >= ev.ev_dyn) then
+          ev.handle ~dyn:d ~cand:c frame (Array.unsafe_get metas i)
+      end
+    done
+  in
+  let mainf = funcs.(code.main) in
+  let frame =
+    {
+      Exec.ints = Array.copy mainf.int_init;
+      flts = Array.copy mainf.flt_init;
+      reg_ty = mainf.reg_ty;
+      last_write = Array.copy mainf.lw_init;
+    }
+  in
+  let status =
+    try
+      exec_fn code.main frame 0;
+      Exec.Finished
+    with
+    | Trap.Trap t -> Exec.Trapped t
+    | Hang_exn -> Exec.Hung
+  in
+  let result =
+    {
+      Exec.status;
+      output = Buffer.contents out;
+      dyn_count = st.dyn;
+      read_cands = st.rc;
+      write_cands = st.wc;
+    }
+  in
+  Exec.record_run result;
+  result

@@ -1,0 +1,73 @@
+(** Decode-once, run-many execution pipeline.
+
+    {!compile} lowers a loaded {!Program.t} into flat per-function
+    micro-op arrays: opcodes are pre-split into int/float variants with
+    masks and shift counts baked in, operands are register-file slots
+    (immediates interned into constant slots past the real registers, so
+    every operand read is one array load), call targets and block
+    successors are integer indices, and the per-site candidate metadata
+    ({!Meta.t}) plus packed candidate flags ride alongside each micro-op.
+    A program is decoded once — keyed by its IR digest — and the
+    resulting code is immutable, shared freely across engine domains.
+
+    {!run} executes compiled code with run-until-event fault scheduling:
+    the fast path costs one packed-flags load and at most one integer
+    compare per candidate instruction; the injector's slow path runs only
+    when a scheduled event threshold is crossed.  With no [events] (or
+    thresholds of [max_int] after the final flip) the loop never leaves
+    the fast path — this is what golden runs and post-injection execution
+    pay.
+
+    Behaviour is bit-identical to the seed interpreter {!Exec.run}: same
+    outputs, statuses, dynamic counts, candidate ordinals, [last_write]
+    contents at every hook, and [block_hook] call sequence.  The
+    differential suite and CI pipeline smoke enforce this. *)
+
+type t
+(** Immutable compiled form of a program. *)
+
+type events = {
+  watch : [ `Read | `Write ];
+      (** which candidate stream carries the scheduled events *)
+  mutable ev_cand : int;
+      (** fire when the watched candidate ordinal reaches this *)
+  mutable ev_dyn : int;
+      (** or when, at a watched candidate, the dynamic index reaches
+          this; either threshold triggers, [max_int] disables *)
+  handle : dyn:int -> cand:int -> Exec.frame -> Meta.t -> unit;
+      (** the slow path.  Fires at the same point the corresponding
+          {!Exec.hooks} callback would ([pre] for [`Read], [post] for
+          [`Write]) and must refresh [ev_cand]/[ev_dyn] before
+          returning. *)
+}
+
+val compile : ?digest:string -> Program.t -> t
+(** Lower a loaded program.  When [digest] (the workload's IR digest) is
+    given, compiled code is cached process-wide and shared: compiling the
+    same digest again returns the existing code.  Thread-safe. *)
+
+val program : t -> Program.t
+(** The program this code was compiled from. *)
+
+val run :
+  ?events:events ->
+  ?block_hook:(fidx:int -> bidx:int -> unit) ->
+  budget:int ->
+  t ->
+  Exec.result
+(** Execute the entry function; semantics of [budget], traps, call depth
+    and the result fields are exactly those of {!Exec.run}. *)
+
+val site_reads : t -> int array array
+(** [site_reads code].(fidx).(bidx) is the number of static
+    inject-on-read candidate sites in that block (instructions and
+    terminator with at least one register source). *)
+
+val site_writes : t -> int array array
+(** Static inject-on-write candidate sites per block (instructions with a
+    destination register). *)
+
+val cache_stats : unit -> int * int
+(** [(decodes, cache_hits)] since process start; counted even when
+    metrics collection is disabled.  The Obs mirror counters are
+    [onebit_vm_decodes_total] and [onebit_vm_decode_cache_hits_total]. *)

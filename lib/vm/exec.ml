@@ -31,14 +31,20 @@ let m_runs = Obs.Metrics.counter "onebit_vm_runs_total"
 let m_instructions = Obs.Metrics.counter "onebit_vm_instructions_total"
 let m_hangs = Obs.Metrics.counter "onebit_vm_hangs_total"
 
+(* Dense [Trap.index]-ed counter array, built once at module init, so
+   recording a trap is an array load rather than an assoc-list walk. *)
 let m_traps =
-  List.map
-    (fun t ->
-      ( t,
-        Obs.Metrics.counter
-          ~labels:[ ("kind", Trap.to_string t) ]
-          "onebit_vm_traps_total" ))
-    Trap.all
+  let arr =
+    Array.of_list
+      (List.map
+         (fun t ->
+           Obs.Metrics.counter
+             ~labels:[ ("kind", Trap.to_string t) ]
+             "onebit_vm_traps_total")
+         Trap.all)
+  in
+  List.iteri (fun i t -> assert (Trap.index t = i)) Trap.all;
+  arr
 
 let record_run result =
   if Obs.Metrics.enabled () then begin
@@ -47,10 +53,7 @@ let record_run result =
     match result.status with
     | Finished -> ()
     | Hung -> Obs.Metrics.incr m_hangs
-    | Trapped t -> (
-        match List.assoc_opt t m_traps with
-        | Some c -> Obs.Metrics.incr c
-        | None -> ())
+    | Trapped t -> Obs.Metrics.incr m_traps.(Trap.index t)
   end
 
 let golden_budget = 100_000_000

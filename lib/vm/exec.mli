@@ -53,3 +53,12 @@ val run :
 
 val golden_budget : int
 (** A generous default budget for fault-free runs (100M instructions). *)
+
+val max_call_depth : int
+(** Frame-depth limit shared by both execution backends (1000). *)
+
+val record_run : result -> unit
+(** Whole-run observability accounting (runs / instructions / traps /
+    hangs).  Called by [run] itself and by the compiled pipeline
+    ({!Code.run}), so the vm_* metrics are backend-independent.
+    Self-gates on [Obs.Metrics.enabled]. *)

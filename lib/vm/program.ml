@@ -23,6 +23,8 @@ type t = {
   main : int;
   mem_template : Memory.t;
   globals : (string * int * int) list;
+  global_addrs : (string, int) Hashtbl.t;
+      (* name -> base address; same contents as [globals], O(1) lookup *)
 }
 
 let null_page = 4096
@@ -120,9 +122,11 @@ let load ?(entry = "main") (m : Ir.Func.modl) =
   let regions = List.map (fun (_, base, _, init) -> (base, init)) placed in
   let mem_template = Memory.create_template ~size ~regions in
   let globals = List.map (fun (n, b, s, _) -> (n, b, s)) placed in
+  let global_addrs = Hashtbl.create (List.length globals + 1) in
+  List.iter (fun (n, base, _) -> Hashtbl.replace global_addrs n base) globals;
   let resolve g =
-    match List.find_opt (fun (n, _, _) -> n = g) globals with
-    | Some (_, base, _) -> base
+    match Hashtbl.find_opt global_addrs g with
+    | Some base -> base
     | None -> invalid_arg ("Program.load: unknown global " ^ g)
   in
   let param_tys name =
@@ -174,9 +178,9 @@ let load ?(entry = "main") (m : Ir.Func.modl) =
   in
   if Array.length funcs.(main).params > 0 then
     invalid_arg "Program.load: entry function must take no parameters";
-  { funcs; targets; main; mem_template; globals }
+  { funcs; targets; main; mem_template; globals; global_addrs }
 
 let global_addr t name =
-  match List.find_opt (fun (n, _, _) -> n = name) t.globals with
-  | Some (_, base, _) -> base
+  match Hashtbl.find_opt t.global_addrs name with
+  | Some base -> base
   | None -> raise Not_found

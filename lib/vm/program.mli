@@ -31,6 +31,9 @@ type t = {
   main : int;  (** index of the entry function *)
   mem_template : Memory.t;
   globals : (string * int * int) list;  (** (name, address, size) *)
+  global_addrs : (string, int) Hashtbl.t;
+      (** name-keyed view of [globals], built at load; what [load]'s
+          operand resolution and {!global_addr} look up *)
 }
 
 val load : ?entry:string -> Ir.Func.modl -> t

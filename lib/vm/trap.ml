@@ -27,3 +27,11 @@ let all =
   ]
 
 let of_string s = List.find_opt (fun t -> String.equal (to_string t) s) all
+
+let index = function
+  | Segfault -> 0
+  | Misaligned -> 1
+  | Div_by_zero -> 2
+  | Abort_called -> 3
+  | Stack_overflow -> 4
+  | Guard_violation -> 5

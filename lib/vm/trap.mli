@@ -22,3 +22,7 @@ val all : t list
 val of_string : string -> t option
 (** Inverse of {!to_string}; how the result store deserialises trap
     breakdowns. *)
+
+val index : t -> int
+(** Position of the trap in {!all}; a dense index for array-backed
+    per-trap tables (e.g. the VM's trap counters). *)

@@ -1,0 +1,223 @@
+(* Differential tests for the compiled execution pipeline (Vm.Code): the
+   decode-once micro-op VM must be bit-identical to the seed interpreter
+   (Vm.Exec) on golden runs, under fault injection, and across whole
+   campaigns — same outputs, statuses, dynamic counts, candidate
+   ordinals and injection logs. *)
+
+let golden_equal name (a : Vm.Exec.result) (b : Vm.Exec.result) =
+  Alcotest.(check bool) (name ^ " status") true (a.status = b.status);
+  Alcotest.(check string) (name ^ " output") a.output b.output;
+  Alcotest.(check int) (name ^ " dyn") a.dyn_count b.dyn_count;
+  Alcotest.(check int) (name ^ " read cands") a.read_cands b.read_cands;
+  Alcotest.(check int) (name ^ " write cands") a.write_cands b.write_cands
+
+(* Every registry program (small and large inputs): golden runs, block
+   profiles and packed site tables agree between backends. *)
+let test_registry_golden () =
+  List.iter
+    (fun (d : Bench_suite.Desc.t) ->
+      let p = Vm.Program.load (d.build ()) in
+      let code = Vm.Code.compile p in
+      let profile_of run =
+        let profile =
+          Array.map
+            (fun (f : Vm.Program.lfunc) -> Array.make (Array.length f.blocks) 0)
+            p.funcs
+        in
+        let block_hook ~fidx ~bidx =
+          profile.(fidx).(bidx) <- profile.(fidx).(bidx) + 1
+        in
+        (run ~block_hook, profile)
+      in
+      let seed, sp =
+        profile_of (fun ~block_hook ->
+            Vm.Exec.run ~block_hook ~budget:Vm.Exec.golden_budget p)
+      in
+      let comp, cp =
+        profile_of (fun ~block_hook ->
+            Vm.Code.run ~block_hook ~budget:Vm.Exec.golden_budget code)
+      in
+      golden_equal d.name seed comp;
+      Alcotest.(check bool) (d.name ^ " profile") true (sp = cp))
+    (Bench_suite.Registry.all @ Bench_suite.Registry.large)
+
+(* The packed per-block site tables must reproduce what a walk over the
+   loaded program's metadata counts. *)
+let test_site_tables () =
+  let d = Option.get (Bench_suite.Registry.find "crc32") in
+  let p = Vm.Program.load (d.build ()) in
+  let code = Vm.Code.compile p in
+  let reads = Vm.Code.site_reads code and writes = Vm.Code.site_writes code in
+  Array.iteri
+    (fun fidx (f : Vm.Program.lfunc) ->
+      Array.iteri
+        (fun bidx (b : Vm.Program.lblock) ->
+          let r = ref 0 and w = ref 0 in
+          Array.iter
+            (fun (m : Vm.Meta.t) ->
+              if Array.length m.srcs > 0 then incr r;
+              if m.dst >= 0 then incr w)
+            b.metas;
+          Alcotest.(check int) "site reads" !r reads.(fidx).(bidx);
+          Alcotest.(check int) "site writes" !w writes.(fidx).(bidx))
+        f.blocks)
+    p.funcs
+
+(* Random straight-line programs (the generator of the seed-vs-evaluator
+   differential suite) through both backends. *)
+let prop_random_programs =
+  QCheck.Test.make ~name:"compiled pipeline matches seed interpreter"
+    ~count:300
+    (QCheck.make Suite_differential.case_gen)
+    (fun (ops, seeds) ->
+      let seeds = if seeds = [] then [ 1L ] else seeds in
+      let ops = Suite_differential.sanitize ops seeds in
+      let m = Suite_differential.build_program ops seeds in
+      let p = Vm.Program.load m in
+      let seed = Vm.Exec.run ~budget:Vm.Exec.golden_budget p in
+      let comp =
+        Vm.Code.run ~budget:Vm.Exec.golden_budget (Vm.Code.compile p)
+      in
+      seed.status = comp.status
+      && String.equal seed.output comp.output
+      && seed.dyn_count = comp.dyn_count
+      && seed.read_cands = comp.read_cands
+      && seed.write_cands = comp.write_cands)
+
+(* ---- fault-injection differential ---- *)
+
+let injection_equal (a : Core.Injector.injection) (b : Core.Injector.injection)
+    =
+  a.inj_dyn = b.inj_dyn && a.inj_cand = b.inj_cand && a.inj_reg = b.inj_reg
+  && a.inj_ty = b.inj_ty && a.inj_slot = b.inj_slot && a.inj_bit = b.inj_bit
+  && a.inj_weight = b.inj_weight
+
+let workload =
+  lazy
+    (let d = Option.get (Bench_suite.Registry.find "crc32") in
+     Core.Workload.make ~name:d.name ~expected_output:(d.reference ())
+       (d.build ()))
+
+(* One experiment, same (spec, seed, index), run through hooks on the
+   seed interpreter and through the event schedule on the compiled
+   pipeline: runs and full injection logs must be bit-identical. *)
+let check_experiment w spec ~spacing ~base i =
+  let mk () =
+    let cands = Core.Workload.candidates w spec.Core.Spec.technique in
+    Core.Injector.create ~spec ~candidates:cands ~spacing
+      (Prng.split_at base i)
+  in
+  let inj_s = mk () in
+  let r_s =
+    Vm.Exec.run
+      ~hooks:(Core.Injector.hooks inj_s)
+      ~budget:w.Core.Workload.budget w.prog
+  in
+  let inj_c = mk () in
+  let r_c =
+    Vm.Code.run
+      ~events:(Core.Injector.events inj_c)
+      ~budget:w.Core.Workload.budget w.code
+  in
+  let label = Printf.sprintf "%s #%d" (Core.Spec.label spec) i in
+  golden_equal label r_s r_c;
+  Alcotest.(check int)
+    (label ^ " activated")
+    (Core.Injector.activated inj_s)
+    (Core.Injector.activated inj_c);
+  let log_s = Core.Injector.injections inj_s
+  and log_c = Core.Injector.injections inj_c in
+  Alcotest.(check int) (label ^ " log length") (List.length log_s)
+    (List.length log_c);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) (label ^ " injection") true (injection_equal a b))
+    log_s log_c
+
+let test_experiments_differential () =
+  let w = Lazy.force workload in
+  let base = Prng.of_seed 424242L in
+  let specs =
+    [
+      Core.Spec.single Read;
+      Core.Spec.single Write;
+      Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 0);
+      Core.Spec.multi Write ~max_mbf:3 ~win:(Fixed 0);
+      Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 1);
+      Core.Spec.multi Write ~max_mbf:3 ~win:(Fixed 1);
+      Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 100);
+      Core.Spec.multi Write ~max_mbf:3 ~win:(Fixed 100);
+      Core.Spec.multi Read ~max_mbf:4 ~win:(Rnd (2, 50));
+    ]
+  in
+  List.iter
+    (fun spec ->
+      List.iter
+        (fun spacing ->
+          for i = 0 to 14 do
+            check_experiment w spec ~spacing ~base i
+          done)
+        [ `Faulty; `Golden ])
+    specs
+
+(* Whole campaigns through the backend switch: results (counters, trap
+   breakdown, activation histogram, per-experiment records) must be
+   equal. *)
+let test_campaign_differential () =
+  let w = Lazy.force workload in
+  let saved = Core.Config.active_backend () in
+  Fun.protect
+    ~finally:(fun () -> Core.Config.set_backend saved)
+    (fun () ->
+      List.iter
+        (fun spec ->
+          let run b =
+            Core.Config.set_backend b;
+            Core.Campaign.run ~keep_experiments:true w spec ~n:60 ~seed:99L
+          in
+          let a = run Core.Config.Seed in
+          let b = run Core.Config.Compiled in
+          Alcotest.(check bool)
+            (Core.Spec.label spec ^ " campaign equal")
+            true
+            (Core.Campaign.equal_result a b))
+        [
+          Core.Spec.single Read;
+          Core.Spec.multi Write ~max_mbf:3 ~win:(Fixed 10);
+          Core.Spec.multi Read ~max_mbf:5 ~win:(Rnd (2, 10));
+        ])
+
+(* ---- decode cache ---- *)
+
+let test_decode_cache () =
+  let d = Option.get (Bench_suite.Registry.find "fft") in
+  let m = d.build () in
+  let digest = Digest.to_hex (Digest.string (Ir.Pp.modl m)) in
+  let decodes0, hits0 = Vm.Code.cache_stats () in
+  let c1 = Vm.Code.compile ~digest (Vm.Program.load m) in
+  let c2 = Vm.Code.compile ~digest (Vm.Program.load (d.build ())) in
+  let decodes1, hits1 = Vm.Code.cache_stats () in
+  Alcotest.(check bool) "cache returns same code" true (c1 == c2);
+  Alcotest.(check bool) "at most one decode" true (decodes1 <= decodes0 + 1);
+  Alcotest.(check bool) "at least one hit" true (hits1 >= hits0 + 1);
+  (* uncached compiles always decode *)
+  let p = Vm.Program.load m in
+  let _ = Vm.Code.compile p and _ = Vm.Code.compile p in
+  let decodes2, _ = Vm.Code.cache_stats () in
+  Alcotest.(check int) "uncached compiles decode" (decodes1 + 2) decodes2
+
+let suites =
+  [
+    ( "vm_code",
+      [
+        Alcotest.test_case "registry golden differential" `Quick
+          test_registry_golden;
+        Alcotest.test_case "packed site tables" `Quick test_site_tables;
+        QCheck_alcotest.to_alcotest prop_random_programs;
+        Alcotest.test_case "experiment differential" `Quick
+          test_experiments_differential;
+        Alcotest.test_case "campaign differential" `Quick
+          test_campaign_differential;
+        Alcotest.test_case "decode cache" `Quick test_decode_cache;
+      ] );
+  ]
