@@ -441,6 +441,11 @@ let run_perf () =
   print_newline ();
   section "Compiled pipeline: end-to-end campaign wall-clock, seed vs compiled";
   let saved_backend = Core.Config.active_backend () in
+  let ck_saved_on = Core.Config.checkpointing ()
+  and ck_saved_k = Core.Config.checkpoint_interval () in
+  (* Checkpointing off here: this table isolates decode-once vs the seed
+     interpreter; prefix reuse is measured separately below. *)
+  Core.Config.set_checkpoint false;
   let pipeline_spec = Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 10) in
   let n_pipeline = 300 in
   Printf.printf "%-10s %10s %10s %9s   (%s over %d experiments)\n" "program"
@@ -470,6 +475,64 @@ let run_perf () =
          else "!! MISMATCH"))
     pipeline_progs;
   Core.Config.set_backend saved_backend;
+  print_newline ();
+  section "Checkpointed prefix reuse: campaign wall-clock, checkpoint off vs on";
+  Printf.printf "%-10s %10s %10s %9s   (%s over %d experiments)\n" "program"
+    "off" "on" "speedup"
+    (Core.Spec.label pipeline_spec)
+    n_pipeline;
+  let ck_rows =
+    List.map
+      (fun name ->
+        let e = Option.get (Bench_suite.Registry.find name) in
+        let w =
+          Core.Workload.make ~name ~expected_output:(e.reference ())
+            (e.build ())
+        in
+        let campaign on =
+          Core.Config.set_checkpoint on;
+          let t0 = Unix.gettimeofday () in
+          let r = Core.Campaign.run w pipeline_spec ~n:n_pipeline ~seed:5L in
+          (Unix.gettimeofday () -. t0, r)
+        in
+        (* Warm-up also records the checkpoint set, so the timed "on" run
+           measures steady-state reuse, not the one-off recording. *)
+        ignore (campaign true);
+        let off_t, off_r = campaign false in
+        let on_t, on_r = campaign true in
+        let identical = Core.Campaign.equal_result off_r on_r in
+        Printf.printf "%-10s %9.2fs %9.2fs %8.2fx   %s\n" name off_t on_t
+          (off_t /. on_t)
+          (if identical then "bit-identical results" else "!! MISMATCH");
+        (name, off_t, on_t, identical))
+      pipeline_progs
+  in
+  Core.Config.set_checkpoint ~interval:ck_saved_k ck_saved_on;
+  let ck_points, ck_restores = Vm.Checkpoint.stats () in
+  (let oc = open_out "BENCH_5.json" in
+   Printf.fprintf oc
+     "{\n\
+     \  \"pr\": 5,\n\
+     \  \"bench\": \"campaign_wall_clock_checkpoint\",\n\
+     \  \"spec\": %S,\n\
+     \  \"n\": %d,\n\
+     \  \"seed\": 5,\n\
+     \  \"checkpoints_recorded\": %d,\n\
+     \  \"restores\": %d,\n\
+     \  \"programs\": [\n"
+     (Core.Spec.label pipeline_spec)
+     n_pipeline ck_points ck_restores;
+   List.iteri
+     (fun i (name, off_t, on_t, identical) ->
+       Printf.fprintf oc
+         "    {\"program\": %S, \"off_s\": %.4f, \"on_s\": %.4f, \
+          \"speedup\": %.3f, \"bit_identical\": %b}%s\n"
+         name off_t on_t (off_t /. on_t) identical
+         (if i = List.length ck_rows - 1 then "" else ","))
+     ck_rows;
+   output_string oc "  ]\n}\n";
+   close_out oc);
+  Printf.printf "(wrote BENCH_5.json)\n";
   print_newline ();
   section "Engine scaling: one campaign, sequential vs parallel";
   let spec = Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 10) in

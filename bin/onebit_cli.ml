@@ -350,11 +350,13 @@ let reproduce_cmd =
     (* The campaign's own record of experiment [index] ... *)
     let r = Core.Campaign.run ~keep_experiments:true w spec ~n ~seed in
     let stored = r.experiments.(index) in
-    (* ... and an independent replay from the same (seed, index). *)
+    (* ... and an independent replay from the same (seed, index); the
+       replay bypasses golden-prefix checkpointing so every instruction
+       it reports was actually re-executed. *)
     let rng = Prng.split_at (Prng.of_seed seed) index in
     let candidates = Core.Workload.candidates w technique in
     let inj = Core.Injector.create ~spec ~candidates rng in
-    let res = Core.Experiment.run_raw w inj in
+    let res = Core.Experiment.run_raw ~checkpoint:false w inj in
     let outcome = Core.Outcome.classify ~golden_output:w.golden.output res in
     Printf.printf "reproduce %d of %s on %s (n=%d, seed=%Ld)\n" index
       (Core.Spec.label spec) program n seed;

@@ -24,7 +24,12 @@
     - [ONEBIT_BACKEND] — execution backend: "seed" (per-instruction
       interpreter) or "compiled" (decode-once micro-op pipeline, the
       default); the two are bit-identical, the knob exists for
-      differential testing and benchmarking *)
+      differential testing and benchmarking
+    - [ONEBIT_CHECKPOINT] — golden-prefix checkpoint reuse on the
+      compiled backend: "on"/"off", a bare capture interval ("512",
+      implying on), or "on,512".  Default on with interval 1024;
+      results are bit-identical either way (the knob exists for
+      benchmarking and differential testing) *)
 
 type backend = Seed | Compiled
 (** Which VM executes workloads: the seed interpreter ({!Vm.Exec.run})
@@ -36,6 +41,11 @@ val backend_name : backend -> string
 val backend_of_string : string -> backend option
 (** Lenient: ["seed"]/["interp"]/["interpreter"] and
     ["compiled"]/["code"]/["vm"], case-insensitive; [None] otherwise. *)
+
+val checkpoint_of_string : string -> (bool * int option) option
+(** Lenient ONEBIT_CHECKPOINT syntax: ["on"]/["off"] (or the usual
+    boolean spellings), a bare positive interval (implying on), or
+    ["on,K"]/["off,K"]; [None] otherwise. *)
 
 type t = {
   n : int;
@@ -50,6 +60,9 @@ type t = {
   metrics : string option;
   trace : string option;
   backend : backend;
+  checkpoint : bool;
+      (** reuse golden-prefix checkpoints on the compiled backend *)
+  checkpoint_interval : int;  (** capture every K candidate instructions *)
 }
 
 val default : t
@@ -71,6 +84,8 @@ val override :
   ?metrics:string ->
   ?trace:string ->
   ?backend:backend ->
+  ?checkpoint:bool ->
+  ?checkpoint_interval:int ->
   t -> t
 (** Layer explicit values (CLI flags) over a resolved configuration.
     [jobs <= 0] means one worker per recommended domain; a
@@ -83,8 +98,8 @@ val resolve_jobs : int -> int
 val install : t -> unit
 (** Arm the observability sinks described by [metrics]/[trace]
     (enables collection and registers at-exit dump writers; a no-op if
-    neither is set) and make [t.backend] the process-wide active
-    backend. *)
+    neither is set) and make [t.backend]/[t.checkpoint] the
+    process-wide active backend and checkpointing state. *)
 
 val active_backend : unit -> backend
 (** The process-wide backend {!Experiment} and {!Workload} dispatch on.
@@ -94,3 +109,17 @@ val active_backend : unit -> backend
 val set_backend : backend -> unit
 (** Fix the process-wide backend (benchmarks and differential tests
     flip this between timed sections). *)
+
+val checkpointing : unit -> bool
+(** Whether {!Experiment} may reuse golden-prefix checkpoints (compiled
+    backend only).  Resolved lazily from [ONEBIT_CHECKPOINT] on first
+    read unless {!set_checkpoint} or {!install} has fixed it. *)
+
+val checkpoint_interval : unit -> int
+(** The capture interval in candidate instructions (default 1024). *)
+
+val set_checkpoint : ?interval:int -> bool -> unit
+(** Fix the process-wide checkpointing state; [interval], when given
+    and positive, also fixes the capture interval.  Benchmarks and the
+    differential suite flip this between timed sections — results are
+    bit-identical either way. *)

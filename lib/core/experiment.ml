@@ -9,26 +9,52 @@ type t = {
 let m_experiments = Obs.Metrics.counter "onebit_injector_experiments_total"
 let m_activations = Obs.Metrics.counter "onebit_injector_activations_total"
 
-let run_raw (workload : Workload.t) inj =
+(* Compiled-backend run with golden-prefix checkpoint reuse: restore the
+   nearest checkpoint at-or-before the first flip's candidate ordinal
+   (known at injector creation) and execute only the suffix.  Even when
+   no checkpoint precedes the target, the per-domain undo-tracking
+   working memory replaces the per-experiment arena clone — reset costs
+   O(dirty pages).  Results are bit-identical to full execution: the
+   prefix fires no events and consumes no injector randomness. *)
+let run_checkpointed (workload : Workload.t) inj ev set =
+  let mem =
+    Vm.Checkpoint.working_mem ~digest:workload.Workload.digest
+      workload.prog.Vm.Program.mem_template
+  in
+  let point =
+    match (set, Injector.first_target inj) with
+    | Some set, Some target ->
+        Vm.Checkpoint.select set ~axis:ev.Vm.Code.watch ~target
+    | _ -> None
+  in
+  match point with
+  | Some p ->
+      Vm.Code.resume ~events:ev ~mem ~point:p ~budget:workload.budget
+        workload.code
+  | None ->
+      Vm.Memory.reset mem;
+      Vm.Code.run ~events:ev ~mem ~budget:workload.budget workload.code
+
+let run_raw ?(checkpoint = true) (workload : Workload.t) inj =
   match Config.active_backend () with
   | Config.Seed ->
       Vm.Exec.run
         ~hooks:(Injector.hooks inj)
         ~budget:workload.budget workload.prog
   | Config.Compiled ->
-      Vm.Code.run
-        ~events:(Injector.events inj)
-        ~budget:workload.budget workload.code
+      let ev = Injector.events inj in
+      if checkpoint && Config.checkpointing () then
+        run_checkpointed workload inj ev (Workload.ensure_checkpoints workload)
+      else Vm.Code.run ~events:ev ~budget:workload.budget workload.code
 
-let run_inj workload (spec : Spec.t) inj =
+let run_inj workload inj =
   let res = run_raw workload inj in
-  ignore spec;
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.incr m_experiments;
     Obs.Metrics.add m_activations (Injector.activated inj)
   end;
   {
-    outcome = Outcome.classify ~golden_output:workload.golden.output res;
+    outcome = Outcome.classify ~golden_output:workload.Workload.golden.output res;
     activated = Injector.activated inj;
     first = Injector.first_injection inj;
     dyn_count = res.dyn_count;
@@ -38,9 +64,9 @@ let run_inj workload (spec : Spec.t) inj =
 let run ?spacing workload spec rng =
   let candidates = Workload.candidates workload spec.Spec.technique in
   let inj = Injector.create ~spec ~candidates ?spacing rng in
-  run_inj workload spec inj
+  run_inj workload inj
 
 let run_at workload spec ~first rng =
   let candidates = Workload.candidates workload spec.Spec.technique in
   let inj = Injector.create ~spec ~candidates ~first rng in
-  run_inj workload spec inj
+  run_inj workload inj

@@ -11,11 +11,19 @@ type t = {
   output : string;  (** the faulty run's output stream *)
 }
 
-val run_raw : Workload.t -> Injector.t -> Vm.Exec.result
+val run_raw : ?checkpoint:bool -> Workload.t -> Injector.t -> Vm.Exec.result
 (** Execute one faulty run of the workload under an injector, on the
     active backend ({!Config.active_backend}): seed interpreter with
     {!Injector.hooks}, or compiled pipeline with {!Injector.events}.
-    Building block for {!run}/{!run_at} and the CLI's replay commands. *)
+    Building block for {!run}/{!run_at} and the CLI's replay commands.
+
+    On the compiled backend, when [checkpoint] (default [true]) and
+    {!Config.checkpointing} are both set, the golden prefix up to the
+    first flip is restored from the workload's checkpoint set instead of
+    re-executed, and the run reuses the calling domain's undo-tracking
+    working memory — bit-identical results, O(dirty-page) reset.  Pass
+    [~checkpoint:false] to force full execution ([onebit reproduce]
+    does, so a replay re-runs every instruction it reports). *)
 
 val run :
   ?spacing:[ `Faulty | `Golden ] -> Workload.t -> Spec.t -> Prng.t -> t

@@ -228,6 +228,11 @@ let hooks t : Vm.Exec.hooks =
         post = (fun ~dyn frame meta -> on_candidate t ~dyn frame meta);
       }
 
+(* The first flip's scheduled candidate ordinal — fixed at creation, so
+   the checkpoint layer can fast-forward the golden prefix before any
+   injector state or randomness is touched. *)
+let first_target t = match t.state with Wait_first c -> Some c | _ -> None
+
 let activated t = t.n_performed
 let injections t = List.rev t.performed
 

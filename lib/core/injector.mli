@@ -57,6 +57,13 @@ val events : t -> Vm.Code.events
     backends produce bit-identical injections.  Use an injector instance
     with exactly one of [hooks]/[events]. *)
 
+val first_target : t -> int option
+(** The first flip's scheduled candidate ordinal, drawn (or forced) at
+    {!create} — [Some] until the first flip fires.  Execution is
+    fault-free and consumes no injector randomness before that ordinal,
+    which is what lets {!Experiment} resume from a golden-prefix
+    checkpoint at-or-before it ({!Vm.Checkpoint}). *)
+
 val activated : t -> int
 (** Number of flips actually performed so far. *)
 

@@ -55,3 +55,24 @@ let make ?(hang_factor = 10) ?expected_output ~name m =
 let candidates t = function
   | Technique.Read -> t.golden.read_cands
   | Technique.Write -> t.golden.write_cands
+
+(* Record golden-prefix checkpoints for this workload, once per digest
+   process-wide (engine domains share the set like they share compiled
+   code).  Lazy rather than part of [make] so the recording run — one
+   extra instrumented golden execution — is only paid when a checkpointed
+   experiment actually runs, and so flipping ONEBIT_CHECKPOINT on after
+   workload creation still works.  [None] when checkpointing is off or
+   the backend is the seed interpreter, which bypass checkpoints
+   entirely. *)
+let ensure_checkpoints t =
+  if Config.active_backend () <> Config.Compiled || not (Config.checkpointing ())
+  then None
+  else
+    Vm.Checkpoint.ensure t.digest ~record:(fun () ->
+        let r =
+          Vm.Checkpoint.recorder ~interval:(Config.checkpoint_interval ())
+        in
+        let g = Vm.Code.run ~record:r ~budget:Vm.Exec.golden_budget t.code in
+        match g.Vm.Exec.status with
+        | Finished -> Some (Vm.Checkpoint.finish r)
+        | Trapped _ | Hung -> None)

@@ -35,3 +35,13 @@ val make : ?hang_factor:int -> ?expected_output:string -> name:string ->
 
 val candidates : t -> Technique.t -> int
 (** Number of dynamic injection candidates for a technique. *)
+
+val ensure_checkpoints : t -> Vm.Checkpoint.set option
+(** The workload's golden-prefix checkpoint set ({!Vm.Checkpoint}),
+    recording it on first use — one instrumented golden run per digest,
+    process-wide, shared across engine domains.  [None] when
+    checkpointing is disabled ({!Config.checkpointing}) or the active
+    backend is the seed interpreter.  Cheap after the first call
+    (lock-free cache lookup), so callers may invoke it per experiment;
+    the engine calls it once up front so worker domains never contend on
+    the recording lock. *)

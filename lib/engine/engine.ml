@@ -110,6 +110,12 @@ let run_campaign_stats ?(jobs = 1) ?shard_size ?store ?progress
           ~from_store:false shard
     | None -> ()
   in
+  (* Warm the workload's golden-prefix checkpoint set (recorded once per
+     digest, process-wide) before spawning workers, so domains share it
+     from their first experiment instead of queueing on the recording
+     lock. *)
+  if Array.length todo > 0 then
+    ignore (Core.Workload.ensure_checkpoints workload : Vm.Checkpoint.set option);
   Pool.run ~jobs (Array.map (fun i -> task i) todo);
   let shards =
     Array.to_list results

@@ -46,6 +46,10 @@ let default = create ()
 let default_buckets =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
 
+(* Decade scale for count-valued observations (instructions skipped,
+   pages copied, ...) where the latency scale above is meaningless. *)
+let count_buckets = [| 1.0; 10.0; 1e2; 1e3; 1e4; 1e5; 1e6; 1e7; 1e8 |]
+
 let canonical_labels labels =
   List.sort (fun (a, _) (b, _) -> String.compare a b) labels
 

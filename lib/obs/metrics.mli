@@ -49,6 +49,11 @@ val histogram :
 
 val default_buckets : float array
 
+val count_buckets : float array
+(** Decade-scale bounds (1 .. 1e8) for count-valued observations —
+    skipped instructions, copied pages — where the latency default is
+    meaningless. *)
+
 val incr : counter -> unit
 val add : counter -> int -> unit
 val set : gauge -> float -> unit

@@ -1,0 +1,200 @@
+(* Golden-prefix checkpoints for the compiled VM.
+
+   Every experiment is fault-free up to its first flip, whose candidate
+   ordinal is drawn at injector creation.  A single instrumented golden
+   run per program records interval checkpoints of the complete VM state
+   (call stack with register files and last-write tables, dirty memory
+   pages, output length, dyn/candidate counters); an experiment then
+   restores the nearest checkpoint at-or-before its first target and
+   executes only the suffix.
+
+   Checkpoints are captured at the top of the interpreter loop — before
+   the dyn increment and before the instruction's candidate blocks — and
+   annotated with both the read- and the write-candidate ordinal, so one
+   digest-keyed set serves both injection techniques.  Because the
+   injector draws no randomness and fires no events during the golden
+   prefix, resuming from a checkpoint is observationally identical to
+   full execution: same injections, outputs, counters.  The differential
+   suite (test/suite_checkpoint.ml) and the CI checkpoint smoke enforce
+   this bit-for-bit. *)
+
+type frame_snap = {
+  fs_fidx : int;
+  fs_pc : int;
+      (* innermost frame: pc to resume at; outer frames: pc of the
+         in-progress Ucall *)
+  fs_call_dyn : int;
+      (* outer frames: the call instruction's dynamic index, needed to
+         replay its write-candidate post-block exactly *)
+  fs_ints : int array;
+  fs_flts : float array;
+  fs_lw : int array;
+}
+
+type point = {
+  ck_dyn : int;
+  ck_rc : int; (* read-candidate ordinals consumed before this point *)
+  ck_wc : int; (* write-candidate ordinals consumed *)
+  ck_out : string; (* output emitted so far *)
+  ck_stack : frame_snap array; (* outermost first *)
+  ck_pages : (int * bytes) array; (* dirty pages at capture *)
+}
+
+type set = { interval : int; points : point array }
+
+type recorder = {
+  mutable interval : int;
+  mutable next_rc : int; (* capture when rc or wc reaches these *)
+  mutable next_wc : int;
+  mutable rev_points : point list;
+  mutable n_points : int;
+}
+
+(* Never triggers: both thresholds stay at max_int.  The run loop keeps a
+   recorder unconditionally so the hot path is one bool test. *)
+let null_recorder =
+  {
+    interval = max_int;
+    next_rc = max_int;
+    next_wc = max_int;
+    rev_points = [];
+    n_points = 0;
+  }
+
+(* Cap on points per program: when reached, every other point is dropped
+   and the interval doubles, bounding memory at ~2x the cap for any
+   program length while keeping the skip granularity proportional. *)
+let max_points = 1024
+
+(* Plain counters maintained unconditionally (a handful per experiment,
+   not per instruction) so tests observe checkpoint behaviour without
+   enabling metrics; the Obs probes mirror them when collection is on. *)
+let points_total = Atomic.make 0
+let restores_total = Atomic.make 0
+let m_points = Obs.Metrics.counter "onebit_vm_checkpoints_total"
+let m_hits = Obs.Metrics.counter "onebit_vm_checkpoint_hits_total"
+let m_sets = Obs.Metrics.gauge "onebit_vm_checkpoint_cached_sets"
+
+let m_pages_saved =
+  Obs.Metrics.counter "onebit_vm_checkpoint_pages_saved_total"
+
+let m_pages_restored =
+  Obs.Metrics.counter "onebit_vm_checkpoint_pages_restored_total"
+
+let m_distance =
+  Obs.Metrics.histogram ~buckets:Obs.Metrics.count_buckets
+    "onebit_vm_checkpoint_restore_distance"
+
+let stats () = (Atomic.get points_total, Atomic.get restores_total)
+
+let recorder ~interval =
+  if interval <= 0 then invalid_arg "Checkpoint.recorder: interval <= 0";
+  {
+    interval;
+    next_rc = interval;
+    next_wc = interval;
+    rev_points = [];
+    n_points = 0;
+  }
+
+let add r p =
+  r.rev_points <- p :: r.rev_points;
+  r.n_points <- r.n_points + 1;
+  if r.n_points >= max_points then begin
+    let kept =
+      List.filteri (fun i _ -> i land 1 = 0) (List.rev r.rev_points)
+    in
+    r.rev_points <- List.rev kept;
+    r.n_points <- List.length kept;
+    r.interval <- 2 * r.interval
+  end;
+  r.next_rc <- ((p.ck_rc / r.interval) + 1) * r.interval;
+  r.next_wc <- ((p.ck_wc / r.interval) + 1) * r.interval;
+  Atomic.incr points_total;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_points;
+    Obs.Metrics.add m_pages_saved (Array.length p.ck_pages)
+  end
+
+let finish r =
+  { interval = r.interval; points = Array.of_list (List.rev r.rev_points) }
+
+let note_restore (p : point) =
+  Atomic.incr restores_total;
+  if Obs.Metrics.enabled () then begin
+    Obs.Metrics.incr m_hits;
+    Obs.Metrics.add m_pages_restored (Array.length p.ck_pages);
+    Obs.Metrics.observe m_distance (float_of_int p.ck_dyn)
+  end
+
+(* Greatest point whose consumed ordinal count on the watched axis is
+   <= target: the first candidate at ordinal [target] has then not yet
+   been executed, so the suffix reaches it exactly as a full run would. *)
+let select set ~axis ~target =
+  let ord (p : point) =
+    match axis with `Read -> p.ck_rc | `Write -> p.ck_wc
+  in
+  let pts = set.points in
+  let n = Array.length pts in
+  if n = 0 || ord pts.(0) > target then None
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if ord pts.(mid) <= target then lo := mid else hi := mid - 1
+    done;
+    Some pts.(!lo)
+  end
+
+(* ---- process-wide cache, shared across engine domains ---- *)
+
+module SM = Map.Make (String)
+
+(* Lock-free lookups: an immutable map swapped by CAS.  Experiments hit
+   [find] once each, concurrently from every domain, so the read path
+   must not take the lock the (rare, once-per-digest) recording path
+   holds across its instrumented golden run. *)
+let cache : set SM.t Atomic.t = Atomic.make SM.empty
+let record_lock = Mutex.create ()
+
+let find digest = SM.find_opt digest (Atomic.get cache)
+
+let store digest set =
+  let rec swap () =
+    let m = Atomic.get cache in
+    if not (Atomic.compare_and_set cache m (SM.add digest set m)) then swap ()
+  in
+  swap ();
+  if Obs.Metrics.enabled () then
+    Obs.Metrics.set m_sets (float_of_int (SM.cardinal (Atomic.get cache)))
+
+let ensure digest ~record =
+  match find digest with
+  | Some s -> Some s
+  | None ->
+      Mutex.protect record_lock (fun () ->
+          match find digest with
+          | Some s -> Some s
+          | None -> (
+              match record () with
+              | Some s ->
+                  store digest s;
+                  Some s
+              | None -> None))
+
+(* ---- per-domain working memory ---- *)
+
+(* Engine domains run their shards sequentially, so one undo-tracking
+   memory per (domain, program) can be reset/restored between
+   experiments instead of cloning the arena each time. *)
+let working : (string, Memory.t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 4)
+
+let working_mem ~digest template =
+  let tbl = Domain.DLS.get working in
+  match Hashtbl.find_opt tbl digest with
+  | Some m -> m
+  | None ->
+      let m = Memory.with_undo template in
+      Hashtbl.add tbl digest m;
+      m

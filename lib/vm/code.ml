@@ -424,10 +424,38 @@ let no_events =
 
 let to_u64 v = Int64.logand (Int64.of_int v) 0x7FFFFFFFFFFFFFFFL
 
-let run ?events ?block_hook ~budget (code : t) =
-  let mem = Memory.clone code.mem_template in
+(* The one interpreter loop behind [run] and [resume].
+
+   Recording ([record]): a golden run additionally maintains a shadow
+   call stack and, at the top of the loop whenever a candidate-ordinal
+   counter crosses the recorder's threshold, captures a {!Checkpoint.point}
+   — before the instruction's dyn increment and candidate blocks, so the
+   point is valid for both the read and the write ordinal axis.
+
+   Resuming ([resume]): counters, output and memory pages are restored
+   from the point, then the captured call stack is re-entered outermost
+   first: each outer frame's in-progress [Ucall] is completed exactly as
+   the original iteration would have (return-value assignment, then the
+   call's write-candidate post-block using the call's own dynamic index)
+   before that frame continues at the following pc.  [st.ret_i]/[st.ret_f]
+   are dead at the top of the loop, so zero-initialising them is exact. *)
+let run_internal ?events ?block_hook ?record ?mem ?resume ~budget (code : t) =
+  let mem =
+    match mem with
+    | Some m -> m
+    | None ->
+        if Option.is_some record then Memory.with_undo code.mem_template
+        else Memory.clone code.mem_template
+  in
   let out = Buffer.create 256 in
   let st = { dyn = 0; rc = 0; wc = 0; ret_i = 0; ret_f = 0.0 } in
+  (match resume with
+  | Some (p : Checkpoint.point) ->
+      Buffer.add_string out p.ck_out;
+      st.dyn <- p.ck_dyn;
+      st.rc <- p.ck_rc;
+      st.wc <- p.ck_wc
+  | None -> ());
   let watch_read, watch_write, ev =
     match events with
     | Some e -> (e.watch = `Read, e.watch = `Write, e)
@@ -437,18 +465,52 @@ let run ?events ?block_hook ~budget (code : t) =
   let bh =
     match block_hook with Some h -> h | None -> fun ~fidx:_ ~bidx:_ -> ()
   in
+  let rec_on = Option.is_some record in
+  let recd =
+    match record with Some r -> r | None -> Checkpoint.null_recorder
+  in
+  (* Shadow call stack, innermost first: (fidx, frame, call pc, call dyn)
+     of every in-progress Ucall.  Maintained only when recording. *)
+  let rstack : (int * Exec.frame * int * int) list ref = ref [] in
   let funcs = code.funcs in
-  let rec exec_fn fidx (frame : Exec.frame) depth =
+  let capture fidx (frame : Exec.frame) i =
+    let snap_of (fidx, (fr : Exec.frame), pc, calld) =
+      {
+        Checkpoint.fs_fidx = fidx;
+        fs_pc = pc;
+        fs_call_dyn = calld;
+        fs_ints = Array.copy fr.Exec.ints;
+        fs_flts = Array.copy fr.Exec.flts;
+        fs_lw = Array.copy fr.Exec.last_write;
+      }
+    in
+    let stack =
+      Array.of_list (List.rev_map snap_of ((fidx, frame, i, 0) :: !rstack))
+    in
+    Checkpoint.add recd
+      {
+        Checkpoint.ck_dyn = st.dyn;
+        ck_rc = st.rc;
+        ck_wc = st.wc;
+        ck_out = Buffer.contents out;
+        ck_stack = stack;
+        ck_pages = Memory.snapshot_pages mem;
+      }
+  in
+  let rec exec_fn fidx (frame : Exec.frame) depth ~start ~hook0 =
     let cf = Array.unsafe_get funcs fidx in
     let uops = cf.uops and flags = cf.flags and metas = cf.metas in
     let ints = frame.Exec.ints
     and flts = frame.Exec.flts
     and lw = frame.Exec.last_write in
-    if has_bh then bh ~fidx ~bidx:0;
-    let pc = ref 0 in
+    if has_bh && hook0 then bh ~fidx ~bidx:0;
+    let pc = ref start in
     let running = ref true in
     while !running do
       let i = !pc in
+      if rec_on && (st.rc >= recd.Checkpoint.next_rc
+                    || st.wc >= recd.Checkpoint.next_wc)
+      then capture fidx frame i;
       let d = st.dyn in
       st.dyn <- d + 1;
       if d >= budget then raise Hang_exn;
@@ -662,7 +724,9 @@ let run ?events ?block_hook ~budget (code : t) =
               cframe.Exec.flts.(j) <- Array.unsafe_get flts cr.c_args.(j)
             else cframe.Exec.ints.(j) <- Array.unsafe_get ints cr.c_args.(j)
           done;
-          exec_fn cr.c_callee cframe (depth + 1);
+          if rec_on then rstack := (fidx, frame, i, d) :: !rstack;
+          exec_fn cr.c_callee cframe (depth + 1) ~start:0 ~hook0:true;
+          if rec_on then rstack := List.tl !rstack;
           if cr.c_dst >= 0 then
             if cr.c_dst_f then Array.unsafe_set flts cr.c_dst st.ret_f
             else Array.unsafe_set ints cr.c_dst st.ret_i;
@@ -727,18 +791,66 @@ let run ?events ?block_hook ~budget (code : t) =
       end
     done
   in
-  let mainf = funcs.(code.main) in
-  let frame =
+  (* Complete an outer frame's in-progress call exactly as the original
+     Ucall iteration would have after its callee returned: assign the
+     return value, then run the call's write-candidate post-block with
+     the call's own dynamic index [calld].  The iteration's budget check
+     and read-candidate pre-block already happened in the prefix. *)
+  let complete_call fidx (frame : Exec.frame) i calld =
+    let cf = funcs.(fidx) in
+    (match cf.uops.(i) with
+    | Ucall cr ->
+        if cr.c_dst >= 0 then
+          if cr.c_dst_f then frame.Exec.flts.(cr.c_dst) <- st.ret_f
+          else frame.Exec.ints.(cr.c_dst) <- st.ret_i
+    | _ -> assert false);
+    let fl = cf.flags.(i) in
+    if fl land 2 <> 0 then begin
+      let c = st.wc in
+      st.wc <- c + 1;
+      frame.Exec.last_write.((fl lsr 2) - 1) <- calld;
+      if watch_write && (c >= ev.ev_cand || calld >= ev.ev_dyn) then
+        ev.handle ~dyn:calld ~cand:c frame cf.metas.(i)
+    end
+  in
+  let rebuild (s : Checkpoint.frame_snap) =
     {
-      Exec.ints = Array.copy mainf.int_init;
-      flts = Array.copy mainf.flt_init;
-      reg_ty = mainf.reg_ty;
-      last_write = Array.copy mainf.lw_init;
+      Exec.ints = Array.copy s.fs_ints;
+      flts = Array.copy s.fs_flts;
+      reg_ty = funcs.(s.fs_fidx).reg_ty;
+      last_write = Array.copy s.fs_lw;
     }
+  in
+  (* Re-enter the captured stack: the innermost frame runs to completion
+     first, then each outer frame completes its call and continues. *)
+  let rec resume_stack snaps depth =
+    match snaps with
+    | [] -> assert false
+    | [ (inner : Checkpoint.frame_snap) ] ->
+        exec_fn inner.fs_fidx (rebuild inner) depth ~start:inner.fs_pc
+          ~hook0:false
+    | (outer : Checkpoint.frame_snap) :: rest ->
+        let frame = rebuild outer in
+        resume_stack rest (depth + 1);
+        complete_call outer.fs_fidx frame outer.fs_pc outer.fs_call_dyn;
+        exec_fn outer.fs_fidx frame depth ~start:(outer.fs_pc + 1)
+          ~hook0:false
   in
   let status =
     try
-      exec_fn code.main frame 0;
+      (match resume with
+      | Some p -> resume_stack (Array.to_list p.Checkpoint.ck_stack) 0
+      | None ->
+          let mainf = funcs.(code.main) in
+          let frame =
+            {
+              Exec.ints = Array.copy mainf.int_init;
+              flts = Array.copy mainf.flt_init;
+              reg_ty = mainf.reg_ty;
+              last_write = Array.copy mainf.lw_init;
+            }
+          in
+          exec_fn code.main frame 0 ~start:0 ~hook0:true);
       Exec.Finished
     with
     | Trap.Trap t -> Exec.Trapped t
@@ -755,3 +867,11 @@ let run ?events ?block_hook ~budget (code : t) =
   in
   Exec.record_run result;
   result
+
+let run ?events ?block_hook ?record ?mem ~budget code =
+  run_internal ?events ?block_hook ?record ?mem ~budget code
+
+let resume ~events ~mem ~(point : Checkpoint.point) ~budget code =
+  Checkpoint.note_restore point;
+  Memory.restore_pages mem point.ck_pages;
+  run_internal ~events ~mem ~resume:point ~budget code

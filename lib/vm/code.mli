@@ -52,11 +52,38 @@ val program : t -> Program.t
 val run :
   ?events:events ->
   ?block_hook:(fidx:int -> bidx:int -> unit) ->
+  ?record:Checkpoint.recorder ->
+  ?mem:Memory.t ->
   budget:int ->
   t ->
   Exec.result
 (** Execute the entry function; semantics of [budget], traps, call depth
-    and the result fields are exactly those of {!Exec.run}. *)
+    and the result fields are exactly those of {!Exec.run}.
+
+    [record] captures golden-prefix checkpoints into the recorder every
+    time a candidate ordinal crosses its interval (see {!Checkpoint});
+    recording runs execute on a private undo-tracking memory so each
+    point can snapshot its dirty pages.
+
+    [mem] supplies the memory to execute against instead of cloning the
+    template — it must be in template state ({!Memory.reset} /
+    {!Memory.restore_pages} it first); the caller retains ownership
+    across runs.  This is what lets one per-domain memory serve a whole
+    shard of experiments. *)
+
+val resume :
+  events:events ->
+  mem:Memory.t ->
+  point:Checkpoint.point ->
+  budget:int ->
+  t ->
+  Exec.result
+(** Restore [point] (counters, output prefix, call stack, dirty pages —
+    [mem] must be the undo-tracking working memory for this program) and
+    execute only the suffix.  The result is field-for-field what {!run}
+    with the same [events] would return: [dyn_count]/candidate ordinals
+    continue from the restored counters, so they count the whole logical
+    run, not just the suffix.  [budget] keeps its whole-run meaning. *)
 
 val site_reads : t -> int array array
 (** [site_reads code].(fidx).(bidx) is the number of static

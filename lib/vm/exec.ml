@@ -46,6 +46,12 @@ let m_traps =
   List.iteri (fun i t -> assert (Trap.index t = i)) Trap.all;
   arr
 
+(* Shared end-of-run probe for both backends.  [dyn_count] is the run's
+   logical length: a checkpoint-resumed run (Code.resume) reports the
+   counter it restored plus the suffix it executed, so the instruction
+   counter measures campaign work in full-execution-equivalent units
+   (the skipped distance is observable separately in the
+   onebit_vm_checkpoint_restore_distance histogram). *)
 let record_run result =
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.incr m_runs;

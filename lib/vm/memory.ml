@@ -1,8 +1,32 @@
+(* An arena plus an optional dirty-page undo log.
+
+   Plain clones pay a whole-arena [Bytes.copy] per run.  Undo-tracking
+   memories ([with_undo]) instead remember which 256-byte pages a run
+   touched and rewind only those from the pristine template, so resetting
+   between experiments costs O(dirty pages) rather than O(arena).  The
+   checkpoint layer additionally snapshots/restores the dirty page set to
+   re-create a mid-run memory image exactly. *)
+
+(* 256-byte pages: small enough that a short experiment touches a
+   handful, large enough that the page table stays tiny. *)
+let page_bits = 8
+let page_size = 1 lsl page_bits
+
+type undo = {
+  template : Bytes.t; (* the pristine arena, shared with the template *)
+  dirty_flag : Bytes.t; (* one byte per page *)
+  mutable dirty : int array; (* stack of dirty page indexes *)
+  mutable n_dirty : int;
+}
+
 type t = {
   arena : Bytes.t;
   mapped : Bytes.t;  (* one flag byte per arena byte; shared across clones *)
   size : int;
+  undo : undo option;
 }
+
+let m_pages_reset = Obs.Metrics.counter "onebit_vm_dirty_pages_reset_total"
 
 let create_template ~size ~regions =
   let arena = Bytes.make size '\000' in
@@ -19,10 +43,96 @@ let create_template ~size ~regions =
       done;
       Bytes.blit init 0 arena base len)
     regions;
-  { arena; mapped; size }
+  { arena; mapped; size; undo = None }
 
-let clone t = { t with arena = Bytes.copy t.arena }
+let clone t =
+  { arena = Bytes.copy t.arena; mapped = t.mapped; size = t.size; undo = None }
+
+let with_undo t =
+  let npages = (t.size + page_size - 1) / page_size in
+  {
+    arena = Bytes.copy t.arena;
+    mapped = t.mapped;
+    size = t.size;
+    undo =
+      Some
+        {
+          template = t.arena;
+          dirty_flag = Bytes.make npages '\000';
+          dirty = Array.make 64 0;
+          n_dirty = 0;
+        };
+  }
+
 let size t = t.size
+let tracks_undo t = Option.is_some t.undo
+
+let dirty_pages t =
+  match t.undo with Some u -> u.n_dirty | None -> 0
+
+let mark_page u p =
+  if Bytes.unsafe_get u.dirty_flag p = '\000' then begin
+    Bytes.unsafe_set u.dirty_flag p '\001';
+    let n = u.n_dirty in
+    if n = Array.length u.dirty then begin
+      let grown = Array.make (2 * n) 0 in
+      Array.blit u.dirty 0 grown 0 n;
+      u.dirty <- grown
+    end;
+    Array.unsafe_set u.dirty n p;
+    u.n_dirty <- n + 1
+  end
+
+(* An aligned access can still straddle a page boundary (8-byte stores
+   are only 4-aligned), so mark the pages of both the first and last
+   byte. *)
+let mark t ~width ~addr =
+  match t.undo with
+  | None -> ()
+  | Some u ->
+      let p0 = addr lsr page_bits in
+      let p1 = (addr + width - 1) lsr page_bits in
+      mark_page u p0;
+      if p1 <> p0 then mark_page u p1
+
+let page_len t p =
+  let off = p lsl page_bits in
+  min page_size (t.size - off)
+
+let reset t =
+  match t.undo with
+  | None -> invalid_arg "Memory.reset: not an undo-tracking memory"
+  | Some u ->
+      for k = 0 to u.n_dirty - 1 do
+        let p = Array.unsafe_get u.dirty k in
+        let off = p lsl page_bits in
+        Bytes.blit u.template off t.arena off (page_len t p);
+        Bytes.unsafe_set u.dirty_flag p '\000'
+      done;
+      if Obs.Metrics.enabled () then Obs.Metrics.add m_pages_reset u.n_dirty;
+      u.n_dirty <- 0
+
+let snapshot_pages t =
+  match t.undo with
+  | None -> invalid_arg "Memory.snapshot_pages: not an undo-tracking memory"
+  | Some u ->
+      let pages = Array.sub u.dirty 0 u.n_dirty in
+      Array.sort compare pages;
+      Array.map
+        (fun p -> (p, Bytes.sub t.arena (p lsl page_bits) (page_len t p)))
+        pages
+
+let restore_pages t pages =
+  (match t.undo with
+  | None -> invalid_arg "Memory.restore_pages: not an undo-tracking memory"
+  | Some _ -> ());
+  reset t;
+  let u = Option.get t.undo in
+  Array.iter
+    (fun (p, b) ->
+      Bytes.blit b 0 t.arena (p lsl page_bits) (Bytes.length b);
+      mark_page u p)
+    pages
 
 let check t ~width ~addr =
   if addr < 0 || addr + width > t.size then raise (Trap.Trap Trap.Segfault);
@@ -45,6 +155,7 @@ let read_int t ~width ~addr =
 
 let write_int t ~width ~addr v =
   check t ~width ~addr;
+  mark t ~width ~addr;
   match width with
   | 1 -> Bytes.set_uint8 t.arena addr (v land 0xFF)
   | 2 -> Bytes.set_uint16_le t.arena addr (v land 0xFFFF)
@@ -58,6 +169,7 @@ let read_f64 t ~addr =
 
 let write_f64 t ~addr v =
   check t ~width:8 ~addr;
+  mark t ~width:8 ~addr;
   Bytes.set_int64_le t.arena addr (Int64.bits_of_float v)
 
 let peek_bytes t ~addr ~len =

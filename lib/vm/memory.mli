@@ -16,7 +16,38 @@ val create_template : size:int -> regions:(int * bytes) list -> t
 
 val clone : t -> t
 (** Copy the arena (cheap, a single [Bytes.copy]); the mapped-byte table is
-    immutable and shared. *)
+    immutable and shared.  The clone does not track dirty pages. *)
+
+val with_undo : t -> t
+(** An executable copy of a {e template} that additionally records which
+    256-byte pages are written, keeping a shared reference to the
+    template's pristine arena.  {!reset} rewinds exactly the dirty pages
+    — O(dirty) instead of [clone]'s O(arena) — which is what lets one
+    long-lived per-domain memory be reused across experiments. *)
+
+val page_size : int
+(** Dirty-tracking granularity in bytes (256). *)
+
+val tracks_undo : t -> bool
+
+val dirty_pages : t -> int
+(** Number of pages written since the last {!reset} (0 for plain
+    clones). *)
+
+val reset : t -> unit
+(** Rewind every dirty page to the template image and clear the dirty
+    set.  Exact regardless of how the previous run ended (normal end,
+    trap mid-run, hang): never-written pages already equal the template.
+    Raises [Invalid_argument] on a memory without undo tracking. *)
+
+val snapshot_pages : t -> (int * bytes) array
+(** Copies of the currently dirty pages, sorted by page index.  Together
+    with the template this is a complete mid-run memory image: restoring
+    it onto a [reset] memory reproduces the arena byte-for-byte. *)
+
+val restore_pages : t -> (int * bytes) array -> unit
+(** [reset] followed by blitting the snapshot pages back in (re-marking
+    them dirty, so a later [reset] rewinds them too). *)
 
 val size : t -> int
 

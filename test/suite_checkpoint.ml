@@ -1,0 +1,331 @@
+(* Differential tests for golden-prefix checkpoint reuse (Vm.Checkpoint +
+   Vm.Code.resume): an experiment that restores the fault-free prefix
+   from a checkpoint must be bit-identical — same outcome, output,
+   dynamic count, candidate ordinals and full injection log — to one
+   that re-executes the program from dynamic instruction 0, for every
+   technique, window size and multiplicity, and the dirty-page undo log
+   must rewind memory exactly even after traps. *)
+
+let with_checkpoint ?interval on f =
+  let saved_on = Core.Config.checkpointing ()
+  and saved_k = Core.Config.checkpoint_interval () in
+  Core.Config.set_checkpoint ?interval on;
+  Fun.protect
+    ~finally:(fun () -> Core.Config.set_checkpoint ~interval:saved_k saved_on)
+    f
+
+let injection_equal (a : Core.Injector.injection) (b : Core.Injector.injection)
+    =
+  a.inj_dyn = b.inj_dyn && a.inj_cand = b.inj_cand && a.inj_reg = b.inj_reg
+  && a.inj_ty = b.inj_ty && a.inj_slot = b.inj_slot && a.inj_bit = b.inj_bit
+  && a.inj_weight = b.inj_weight
+
+let result_equal name (a : Vm.Exec.result) (b : Vm.Exec.result) =
+  Alcotest.(check bool) (name ^ " status") true (a.status = b.status);
+  Alcotest.(check string) (name ^ " output") a.output b.output;
+  Alcotest.(check int) (name ^ " dyn") a.dyn_count b.dyn_count;
+  Alcotest.(check int) (name ^ " read cands") a.read_cands b.read_cands;
+  Alcotest.(check int) (name ^ " write cands") a.write_cands b.write_cands
+
+(* One experiment through [run_raw] with checkpointing off, then on:
+   identical runs and identical full injection logs. *)
+let check_experiment w spec ~interval ~base i =
+  let mk () =
+    let cands = Core.Workload.candidates w spec.Core.Spec.technique in
+    Core.Injector.create ~spec ~candidates:cands (Prng.split_at base i)
+  in
+  let inj_full = mk () in
+  let r_full =
+    with_checkpoint false (fun () -> Core.Experiment.run_raw w inj_full)
+  in
+  let inj_ck = mk () in
+  let r_ck =
+    with_checkpoint ~interval true (fun () ->
+        Core.Experiment.run_raw w inj_ck)
+  in
+  let label =
+    Printf.sprintf "%s k=%d #%d" (Core.Spec.label spec) interval i
+  in
+  result_equal label r_full r_ck;
+  Alcotest.(check int)
+    (label ^ " activated")
+    (Core.Injector.activated inj_full)
+    (Core.Injector.activated inj_ck);
+  let log_f = Core.Injector.injections inj_full
+  and log_c = Core.Injector.injections inj_ck in
+  Alcotest.(check int)
+    (label ^ " log length")
+    (List.length log_f) (List.length log_c);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool) (label ^ " injection") true (injection_equal a b))
+    log_f log_c
+
+let registry_workload name =
+  let d = Option.get (Bench_suite.Registry.find name) in
+  Core.Workload.make ~name ~expected_output:(d.reference ())
+    (d.build ())
+
+(* Registry programs across both techniques, win sizes {0,1,100} and
+   multiplicities {1,3,4}: qsort's recursion exercises mid-call-stack
+   checkpoints, fft the float register files and large dirty sets.
+   Small intervals force restores near every possible stack shape. *)
+let test_registry_differential () =
+  let restores0 = snd (Vm.Checkpoint.stats ()) in
+  List.iter
+    (fun (name, interval) ->
+      let w = registry_workload name in
+      let base = Prng.of_seed 20260806L in
+      let specs =
+        [
+          Core.Spec.single Read;
+          Core.Spec.single Write;
+          Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 0);
+          Core.Spec.multi Write ~max_mbf:3 ~win:(Fixed 0);
+          Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 1);
+          Core.Spec.multi Write ~max_mbf:3 ~win:(Fixed 1);
+          Core.Spec.multi Read ~max_mbf:4 ~win:(Fixed 100);
+          Core.Spec.multi Write ~max_mbf:4 ~win:(Fixed 100);
+        ]
+      in
+      List.iter
+        (fun spec ->
+          for i = 0 to 9 do
+            check_experiment w spec ~interval ~base i
+          done)
+        specs)
+    [ ("crc32", 64); ("qsort", 128); ("fft", 512) ];
+  let restores1 = snd (Vm.Checkpoint.stats ()) in
+  Alcotest.(check bool)
+    "checkpoints actually restored" true
+    (restores1 > restores0)
+
+(* Random straight-line programs x techniques x win in {0,1,100} x
+   m in {1,3,4}, checkpoint on vs off.  A tiny interval makes even these
+   short programs cross capture thresholds. *)
+let prop_random_differential =
+  QCheck.Test.make ~name:"checkpointed run matches full execution" ~count:60
+    (QCheck.make Suite_differential.case_gen)
+    (fun (ops, seeds) ->
+      let seeds = if seeds = [] then [ 1L ] else seeds in
+      let ops = Suite_differential.sanitize ops seeds in
+      let m = Suite_differential.build_program ops seeds in
+      match Core.Workload.make ~name:"rand" m with
+      | exception Invalid_argument _ ->
+          true (* golden trapped/hung or no candidates: no workload *)
+      | w ->
+          let base = Prng.of_seed 7L in
+          List.for_all
+            (fun technique ->
+              List.for_all
+                (fun (max_mbf, win) ->
+                  let spec =
+                    if max_mbf = 1 then Core.Spec.single technique
+                    else Core.Spec.multi technique ~max_mbf ~win
+                  in
+                  List.for_all
+                    (fun i ->
+                      let mk () =
+                        let cands =
+                          Core.Workload.candidates w technique
+                        in
+                        Core.Injector.create ~spec ~candidates:cands
+                          (Prng.split_at base i)
+                      in
+                      let i1 = mk () in
+                      let r1 =
+                        with_checkpoint false (fun () ->
+                            Core.Experiment.run_raw w i1)
+                      in
+                      let i2 = mk () in
+                      let r2 =
+                        with_checkpoint ~interval:2 true (fun () ->
+                            Core.Experiment.run_raw w i2)
+                      in
+                      r1.Vm.Exec.status = r2.Vm.Exec.status
+                      && String.equal r1.output r2.output
+                      && r1.dyn_count = r2.dyn_count
+                      && r1.read_cands = r2.read_cands
+                      && r1.write_cands = r2.write_cands
+                      && List.equal injection_equal
+                           (Core.Injector.injections i1)
+                           (Core.Injector.injections i2))
+                    [ 0; 1; 2 ])
+                [
+                  (1, Core.Win.Fixed 0);
+                  (3, Fixed 0);
+                  (3, Fixed 1);
+                  (3, Fixed 100);
+                  (4, Fixed 1);
+                ])
+            [ Core.Technique.Read; Core.Technique.Write ])
+
+(* Whole campaigns across the checkpoint switch, including a workload
+   created while checkpointing was off (recording then happens lazily on
+   first checkpointed use). *)
+let test_campaign_differential () =
+  let w = with_checkpoint false (fun () -> registry_workload "qsort") in
+  List.iter
+    (fun spec ->
+      let off =
+        with_checkpoint false (fun () ->
+            Core.Campaign.run ~keep_experiments:true w spec ~n:60 ~seed:99L)
+      in
+      let on =
+        with_checkpoint ~interval:100 true (fun () ->
+            Core.Campaign.run ~keep_experiments:true w spec ~n:60 ~seed:99L)
+      in
+      Alcotest.(check bool)
+        (Core.Spec.label spec ^ " campaign equal")
+        true
+        (Core.Campaign.equal_result off on))
+    [
+      Core.Spec.single Read;
+      Core.Spec.multi Write ~max_mbf:3 ~win:(Fixed 10);
+      Core.Spec.multi Read ~max_mbf:5 ~win:(Rnd (2, 10));
+    ]
+
+(* The engine at several worker counts with checkpointing on must match
+   the sequential full-execution campaign. *)
+let test_engine_differential () =
+  let w = registry_workload "crc32" in
+  let spec = Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 10) in
+  let off =
+    with_checkpoint false (fun () ->
+        Core.Campaign.run ~keep_experiments:true w spec ~n:80 ~seed:3L)
+  in
+  List.iter
+    (fun jobs ->
+      let on =
+        with_checkpoint ~interval:200 true (fun () ->
+            Engine.run_campaign ~jobs ~shard_size:10 ~keep_experiments:true w
+              spec ~n:80 ~seed:3L)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d equals full sequential" jobs)
+        true
+        (Core.Campaign.equal_result off on))
+    [ 1; 4 ]
+
+(* ---- dirty-page undo log ---- *)
+
+let test_memory_undo () =
+  let region = Bytes.init 64 (fun i -> Char.chr (i land 0xFF)) in
+  let tmpl =
+    Vm.Memory.create_template ~size:4096 ~regions:[ (1024, region) ]
+  in
+  let m = Vm.Memory.with_undo tmpl in
+  Alcotest.(check bool) "tracks undo" true (Vm.Memory.tracks_undo m);
+  Alcotest.(check int) "clean at start" 0 (Vm.Memory.dirty_pages m);
+  Vm.Memory.write_int m ~width:4 ~addr:1024 0xDEAD;
+  Vm.Memory.write_int m ~width:8 ~addr:1056 77;
+  Alcotest.(check bool) "dirty after writes" true (Vm.Memory.dirty_pages m > 0);
+  (* Snapshot the touched pages, dirty some more, then restore. *)
+  let snap = Vm.Memory.snapshot_pages m in
+  Vm.Memory.write_int m ~width:4 ~addr:1028 123456;
+  Vm.Memory.restore_pages m snap;
+  Alcotest.(check int) "restored word" 0xDEAD
+    (Vm.Memory.read_int m ~width:4 ~addr:1024);
+  Alcotest.(check int) "second restored word" 77
+    (Vm.Memory.read_int m ~width:8 ~addr:1056);
+  Alcotest.(check int) "untouched word back to template"
+    (Vm.Memory.read_int tmpl ~width:4 ~addr:1028)
+    (Vm.Memory.read_int m ~width:4 ~addr:1028);
+  (* Reset rewinds to the template image even after a trapped access. *)
+  Vm.Memory.write_int m ~width:1 ~addr:1025 0xFF;
+  (try Vm.Memory.write_int m ~width:4 ~addr:200 1 with
+  | Vm.Trap.Trap Vm.Trap.Segfault -> ());
+  (try Vm.Memory.write_int m ~width:4 ~addr:1026 1 with
+  | Vm.Trap.Trap Vm.Trap.Misaligned -> ());
+  Vm.Memory.reset m;
+  Alcotest.(check int) "clean after reset" 0 (Vm.Memory.dirty_pages m);
+  Alcotest.(check bool) "arena equals template" true
+    (Bytes.equal
+       (Vm.Memory.peek_bytes m ~addr:0 ~len:4096)
+       (Vm.Memory.peek_bytes tmpl ~addr:0 ~len:4096));
+  (* Guard semantics survive reset/restore: unmapped and misaligned
+     accesses still trap. *)
+  Alcotest.check_raises "guard page intact"
+    (Vm.Trap.Trap Vm.Trap.Segfault) (fun () ->
+      ignore (Vm.Memory.read_int m ~width:4 ~addr:0));
+  Alcotest.check_raises "alignment intact"
+    (Vm.Trap.Trap Vm.Trap.Misaligned) (fun () ->
+      ignore (Vm.Memory.read_int m ~width:4 ~addr:1026))
+
+(* Working memories are reused and rewound exactly across experiments
+   that trap (Segfault from wild addresses is common under address-bit
+   flips): hammer one workload through many checkpointed experiments,
+   then check its per-domain working memory replays the golden run. *)
+let test_working_memory_after_traps () =
+  let w = registry_workload "qsort" in
+  let spec = Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 1) in
+  let seen_trap = ref false in
+  with_checkpoint ~interval:64 true (fun () ->
+      let base = Prng.of_seed 11L in
+      for i = 0 to 59 do
+        let e = Core.Experiment.run w spec (Prng.split_at base i) in
+        match e.outcome with
+        | Detected _ -> seen_trap := true
+        | _ -> ()
+      done;
+      Alcotest.(check bool) "some experiments trapped" true !seen_trap;
+      (* A golden replay on the same working memory must still be exact. *)
+      let mem =
+        Vm.Checkpoint.working_mem ~digest:w.digest
+          w.prog.Vm.Program.mem_template
+      in
+      Vm.Memory.reset mem;
+      let g = Vm.Code.run ~mem ~budget:Vm.Exec.golden_budget w.code in
+      Alcotest.(check string) "golden output after trapped runs"
+        w.golden.output g.output;
+      Alcotest.(check int) "golden dyn after trapped runs"
+        w.golden.dyn_count g.dyn_count)
+
+(* Checkpoint selection: the chosen point never overshoots the target
+   ordinal, and recording monotonically orders both ordinal axes. *)
+let test_select () =
+  let w = registry_workload "crc32" in
+  with_checkpoint ~interval:50 true (fun () ->
+      match Core.Workload.ensure_checkpoints w with
+      | None -> Alcotest.fail "no checkpoint set recorded"
+      | Some set ->
+          let pts = set.Vm.Checkpoint.points in
+          Alcotest.(check bool) "has points" true (Array.length pts > 0);
+          Array.iteri
+            (fun i (p : Vm.Checkpoint.point) ->
+              if i > 0 then begin
+                let q = pts.(i - 1) in
+                Alcotest.(check bool) "rc monotone" true (p.ck_rc >= q.ck_rc);
+                Alcotest.(check bool) "wc monotone" true (p.ck_wc >= q.ck_wc);
+                Alcotest.(check bool) "dyn monotone" true
+                  (p.ck_dyn > q.ck_dyn)
+              end)
+            pts;
+          List.iter
+            (fun target ->
+              match Vm.Checkpoint.select set ~axis:`Read ~target with
+              | Some p ->
+                  Alcotest.(check bool) "at or before target" true
+                    (p.ck_rc <= target)
+              | None ->
+                  Alcotest.(check bool) "only before first point" true
+                    (pts.(0).ck_rc > target))
+            [ 0; 1; 49; 50; 51; 1000; max_int ])
+
+let suites =
+  [
+    ( "checkpoint",
+      [
+        Alcotest.test_case "registry experiment differential" `Quick
+          test_registry_differential;
+        QCheck_alcotest.to_alcotest prop_random_differential;
+        Alcotest.test_case "campaign differential" `Quick
+          test_campaign_differential;
+        Alcotest.test_case "engine differential" `Quick
+          test_engine_differential;
+        Alcotest.test_case "memory undo log" `Quick test_memory_undo;
+        Alcotest.test_case "working memory after traps" `Quick
+          test_working_memory_after_traps;
+        Alcotest.test_case "point selection" `Quick test_select;
+      ] );
+  ]
