@@ -3,7 +3,7 @@
    plus Bechamel micro-benchmarks of the interpreter and injector, and the
    ablation studies called out in DESIGN.md.
 
-   Usage:  main.exe [t2|f1|f2|f3|f4|f5|t3|t4|rq|severity|targets|harden|prune-static|perf|ablate|all]
+   Usage:  main.exe [t2|f1|f2|f3|f4|f5|t3|t4|rq|severity|targets|harden|prune-static|incremental|perf|ablate|all]
 
    Every ONEBIT_* environment variable (N, SEED, PROGRAMS, CAP, PRUNE_N,
    JOBS, SHARD, STORE, PROGRESS, METRICS, TRACE) resolves through
@@ -865,6 +865,51 @@ let run_prune_static () =
     (if bad = 0 then " (all benign, as proved)" else " !! UNSOUND")
 
 (* ------------------------------------------------------------------ *)
+(* Incremental composition: cold vs warm per-function profile cache    *)
+(* ------------------------------------------------------------------ *)
+
+let run_incremental () =
+  section "Incremental composition: per-function profile cache";
+  let entry = Option.get (Bench_suite.Registry.find "qsort") in
+  let w =
+    Core.Workload.make ~name:"qsort" ~expected_output:(entry.reference ())
+      (entry.build ())
+  in
+  let spec = Core.Spec.single Core.Technique.Read in
+  let n = n_per_campaign in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "onebit-bench-inc-%d" (Unix.getpid ()))
+  in
+  let st = Store.open_dir dir in
+  Fun.protect ~finally:(fun () -> Store.close st) @@ fun () ->
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let full, t_full = time (fun () -> Core.Campaign.run w spec ~n ~seed) in
+  let (r_cold, s_cold), t_cold =
+    time (fun () -> Engine.Incremental.run ~jobs ~store:st w spec ~n ~seed)
+  in
+  let (r_warm, s_warm), t_warm =
+    time (fun () -> Engine.Incremental.run ~jobs ~store:st w spec ~n ~seed)
+  in
+  Printf.printf "# campaign: qsort %s, n=%d, %d functions\n"
+    (Core.Spec.label spec) n s_cold.funcs_total;
+  Printf.printf "cold: recomputed %d functions / %d experiments\n"
+    s_cold.funcs_recomputed s_cold.exps_recomputed;
+  Printf.printf "warm: reused %d functions / %d experiments\n"
+    s_warm.funcs_reused s_warm.exps_reused;
+  Printf.printf "composed == full campaign: %b\n\n"
+    (Core.Campaign.equal_result r_cold full
+    && Core.Campaign.equal_result r_warm full);
+  (* timings to stderr: stdout stays byte-identical across runs *)
+  Printf.eprintf "# incremental: full %.2fs, cold %.2fs, warm %.3fs\n" t_full
+    t_cold t_warm
+
+(* ------------------------------------------------------------------ *)
 
 let print_cache_stats () =
   let s = Core.Runner.cache_stats (Lazy.force runner) in
@@ -892,6 +937,7 @@ let run_all () =
   run_targets ();
   run_harden ();
   run_prune_static ();
+  run_incremental ();
   print_cache_stats ()
 
 let () =
@@ -900,7 +946,9 @@ let () =
   Engine.Progress.with_reporter progress (fun () ->
       (* Force the study eagerly so its banner precedes the section
          headers. *)
-      (match cmd with "perf" -> () | _ -> ignore (Lazy.force study));
+      (match cmd with
+      | "perf" | "incremental" -> ()
+      | _ -> ignore (Lazy.force study));
       match cmd with
       | "t2" -> run_t2 ()
       | "f1" -> run_f1 ()
@@ -915,13 +963,14 @@ let () =
       | "targets" -> run_targets ()
       | "harden" -> run_harden ()
       | "prune-static" -> run_prune_static ()
+      | "incremental" -> run_incremental ()
       | "perf" -> run_perf ()
       | "ablate" -> run_ablate ()
       | "all" -> run_all ()
       | other ->
           Printf.eprintf
             "unknown command %s (expected \
-             t2|f1|f2|f3|f4|f5|t3|t4|rq|severity|targets|harden|prune-static|perf|ablate|all)\n"
+             t2|f1|f2|f3|f4|f5|t3|t4|rq|severity|targets|harden|prune-static|incremental|perf|ablate|all)\n"
             other;
           exit 2);
   (match store with Some st -> Store.close st | None -> ());

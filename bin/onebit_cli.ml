@@ -6,6 +6,8 @@
    onebit campaign PROGRAM ...      -- run one campaign (-j N, --store DIR)
    onebit plan PROGRAM ...          -- run the 91-campaign plan (CSV)
    onebit experiment PROGRAM ...    -- replay one experiment verbosely
+   onebit digests PROGRAM|FILE      -- per-function digests and summaries
+   onebit diff-campaign OLD NEW     -- per-cell delta between two CSVs
    onebit lint PROGRAM|FILE         -- dataflow linter (exit 1 on findings)
    onebit engine status|gc          -- inspect / compact a result store *)
 
@@ -131,9 +133,10 @@ let trace_arg =
    environment-resolved configuration.  The environment sinks are armed
    once at startup (see the main entry point); flag-given sinks are
    added here. *)
-let resolve_config ?jobs ?store ?metrics ?trace () =
+let resolve_config ?jobs ?store ?metrics ?trace ?incremental () =
   let cfg =
-    Core.Config.override ?jobs ?store ?metrics ?trace (Core.Config.of_env ())
+    Core.Config.override ?jobs ?store ?metrics ?trace ?incremental
+      (Core.Config.of_env ())
   in
   Obs.install_sink ?metrics ?trace ();
   cfg
@@ -148,6 +151,35 @@ let with_store store_dir f =
 let spec_of technique max_mbf win =
   if max_mbf <= 1 then Core.Spec.single technique
   else Core.Spec.multi technique ~max_mbf ~win
+
+let incremental_arg =
+  Arg.(
+    value & flag
+    & info [ "incremental" ]
+        ~doc:
+          "Compose the campaign from cached per-function outcome profiles \
+           (requires a result store; see also $(b,ONEBIT_INCREMENTAL)).  \
+           Only functions whose identity digest has no valid cached \
+           profile are re-injected — after editing one function, only its \
+           share of the experiments re-runs — and the composed result is \
+           bit-identical to a full run.  A reuse summary is printed to \
+           stderr.")
+
+(* Incremental composition needs somewhere to cache the profiles. *)
+let require_incremental_store = function
+  | Some st -> st
+  | None ->
+      Printf.eprintf
+        "--incremental requires a result store; pass --store DIR or set \
+         ONEBIT_STORE\n";
+      exit 2
+
+let report_incremental (s : Engine.Incremental.stats) =
+  Printf.eprintf
+    "incremental: reused %d experiments (%d/%d functions), re-ran %d \
+     experiments (%d functions)\n"
+    s.exps_reused s.funcs_reused s.funcs_total s.exps_recomputed
+    s.funcs_recomputed
 
 (* ---- list ---- *)
 
@@ -209,16 +241,30 @@ let golden_cmd =
 
 let campaign_cmd =
   let run program technique max_mbf win n seed csv jobs store_dir metrics
-      trace =
-    let cfg = resolve_config ?jobs ?store:store_dir ?metrics ?trace () in
+      trace incremental =
+    let cfg =
+      resolve_config ?jobs ?store:store_dir ?metrics ?trace
+        ?incremental:(if incremental then Some true else None)
+        ()
+    in
     let w = load_workload program in
     let spec = spec_of technique max_mbf win in
     let r =
       with_store cfg.Core.Config.store (fun store ->
-          let progress = Engine.Progress.create () in
-          Engine.Progress.with_reporter progress (fun () ->
-              Engine.run_campaign ~jobs:cfg.Core.Config.jobs ?store ~progress
-                w spec ~n ~seed))
+          if cfg.Core.Config.incremental then begin
+            let store = require_incremental_store store in
+            let r, stats =
+              Engine.Incremental.run ~jobs:cfg.Core.Config.jobs ~store w spec
+                ~n ~seed
+            in
+            report_incremental stats;
+            r
+          end
+          else
+            let progress = Engine.Progress.create () in
+            Engine.Progress.with_reporter progress (fun () ->
+                Engine.run_campaign ~jobs:cfg.Core.Config.jobs ?store
+                  ~progress w spec ~n ~seed))
     in
     if csv then (
       print_endline Core.Csv.header;
@@ -255,7 +301,8 @@ let campaign_cmd =
     (Cmd.info "campaign" ~doc:"Run one fault-injection campaign.")
     Term.(
       const run $ program_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
-      $ seed_arg $ csv_arg $ jobs_arg $ store_arg $ metrics_arg $ trace_arg)
+      $ seed_arg $ csv_arg $ jobs_arg $ store_arg $ metrics_arg $ trace_arg
+      $ incremental_arg)
 
 (* ---- plan ---- *)
 
@@ -422,7 +469,13 @@ let reproduce_cmd =
 (* ---- run-ir ---- *)
 
 let run_ir_cmd =
-  let run file technique max_mbf win n seed =
+  let run file technique max_mbf win n seed csv jobs store_dir metrics
+      incremental =
+    let cfg =
+      resolve_config ?jobs ?store:store_dir ?metrics
+        ?incremental:(if incremental then Some true else None)
+        ()
+    in
     let text = In_channel.with_open_text file In_channel.input_all in
     let m =
       match Ir.Parse.modl text with
@@ -432,17 +485,41 @@ let run_ir_cmd =
           exit 1
     in
     let w = Core.Workload.make ~name:(Filename.basename file) m in
-    Printf.printf "golden: %d dynamic instructions, %d output bytes, %d/%d candidates (read/write)\n"
-      w.golden.dyn_count
-      (String.length w.golden.output)
-      w.golden.read_cands w.golden.write_cands;
+    if not csv then
+      Printf.printf
+        "golden: %d dynamic instructions, %d output bytes, %d/%d candidates \
+         (read/write)\n"
+        w.golden.dyn_count
+        (String.length w.golden.output)
+        w.golden.read_cands w.golden.write_cands;
     if n > 0 then begin
       let spec = spec_of technique max_mbf win in
-      let r = Core.Campaign.run w spec ~n ~seed in
-      Printf.printf "%s over %d experiments:\n" (Core.Spec.label spec) n;
-      Printf.printf
-        "  benign=%d detected=%d hang=%d no-output=%d sdc=%d (%.1f%%)\n"
-        r.benign r.detected r.hang r.no_output r.sdc (Core.Campaign.sdc_pct r)
+      let r =
+        with_store cfg.Core.Config.store (fun store ->
+            if cfg.Core.Config.incremental then begin
+              let store = require_incremental_store store in
+              let r, stats =
+                Engine.Incremental.run ~jobs:cfg.Core.Config.jobs ~store w
+                  spec ~n ~seed
+              in
+              report_incremental stats;
+              r
+            end
+            else
+              Engine.run_campaign ~jobs:cfg.Core.Config.jobs ?store w spec ~n
+                ~seed)
+      in
+      if csv then begin
+        print_endline Core.Csv.header;
+        print_endline (Core.Csv.row r)
+      end
+      else begin
+        Printf.printf "%s over %d experiments:\n" (Core.Spec.label spec) n;
+        Printf.printf
+          "  benign=%d detected=%d hang=%d no-output=%d sdc=%d (%.1f%%)\n"
+          r.benign r.detected r.hang r.no_output r.sdc
+          (Core.Campaign.sdc_pct r)
+      end
     end
   in
   let file_arg =
@@ -454,6 +531,14 @@ let run_ir_cmd =
       & info [ "n" ] ~docv:"N"
           ~doc:"Also run an N-experiment campaign (0 = golden run only).")
   in
+  let csv_arg =
+    Arg.(
+      value & flag
+      & info [ "csv" ]
+          ~doc:
+            "Emit the campaign as a CSV row (and suppress the golden \
+             summary) so runs can be compared byte-for-byte.")
+  in
   Cmd.v
     (Cmd.info "run-ir"
        ~doc:
@@ -461,7 +546,164 @@ let run_ir_cmd =
           optionally inject faults into it.")
     Term.(
       const run $ file_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
-      $ seed_arg)
+      $ seed_arg $ csv_arg $ jobs_arg $ store_arg $ metrics_arg
+      $ incremental_arg)
+
+(* ---- digests ---- *)
+
+let digests_cmd =
+  let run target =
+    let name, m =
+      if Sys.file_exists target then begin
+        let text = In_channel.with_open_text target In_channel.input_all in
+        match Ir.Parse.modl text with
+        | Ok m -> (Filename.basename target, m)
+        | Error msg ->
+            Printf.eprintf "%s: %s\n" target msg;
+            exit 2
+      end
+      else (target, ((find_entry target).build ()))
+    in
+    (match Ir.Validate.check m with
+    | Ok () -> ()
+    | Error es ->
+        List.iter (fun e -> Printf.eprintf "%s: invalid: %s\n" name e) es;
+        exit 2);
+    let summaries = Dataflow.Summary.analyse m in
+    let rows =
+      List.map
+        (fun (f : Ir.Func.t) ->
+          let s = Dataflow.Summary.find summaries f.f_name in
+          [
+            f.f_name;
+            Ir.Fingerprint.func f;
+            Ir.Fingerprint.func_semantic f;
+            (match s with Some s -> Dataflow.Summary.digest s | None -> "-");
+            (match s with
+            | Some s when Dataflow.Summary.sdc_free_single s -> "yes"
+            | _ -> "no");
+          ])
+        m.m_funcs
+    in
+    print_string
+      (Report.Table.render
+         ~header:[ "function"; "identity"; "semantic"; "summary"; "sdc-free" ]
+         rows);
+    print_newline ();
+    List.iter
+      (fun (f : Ir.Func.t) ->
+        match Dataflow.Summary.find summaries f.f_name with
+        | Some s -> Printf.printf "%s: %s\n" f.f_name (Dataflow.Summary.render s)
+        | None -> ())
+      m.m_funcs;
+    print_newline ();
+    Printf.printf "module:      %s\n" (Ir.Fingerprint.modl m);
+    Printf.printf "environment: %s\n" (Ir.Fingerprint.environment m)
+  in
+  let target_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"PROGRAM|FILE"
+          ~doc:"A registry program name, or a path to a textual IR file.")
+  in
+  Cmd.v
+    (Cmd.info "digests"
+       ~doc:
+         "Print each function's identity and semantic digests and its \
+          static propagation summary (one line per function, plus the \
+          summary hash), followed by the module and environment digests.  \
+          These are the keys the incremental campaign cache validates \
+          against; $(b,sdc-free) marks functions whose summary proves a \
+          single-bit flip landing inside them cannot cause SDC.")
+    Term.(const run $ target_arg)
+
+(* ---- diff-campaign ---- *)
+
+let diff_campaign_cmd =
+  let run old_file new_file =
+    (* A grid CSV row: the first five columns identify the campaign cell,
+       the next five are the outcome counters. *)
+    let load file =
+      let lines = In_channel.with_open_text file In_channel.input_lines in
+      List.filter_map
+        (fun line ->
+          let line = String.trim line in
+          if line = "" || line = Core.Csv.header then None
+          else
+            match String.split_on_char ',' line with
+            | wl :: tech :: mbf :: win :: n :: (_ :: _ :: _ :: _ :: _ :: _ as rest)
+              ->
+                let counts =
+                  List.filteri (fun i _ -> i < 5) rest
+                  |> List.map (fun s ->
+                         match int_of_string_opt s with
+                         | Some v -> v
+                         | None ->
+                             Printf.eprintf "%s: malformed CSV row: %s\n" file
+                               line;
+                             exit 2)
+                in
+                Some ((wl, tech, mbf, win, n), counts)
+            | _ ->
+                Printf.eprintf "%s: malformed CSV row: %s\n" file line;
+                exit 2)
+        lines
+    in
+    let old_rows = load old_file and new_rows = load new_file in
+    let cell_label (wl, tech, mbf, win, n) =
+      Printf.sprintf "%s %s m=%s w=%s n=%s" wl tech mbf win n
+    in
+    let outcome_names = [ "benign"; "detected"; "hang"; "no-output"; "sdc" ] in
+    let changed = ref 0 and compared = ref 0 in
+    List.iter
+      (fun (key, nw) ->
+        match List.assoc_opt key old_rows with
+        | None -> ()
+        | Some od ->
+            incr compared;
+            let ds = List.map2 (fun a b -> b - a) od nw in
+            if List.exists (fun d -> d <> 0) ds then begin
+              incr changed;
+              let parts =
+                List.map2
+                  (fun name d ->
+                    if d = 0 then None else Some (Printf.sprintf "%s %+d" name d))
+                  outcome_names ds
+                |> List.filter_map Fun.id
+              in
+              Printf.printf "%s: %s\n" (cell_label key)
+                (String.concat ", " parts)
+            end)
+      new_rows;
+    let only_in tag rows others =
+      List.iter
+        (fun (key, _) ->
+          if not (List.mem_assoc key others) then begin
+            incr changed;
+            Printf.printf "%s: only in %s\n" (cell_label key) tag
+          end)
+        rows
+    in
+    only_in "OLD" old_rows new_rows;
+    only_in "NEW" new_rows old_rows;
+    Printf.printf "%d cells compared, %d differ\n" !compared !changed;
+    if !changed > 0 then exit 1
+  in
+  let old_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW")
+  in
+  Cmd.v
+    (Cmd.info "diff-campaign"
+       ~doc:
+         "Compare two campaign CSV files (as written by $(b,campaign \
+          --csv), $(b,plan) or $(b,run-ir --csv)) cell by cell, keyed on \
+          (workload, technique, max_mbf, win_size, n).  Prints each \
+          outcome-column delta and the cells present in only one file; \
+          exits 1 if anything differs.")
+    Term.(const run $ old_arg $ new_arg)
 
 (* ---- lint ---- *)
 
@@ -519,8 +761,8 @@ let lint_cmd =
     (Cmd.info "lint"
        ~doc:
          "Check a program with the dataflow linter (unreachable code, dead \
-          stores, unused registers, constant branches).  Exits 1 if any \
-          finding is reported.")
+          stores, unused registers, constant branches, uncalled functions, \
+          call-arity mismatches).  Exits 1 if any finding is reported.")
     Term.(const run $ target_arg $ all_arg)
 
 (* ---- harden ---- *)
@@ -712,6 +954,6 @@ let () =
        (Cmd.group info
           [
             list_cmd; dump_cmd; golden_cmd; campaign_cmd; plan_cmd;
-            experiment_cmd; reproduce_cmd; run_ir_cmd; lint_cmd; harden_cmd;
-            metrics_cmd; engine_cmd;
+            experiment_cmd; reproduce_cmd; run_ir_cmd; digests_cmd;
+            diff_campaign_cmd; lint_cmd; harden_cmd; metrics_cmd; engine_cmd;
           ]))

@@ -45,11 +45,58 @@ type shard = {
     [(workload, spec, seed, lo, hi)] — never on which worker ran it or
     in what order. *)
 
+type profile = {
+  p_exps : int;  (** experiments folded into this profile *)
+  p_benign : int;
+  p_detected : int;
+  p_hang : int;
+  p_no_output : int;
+  p_sdc : int;
+  p_traps : (Vm.Trap.t * int) list;  (** canonically sorted *)
+  p_activation : (int * int) list;  (** key-sorted histogram alist *)
+  p_weighted_sdc : float;
+  p_weighted_total : float;
+}
+(** Outcome counts of an arbitrary subset of a campaign's experiments —
+    the unit the compositional cache stores per function.  Unlike a
+    {!shard} it is not tied to a contiguous index range: the incremental
+    scheduler partitions the campaign's experiment indices by the
+    function owning each experiment's first flip, and a profile holds
+    one partition's counts. *)
+
 val run_shard :
   ?keep_experiments:bool ->
   ?spacing:[ `Faulty | `Golden ] ->
   Workload.t -> Spec.t -> seed:int64 -> lo:int -> hi:int -> shard
 (** Run experiments [lo..hi-1].  Requires [0 <= lo < hi]. *)
+
+val empty_profile : profile
+
+val run_profile :
+  ?spacing:[ `Faulty | `Golden ] ->
+  Workload.t -> Spec.t -> seed:int64 -> indices:int array -> profile
+(** Run exactly the experiments at [indices] (each on its private
+    generator [Prng.split_at base i], as always) and fold their
+    outcomes.  Runs the same experiments [run_shard] would, so profiles
+    over a partition of [0, n) carry exactly the full campaign's
+    counts. *)
+
+val merge_profiles : profile -> profile -> profile
+(** Pointwise sum; exact and order-independent (the weighted estimators
+    add small integers represented as floats). *)
+
+val result_of_profiles :
+  workload_name:string -> Spec.t -> n:int -> seed:int64 -> profile list ->
+  result
+(** Compose a campaign result from profiles that together cover exactly
+    [n] experiments.  Counters, trap breakdowns, activation histograms
+    and weighted sums are folded pointwise, so if the profiles partition
+    [0, n) the composed result equals [run]'s (minus kept experiments,
+    which profiles do not carry).
+
+    @raise Invalid_argument if the profile sizes do not sum to [n]. *)
+
+val equal_profile : profile -> profile -> bool
 
 val merge :
   workload_name:string -> Spec.t -> n:int -> seed:int64 -> shard list ->

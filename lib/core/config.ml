@@ -60,6 +60,7 @@ type t = {
   backend : backend;
   checkpoint : bool;
   checkpoint_interval : int;
+  incremental : bool;
 }
 
 let default =
@@ -78,6 +79,7 @@ let default =
     backend = Compiled;
     checkpoint = true;
     checkpoint_interval = 1024;
+    incremental = false;
   }
 
 (* [jobs] semantics shared by env and flags: a positive value is taken
@@ -134,10 +136,15 @@ let of_env ?(getenv = Sys.getenv_opt) () =
       (match Option.bind (getenv "ONEBIT_CHECKPOINT") checkpoint_of_string with
       | Some (_, Some k) -> k
       | Some (_, None) | None -> default.checkpoint_interval);
+    incremental =
+      (match getenv "ONEBIT_INCREMENTAL" with
+      | Some ("1" | "true" | "yes" | "on") -> true
+      | Some _ | None -> default.incremental);
   }
 
 let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
-    ?progress ?metrics ?trace ?backend ?checkpoint ?checkpoint_interval t =
+    ?progress ?metrics ?trace ?backend ?checkpoint ?checkpoint_interval
+    ?incremental t =
   let opt v fallback = Option.value v ~default:fallback in
   {
     n = opt n t.n;
@@ -158,6 +165,7 @@ let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
       (match checkpoint_interval with
       | Some k when k > 0 -> k
       | Some _ | None -> t.checkpoint_interval);
+    incremental = opt incremental t.incremental;
   }
 
 (* Process-wide active backend: what [Experiment]/[Workload] dispatch on

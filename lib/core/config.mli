@@ -63,6 +63,10 @@ type t = {
   checkpoint : bool;
       (** reuse golden-prefix checkpoints on the compiled backend *)
   checkpoint_interval : int;  (** capture every K candidate instructions *)
+  incremental : bool;
+      (** compose campaigns from cached per-function profiles
+          ([Engine.Incremental]); resolved from ONEBIT_INCREMENTAL
+          (["1"]/["true"]/["yes"]/["on"]) or [--incremental] *)
 }
 
 val default : t
@@ -86,6 +90,7 @@ val override :
   ?backend:backend ->
   ?checkpoint:bool ->
   ?checkpoint_interval:int ->
+  ?incremental:bool ->
   t -> t
 (** Layer explicit values (CLI flags) over a resolved configuration.
     [jobs <= 0] means one worker per recommended domain; a

@@ -1,5 +1,7 @@
 type t = {
   name : string;
+  modl : Ir.Func.modl;
+      (* the source module, retained for per-function fingerprints *)
   prog : Vm.Program.t;
   code : Vm.Code.t;
       (* decoded once here, shared immutably across engine domains *)
@@ -13,7 +15,7 @@ type t = {
 
 let make ?(hang_factor = 10) ?expected_output ~name m =
   let prog = Vm.Program.load m in
-  let digest = Digest.to_hex (Digest.string (Ir.Pp.modl m)) in
+  let digest = Ir.Fingerprint.modl m in
   let code = Vm.Code.compile ~digest prog in
   let profile =
     Array.map
@@ -44,6 +46,7 @@ let make ?(hang_factor = 10) ?expected_output ~name m =
     invalid_arg ("Workload.make: " ^ name ^ " has no injection candidates");
   {
     name;
+    modl = m;
     prog;
     code;
     golden;

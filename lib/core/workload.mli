@@ -7,6 +7,10 @@
 
 type t = {
   name : string;
+  modl : Ir.Func.modl;
+      (** the source module the workload was made from; retained so the
+          incremental scheduler can compute per-function fingerprints
+          ([Ir.Fingerprint]) and propagation summaries *)
   prog : Vm.Program.t;
   code : Vm.Code.t;
       (** the program's compiled form, decoded once at workload creation

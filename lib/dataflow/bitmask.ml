@@ -43,8 +43,8 @@ let log2 m =
 (* Demand contributed by an instruction to each of its register source
    operands, given the demand [after] holding after the instruction.
    Pairs are aligned with [Ir.Instr.src_regs] order (one per Reg slot). *)
-let instr_uses (reg_ty : Ir.Ty.t array) (ins : Ir.Instr.t) ~(after : int array)
-    =
+let instr_uses ?(call_demand = fun _ -> None) (reg_ty : Ir.Ty.t array)
+    (ins : Ir.Instr.t) ~(after : int array) =
   let use op d =
     match (op : Ir.Instr.operand) with
     | Reg r -> [ (r, d land full_of reg_ty.(r)) ]
@@ -175,9 +175,16 @@ let instr_uses (reg_ty : Ir.Ty.t array) (ins : Ir.Instr.t) ~(after : int array)
             | None -> 0
           in
           List.concat_map (fun a -> use a d) args
-      | None ->
-          (* user function: arguments escape interprocedurally *)
-          List.concat_map full_use args)
+      | None -> (
+          (* user function: without a summary the arguments escape
+             interprocedurally; with one, each argument is demanded
+             exactly as the callee's entry state demands its parameter
+             (the callee mask already accounts for everything the callee
+             can do with it — outputs, stores, traps, further calls) *)
+          match call_demand callee with
+          | Some masks when Array.length masks = List.length args ->
+              List.concat (List.mapi (fun i a -> use a masks.(i)) args)
+          | _ -> List.concat_map full_use args))
   | Output { value; _ } -> full_use value
   | Guard { a; b; _ } -> full_use a @ full_use b
   | Abort -> []
@@ -205,27 +212,27 @@ end)
 let apply_uses state uses =
   List.iter (fun (r, d) -> state.(r) <- state.(r) lor d) uses
 
-let instr_step reg_ty state (ins : Ir.Instr.t) =
-  let uses = instr_uses reg_ty ins ~after:(Array.copy state) in
+let instr_step ?call_demand reg_ty state (ins : Ir.Instr.t) =
+  let uses = instr_uses ?call_demand reg_ty ins ~after:(Array.copy state) in
   (match Ir.Instr.dst_reg ins with Some d -> state.(d) <- 0 | None -> ());
   apply_uses state uses
 
-let block_entry (f : Ir.Func.t) bidx exit_state =
+let block_entry ?call_demand (f : Ir.Func.t) bidx exit_state =
   let b = f.f_blocks.(bidx) in
   let state = Array.copy exit_state in
   apply_uses state (term_uses f.f_reg_ty b.b_term);
   for i = Array.length b.b_instrs - 1 downto 0 do
-    instr_step f.f_reg_ty state b.b_instrs.(i)
+    instr_step ?call_demand f.f_reg_ty state b.b_instrs.(i)
   done;
   state
 
-let analyse_cfg (cfg : Cfg.t) =
+let analyse_cfg ?call_demand (cfg : Cfg.t) =
   let f = cfg.func in
   let nregs = Array.length f.f_reg_ty in
   let { Solver.input = exits; _ } =
     Solver.solve ~cfg ~direction:Backward
       ~init:(fun _ -> Array.make nregs 0)
-      ~transfer:(fun b s -> block_entry f b s)
+      ~transfer:(fun b s -> block_entry ?call_demand f b s)
   in
   let before =
     Array.mapi
@@ -236,7 +243,7 @@ let analyse_cfg (cfg : Cfg.t) =
         apply_uses state (term_uses f.f_reg_ty b.b_term);
         states.(n) <- Array.copy state;
         for i = n - 1 downto 0 do
-          instr_step f.f_reg_ty state b.b_instrs.(i);
+          instr_step ?call_demand f.f_reg_ty state b.b_instrs.(i);
           states.(i) <- Array.copy state
         done;
         states)
@@ -244,7 +251,7 @@ let analyse_cfg (cfg : Cfg.t) =
   in
   { cfg; before }
 
-let analyse f = analyse_cfg (Cfg.of_func f)
+let analyse ?call_demand f = analyse_cfg ?call_demand (Cfg.of_func f)
 
 let demand_before t ~bidx ~idx = t.before.(bidx).(idx)
 

@@ -19,18 +19,28 @@ val full_of : Ir.Ty.t -> int
 (** Full demand mask of a register of the given type. *)
 
 val instr_uses :
-  Ir.Ty.t array -> Ir.Instr.t -> after:int array -> (int * int) list
+  ?call_demand:(string -> int array option) ->
+  Ir.Ty.t array ->
+  Ir.Instr.t ->
+  after:int array ->
+  (int * int) list
 (** [(register, demand)] contributed by each Reg source-operand slot of
     the instruction, aligned with [Ir.Instr.src_regs] order, given the
-    per-register demand [after] the instruction. *)
+    per-register demand [after] the instruction.
+
+    [call_demand callee] may supply per-parameter entry demand masks for
+    a module function, refining the default assumption that call
+    arguments escape fully.  The masks must be a sound fixpoint for the
+    callee (everything the callee can observably do with each parameter
+    bit), e.g. the [params_demanded] of {!Summary}. *)
 
 val term_uses : Ir.Ty.t array -> Ir.Instr.terminator -> (int * int) list
 (** Same for a terminator (control flow and returns demand fully). *)
 
 type t
 
-val analyse : Ir.Func.t -> t
-val analyse_cfg : Cfg.t -> t
+val analyse : ?call_demand:(string -> int array option) -> Ir.Func.t -> t
+val analyse_cfg : ?call_demand:(string -> int array option) -> Cfg.t -> t
 
 val demand_before : t -> bidx:int -> idx:int -> int array
 (** Per-register demand just before point [idx] of block [bidx]; [idx]

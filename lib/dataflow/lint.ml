@@ -4,6 +4,8 @@ type rule =
   | Unused_register
   | Read_never_written
   | Constant_branch
+  | Uncalled_function
+  | Call_arity_mismatch
 
 let rule_name = function
   | Unreachable_code -> "unreachable-code"
@@ -11,6 +13,8 @@ let rule_name = function
   | Unused_register -> "unused-register"
   | Read_never_written -> "read-never-written"
   | Constant_branch -> "constant-branch"
+  | Uncalled_function -> "uncalled-function"
+  | Call_arity_mismatch -> "call-arity-mismatch"
 
 type finding = { fn : string; block : string; rule : rule; detail : string }
 
@@ -121,4 +125,44 @@ let check_func (f : Ir.Func.t) =
     f.f_blocks;
   List.rev !findings
 
-let check (m : Ir.Func.modl) = List.concat_map check_func m.m_funcs
+(* Module-level, interprocedural rules.  [Ir.Validate] rejects arity
+   mismatches outright, so that rule only ever fires on modules built
+   outside the validated pipeline — but lint must stand on its own. *)
+let check_module ?(entry = "main") (m : Ir.Func.modl) =
+  let findings = ref [] in
+  let report fn block rule detail =
+    findings := { fn; block; rule; detail } :: !findings
+  in
+  let live = Ir.Fingerprint.reachable ~entry m in
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      if f.f_name <> entry && not (List.mem f.f_name live) then
+        report f.f_name "-" Uncalled_function
+          (Printf.sprintf "function @%s is never called from @%s" f.f_name
+             entry))
+    m.m_funcs;
+  List.iter
+    (fun (f : Ir.Func.t) ->
+      Array.iter
+        (fun (b : Ir.Func.block) ->
+          Array.iter
+            (function
+              | Ir.Instr.Call { callee; args; _ } -> (
+                  match Ir.Func.find_func m callee with
+                  | Some callee_f ->
+                      let want = List.length callee_f.f_params in
+                      let got = List.length args in
+                      if got <> want then
+                        report f.f_name b.b_name Call_arity_mismatch
+                          (Printf.sprintf
+                             "call @%s passes %d argument(s), @%s takes %d"
+                             callee got callee want)
+                  | None -> ())
+              | _ -> ())
+            b.b_instrs)
+        f.f_blocks)
+    m.m_funcs;
+  List.rev !findings
+
+let check ?entry (m : Ir.Func.modl) =
+  List.concat_map check_func m.m_funcs @ check_module ?entry m

@@ -19,11 +19,28 @@ type rule =
   | Constant_branch
       (** a conditional branch whose condition is an immediate, or whose
           every reaching definition is the same-truthiness constant *)
+  | Uncalled_function
+      (** a non-entry function not reachable from the entry over direct
+          calls — its injection sites can never be exercised, so it
+          silently distorts nothing but is certainly dead weight *)
+  | Call_arity_mismatch
+      (** a call to a module function with the wrong argument count
+          ([Ir.Validate] rejects these; the rule covers modules built
+          outside the validated pipeline) *)
 
 val rule_name : rule -> string
 
 type finding = { fn : string; block : string; rule : rule; detail : string }
 
 val to_string : finding -> string
+
 val check_func : Ir.Func.t -> finding list
-val check : Ir.Func.modl -> finding list
+(** Intraprocedural rules only. *)
+
+val check_module : ?entry:string -> Ir.Func.modl -> finding list
+(** The interprocedural rules ([Uncalled_function],
+    [Call_arity_mismatch]); [entry] defaults to ["main"].  If the entry
+    is not a module function every function counts as called. *)
+
+val check : ?entry:string -> Ir.Func.modl -> finding list
+(** All rules: [check_func] on every function plus [check_module]. *)

@@ -14,6 +14,7 @@
 module Deque = Deque
 module Pool = Pool
 module Progress = Progress
+module Incremental = Incremental
 
 let default_shard_size = 25
 

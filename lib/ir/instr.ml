@@ -78,6 +78,37 @@ let term_src_regs = function
   | Cbr { cond; _ } -> reg_of cond
   | Ret (Some v) -> reg_of v
 
+let map_operand f = function
+  | Reg r -> Reg (f r)
+  | (Imm _ | FImm _ | Glob _) as op -> op
+
+let map_regs f (i : t) : t =
+  let m = map_operand f in
+  match i with
+  | Binop x -> Binop { x with dst = f x.dst; a = m x.a; b = m x.b }
+  | Fbinop x -> Fbinop { x with dst = f x.dst; a = m x.a; b = m x.b }
+  | Icmp x -> Icmp { x with dst = f x.dst; a = m x.a; b = m x.b }
+  | Fcmp x -> Fcmp { x with dst = f x.dst; a = m x.a; b = m x.b }
+  | Select x ->
+      Select { x with dst = f x.dst; cond = m x.cond; a = m x.a; b = m x.b }
+  | Cast x -> Cast { x with dst = f x.dst; a = m x.a }
+  | Mov x -> Mov { x with dst = f x.dst; a = m x.a }
+  | Load x -> Load { x with dst = f x.dst; addr = m x.addr }
+  | Store x -> Store { x with value = m x.value; addr = m x.addr }
+  | Gep x -> Gep { x with dst = f x.dst; base = m x.base; index = m x.index }
+  | Call x ->
+      Call { x with dst = Option.map f x.dst; args = List.map m x.args }
+  | Output x -> Output { x with value = m x.value }
+  | Guard x -> Guard { x with a = m x.a; b = m x.b }
+  | Abort -> Abort
+
+let term_map_regs f (t : terminator) : terminator =
+  let m = map_operand f in
+  match t with
+  | Br _ | Unreachable | Ret None -> t
+  | Cbr x -> Cbr { x with cond = m x.cond }
+  | Ret (Some v) -> Ret (Some (m v))
+
 let binop_name = function
   | Add -> "add"
   | Sub -> "sub"

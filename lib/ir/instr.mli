@@ -83,6 +83,12 @@ val dst_reg : t -> int option
 
 val term_src_regs : terminator -> int list
 
+val map_regs : (int -> int) -> t -> t
+(** Rewrite every register operand and the destination through a renaming
+    function.  Immediates, globals and structure are untouched. *)
+
+val term_map_regs : (int -> int) -> terminator -> terminator
+
 val binop_name : binop -> string
 val fbinop_name : fbinop -> string
 val icmp_name : icmp -> string

@@ -51,6 +51,75 @@ let key_json k =
       ("hi", Int k.hi);
     ]
 
+type pkey = {
+  pk_program : string;
+  pk_func : string;
+  pk_fdigest : string;  (* identity digest of the function *)
+  pk_env : string;  (* environment digest of the module *)
+  pk_technique : string;
+  pk_max_mbf : int;
+  pk_win : string;
+  pk_n : int;
+  pk_seed : int64;
+}
+
+let profile_key ~program ~func ~fdigest ~env ~(spec : Core.Spec.t) ~n ~seed =
+  {
+    pk_program = program;
+    pk_func = func;
+    pk_fdigest = fdigest;
+    pk_env = env;
+    pk_technique = Core.Technique.to_string spec.technique;
+    pk_max_mbf = spec.max_mbf;
+    pk_win = Core.Win.to_string spec.win;
+    pk_n = n;
+    pk_seed = seed;
+  }
+
+(* The leading "r" discriminator keeps profile keys disjoint from shard
+   keys; shard keys stay exactly as they always were, so stores written
+   before profiles existed load unchanged. *)
+let pkey_json k =
+  Jsonx.Obj
+    [
+      ("r", Str "prof");
+      ("p", Str k.pk_program);
+      ("f", Str k.pk_func);
+      ("fd", Str k.pk_fdigest);
+      ("e", Str k.pk_env);
+      ("t", Str k.pk_technique);
+      ("m", Int k.pk_max_mbf);
+      ("w", Str k.pk_win);
+      ("n", Int k.pk_n);
+      ("s", Str (Int64.to_string k.pk_seed));
+    ]
+
+let pkey_of_json j =
+  let open Jsonx in
+  let ( let* ) = Option.bind in
+  let* p = Option.bind (mem "p" j) to_str in
+  let* f = Option.bind (mem "f" j) to_str in
+  let* fd = Option.bind (mem "fd" j) to_str in
+  let* e = Option.bind (mem "e" j) to_str in
+  let* t = Option.bind (mem "t" j) to_str in
+  let* m = Option.bind (mem "m" j) to_int in
+  let* w = Option.bind (mem "w" j) to_str in
+  let* n = Option.bind (mem "n" j) to_int in
+  let* s = Option.bind (mem "s" j) to_str in
+  let* seed = Int64.of_string_opt s in
+  Some
+    {
+      pk_program = p;
+      pk_func = f;
+      pk_fdigest = fd;
+      pk_env = e;
+      pk_technique = t;
+      pk_max_mbf = m;
+      pk_win = w;
+      pk_n = n;
+      pk_seed = seed;
+    }
+
 let key_of_json j =
   let open Jsonx in
   let ( let* ) = Option.bind in
@@ -138,16 +207,99 @@ let shard_of_json ~lo ~hi j : Core.Campaign.shard option =
       s_experiments = [||];
     }
 
-let record_line k shard =
+let profile_json (p : Core.Campaign.profile) =
+  Jsonx.Obj
+    [
+      ("e", Int p.p_exps);
+      ("b", Int p.p_benign);
+      ("det", Int p.p_detected);
+      ("h", Int p.p_hang);
+      ("no", Int p.p_no_output);
+      ("sdc", Int p.p_sdc);
+      ( "traps",
+        Arr
+          (List.map
+             (fun (t, c) ->
+               Jsonx.Arr [ Str (Vm.Trap.to_string t); Int c ])
+             p.p_traps) );
+      ( "act",
+        Arr
+          (List.map (fun (k, c) -> Jsonx.Arr [ Int k; Int c ]) p.p_activation)
+      );
+      ("ws", Float p.p_weighted_sdc);
+      ("wt", Float p.p_weighted_total);
+    ]
+
+let profile_of_json j : Core.Campaign.profile option =
+  let open Jsonx in
+  let ( let* ) = Option.bind in
+  let* e = Option.bind (mem "e" j) to_int in
+  let* b = Option.bind (mem "b" j) to_int in
+  let* det = Option.bind (mem "det" j) to_int in
+  let* h = Option.bind (mem "h" j) to_int in
+  let* no = Option.bind (mem "no" j) to_int in
+  let* sdc = Option.bind (mem "sdc" j) to_int in
+  let* traps_j = Option.bind (mem "traps" j) to_list in
+  let* act_j = Option.bind (mem "act" j) to_list in
+  let* ws = Option.bind (mem "ws" j) to_float in
+  let* wt = Option.bind (mem "wt" j) to_float in
+  let* traps =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match item with
+        | Arr [ Str name; Int c ] ->
+            let* trap = Vm.Trap.of_string name in
+            Some ((trap, c) :: acc)
+        | _ -> None)
+      (Some []) traps_j
+  in
+  let* act =
+    List.fold_left
+      (fun acc item ->
+        let* acc = acc in
+        match item with
+        | Arr [ Int k; Int c ] -> Some ((k, c) :: acc)
+        | _ -> None)
+      (Some []) act_j
+  in
+  Some
+    {
+      Core.Campaign.p_exps = e;
+      p_benign = b;
+      p_detected = det;
+      p_hang = h;
+      p_no_output = no;
+      p_sdc = sdc;
+      p_traps = List.rev traps;
+      p_activation = List.rev act;
+      p_weighted_sdc = ws;
+      p_weighted_total = wt;
+    }
+
+type record =
+  | Shard of key * Core.Campaign.shard
+  | Profile of pkey * Core.Campaign.profile
+
+let record_key_json = function
+  | Shard (k, _) -> key_json k
+  | Profile (k, _) -> pkey_json k
+
+let record_value_json = function
+  | Shard (_, s) -> shard_json s
+  | Profile (_, p) -> profile_json p
+
+let record_line_of r =
   let payload =
-    Jsonx.to_string (Obj [ ("k", key_json k); ("v", shard_json shard) ])
+    Jsonx.to_string
+      (Obj [ ("k", record_key_json r); ("v", record_value_json r) ])
   in
   let sum = Digest.to_hex (Digest.string payload) in
   Printf.sprintf "{\"c\":\"%s\",%s" sum
     (String.sub payload 1 (String.length payload - 1))
 
 (* Decode one line; distinguishes a well-formed record from damage. *)
-let decode_line line : (key * Core.Campaign.shard, [ `Damaged ]) result =
+let decode_line line : (record, [ `Damaged ]) result =
   match Jsonx.of_string line with
   | Error _ -> Error `Damaged
   | Ok j -> (
@@ -158,12 +310,19 @@ let decode_line line : (key * Core.Campaign.shard, [ `Damaged ]) result =
           if not (String.equal sum (Digest.to_hex (Digest.string payload)))
           then Error `Damaged
           else
-            match key_of_json kj with
-            | None -> Error `Damaged
-            | Some k -> (
-                match shard_of_json ~lo:k.lo ~hi:k.hi vj with
-                | Some shard -> Ok (k, shard)
-                | None -> Error `Damaged))
+            match mem "r" kj with
+            | Some (Str "prof") -> (
+                match (pkey_of_json kj, profile_of_json vj) with
+                | Some k, Some p -> Ok (Profile (k, p))
+                | _ -> Error `Damaged)
+            | Some _ -> Error `Damaged
+            | None -> (
+                match key_of_json kj with
+                | None -> Error `Damaged
+                | Some k -> (
+                    match shard_of_json ~lo:k.lo ~hi:k.hi vj with
+                    | Some shard -> Ok (Shard (k, shard))
+                    | None -> Error `Damaged)))
       | _ -> Error `Damaged)
 
 type stats = {
@@ -195,7 +354,7 @@ type t = {
   dir : string;
   segment_bytes : int;
   fsync : bool;
-  index : (string, key * Core.Campaign.shard) Hashtbl.t;
+  index : (string, record) Hashtbl.t;
   lock : Mutex.t;
   mutable active : int;
   mutable chan : out_channel;
@@ -230,6 +389,11 @@ let rec mkdir_p dir =
   end
 
 let canonical_key k = Jsonx.to_string (key_json k)
+let canonical_pkey k = Jsonx.to_string (pkey_json k)
+
+let canonical_record = function
+  | Shard (k, _) -> canonical_key k
+  | Profile (k, _) -> canonical_pkey k
 
 let load_segment t ~is_last path =
   let text = In_channel.with_open_bin path In_channel.input_all in
@@ -245,10 +409,10 @@ let load_segment t ~is_last path =
     (fun i line ->
       if String.length line > 0 then
         match decode_line line with
-        | Ok (k, shard) ->
-            let ck = canonical_key k in
+        | Ok r ->
+            let ck = canonical_record r in
             if Hashtbl.mem t.index ck then t.duplicates <- t.duplicates + 1;
-            Hashtbl.replace t.index ck (k, shard)
+            Hashtbl.replace t.index ck r
         | Error `Damaged ->
             (* An unterminated final line of the newest segment is the
                signature of a run killed mid-append; anything else is
@@ -317,14 +481,14 @@ let rotate_locked t =
       0o644 (segment_path t t.active);
   t.active_bytes <- 0
 
-let add t k shard =
+let add_record t r =
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
-      let ck = canonical_key k in
+      let ck = canonical_record r in
       if not (Hashtbl.mem t.index ck) then begin
-        let line = record_line k shard in
+        let line = record_line_of r in
         if
           t.active_bytes > 0
           && t.active_bytes + String.length line + 1 > t.segment_bytes
@@ -334,25 +498,54 @@ let add t k shard =
         flush_chan t;
         Obs.Metrics.incr m_appends;
         t.active_bytes <- t.active_bytes + String.length line + 1;
-        Hashtbl.replace t.index ck
-          (k, { shard with Core.Campaign.s_experiments = [||] })
+        Hashtbl.replace t.index ck r
       end)
 
-let lookup t k =
+let add t k shard =
+  add_record t
+    (Shard (k, { shard with Core.Campaign.s_experiments = [||] }))
+
+let add_profile t k profile = add_record t (Profile (k, profile))
+
+let lookup_record t ck =
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
-      let hit = Hashtbl.find_opt t.index (canonical_key k) in
+      let hit = Hashtbl.find_opt t.index ck in
       Obs.Metrics.incr
         (match hit with Some _ -> m_lookup_hits | None -> m_lookup_misses);
-      Option.map snd hit)
+      hit)
+
+let lookup t k =
+  match lookup_record t (canonical_key k) with
+  | Some (Shard (_, s)) -> Some s
+  | Some (Profile _) | None -> None
+
+let lookup_profile t k =
+  match lookup_record t (canonical_pkey k) with
+  | Some (Profile (_, p)) -> Some p
+  | Some (Shard _) | None -> None
 
 let fold t f acc =
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
-    (fun () -> Hashtbl.fold (fun _ (k, shard) acc -> f k shard acc) t.index acc)
+    (fun () ->
+      Hashtbl.fold
+        (fun _ r acc ->
+          match r with Shard (k, shard) -> f k shard acc | Profile _ -> acc)
+        t.index acc)
+
+let fold_profiles t f acc =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      Hashtbl.fold
+        (fun _ r acc ->
+          match r with Profile (k, p) -> f k p acc | Shard _ -> acc)
+        t.index acc)
 
 let stats t =
   Mutex.lock t.lock;
@@ -396,12 +589,12 @@ let gc t =
       let tmp_path = final_path ^ ".tmp" in
       let oc = open_out_bin tmp_path in
       let live =
-        Hashtbl.fold (fun _ (k, shard) acc -> (k, shard) :: acc) t.index []
-        |> List.sort (fun ((a : key), _) (b, _) -> compare a b)
+        Hashtbl.fold (fun ck r acc -> (ck, r) :: acc) t.index []
+        |> List.sort (fun ((a : string), _) (b, _) -> compare a b)
       in
       List.iter
-        (fun (k, shard) ->
-          output_string oc (record_line k shard);
+        (fun (_, r) ->
+          output_string oc (record_line_of r);
           output_char oc '\n')
         live;
       flush oc;

@@ -34,6 +34,34 @@ val key :
   spec:Core.Spec.t ->
   n:int -> seed:int64 -> lo:int -> hi:int -> key
 
+type pkey = {
+  pk_program : string;
+  pk_func : string;  (** function name within the program *)
+  pk_fdigest : string;
+      (** identity digest of the function ([Ir.Fingerprint.func]) *)
+  pk_env : string;
+      (** environment digest of the module
+          ([Ir.Fingerprint.environment]) *)
+  pk_technique : string;
+  pk_max_mbf : int;
+  pk_win : string;
+  pk_n : int;  (** campaign size the profile was partitioned from *)
+  pk_seed : int64;
+}
+(** Key of a cached per-function outcome profile
+    ({!Core.Campaign.profile}).  The identity digest pins the function's
+    own source form; the environment digest pins everything else that
+    determines the experiment partition, so a hit is exact — see
+    [Engine.Incremental]. *)
+
+val profile_key :
+  program:string ->
+  func:string ->
+  fdigest:string ->
+  env:string ->
+  spec:Core.Spec.t ->
+  n:int -> seed:int64 -> pkey
+
 type stats = {
   records : int;
   segments : int;
@@ -63,7 +91,19 @@ val add : t -> key -> Core.Campaign.shard -> unit
 (** Durably append one shard result (no-op if the key is already
     present).  Kept experiment records are not persisted. *)
 
+val lookup_profile : t -> pkey -> Core.Campaign.profile option
+val add_profile : t -> pkey -> Core.Campaign.profile -> unit
+(** Durably append one per-function outcome profile (no-op if the key
+    is already present).  Profile records share the segment files with
+    shard records; stores written before profiles existed load
+    unchanged. *)
+
 val fold : t -> (key -> Core.Campaign.shard -> 'a -> 'a) -> 'a -> 'a
+(** Shard records only. *)
+
+val fold_profiles : t -> (pkey -> Core.Campaign.profile -> 'a -> 'a) -> 'a -> 'a
+(** Profile records only. *)
+
 val stats : t -> stats
 val gc : t -> gc_report
 (** Compact: rewrite live records into one fresh segment (fsync + atomic
