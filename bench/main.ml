@@ -910,6 +910,83 @@ let run_incremental () =
     t_cold t_warm
 
 (* ------------------------------------------------------------------ *)
+(* Fleet: coordinator/worker shard leasing vs the in-process campaign  *)
+(* ------------------------------------------------------------------ *)
+
+let run_fleet () =
+  section "Fleet: socket leasing overhead vs in-process campaign";
+  let entry = Option.get (Bench_suite.Registry.find "qsort") in
+  let w =
+    Core.Workload.make ~name:"qsort" ~expected_output:(entry.reference ())
+      (entry.build ())
+  in
+  let spec =
+    Core.Spec.multi Core.Technique.Read ~max_mbf:3 ~win:(Core.Win.Fixed 10)
+  in
+  let n = n_per_campaign in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let direct, t_direct = time (fun () -> Core.Campaign.run w spec ~n ~seed) in
+  let fleet k =
+    let cells =
+      [
+        {
+          Fleet.Proto.c_program = w.Core.Workload.name;
+          c_digest = w.Core.Workload.digest;
+          c_spec = spec;
+          c_n = n;
+          c_seed = seed;
+        };
+      ]
+    in
+    let c = Fleet.Coord.create ~cells () in
+    let path =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "onebit-bench-fleet-%d-%d.sock" (Unix.getpid ()) k)
+    in
+    let srv = Fleet.Coord.listen c (Unix.ADDR_UNIX path) in
+    let server = Thread.create (fun () -> Fleet.Coord.serve srv) () in
+    let workers =
+      List.init k (fun i ->
+          Thread.create
+            (fun () ->
+              ignore
+                (Fleet.Worker.run
+                   ~id:(Printf.sprintf "bench-w%d" i)
+                   ~connect:(Fleet.Coord.bound_addr srv)
+                   ~load:(fun _ -> w)
+                   ()
+                  : int))
+            ())
+    in
+    List.iter Thread.join workers;
+    Thread.join server;
+    snd (List.hd (Fleet.Coord.results c))
+  in
+  Printf.printf "# campaign: qsort %s, n=%d\n" (Core.Spec.label spec) n;
+  let timings =
+    List.map
+      (fun k ->
+        let r, t = time (fun () -> fleet k) in
+        Printf.printf "fleet x%d == in-process campaign: %b\n" k
+          (Core.Campaign.equal_result r direct);
+        (k, t))
+      [ 1; 2; 4 ]
+  in
+  print_newline ();
+  (* timings to stderr: stdout stays byte-identical across runs *)
+  Printf.eprintf "# fleet: direct %.2fs" t_direct;
+  List.iter
+    (fun (k, t) ->
+      Printf.eprintf ", x%d %.2fs (%.2fx direct)" k t (t /. t_direct))
+    timings;
+  Printf.eprintf "\n"
+
+(* ------------------------------------------------------------------ *)
 
 let print_cache_stats () =
   let s = Core.Runner.cache_stats (Lazy.force runner) in
@@ -938,6 +1015,7 @@ let run_all () =
   run_harden ();
   run_prune_static ();
   run_incremental ();
+  run_fleet ();
   print_cache_stats ()
 
 let () =
@@ -947,7 +1025,7 @@ let () =
       (* Force the study eagerly so its banner precedes the section
          headers. *)
       (match cmd with
-      | "perf" | "incremental" -> ()
+      | "perf" | "incremental" | "fleet" -> ()
       | _ -> ignore (Lazy.force study));
       match cmd with
       | "t2" -> run_t2 ()
@@ -964,13 +1042,14 @@ let () =
       | "harden" -> run_harden ()
       | "prune-static" -> run_prune_static ()
       | "incremental" -> run_incremental ()
+      | "fleet" -> run_fleet ()
       | "perf" -> run_perf ()
       | "ablate" -> run_ablate ()
       | "all" -> run_all ()
       | other ->
           Printf.eprintf
             "unknown command %s (expected \
-             t2|f1|f2|f3|f4|f5|t3|t4|rq|severity|targets|harden|prune-static|incremental|perf|ablate|all)\n"
+             t2|f1|f2|f3|f4|f5|t3|t4|rq|severity|targets|harden|prune-static|incremental|fleet|perf|ablate|all)\n"
             other;
           exit 2);
   (match store with Some st -> Store.close st | None -> ());

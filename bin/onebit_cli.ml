@@ -9,7 +9,9 @@
    onebit digests PROGRAM|FILE      -- per-function digests and summaries
    onebit diff-campaign OLD NEW     -- per-cell delta between two CSVs
    onebit lint PROGRAM|FILE         -- dataflow linter (exit 1 on findings)
-   onebit engine status|gc          -- inspect / compact a result store *)
+   onebit engine status|gc          -- inspect / compact a result store
+   onebit serve PROGRAM... ...      -- coordinate a campaign fleet
+   onebit work --connect ADDR       -- serve shards as a fleet worker *)
 
 open Cmdliner
 
@@ -133,10 +135,11 @@ let trace_arg =
    environment-resolved configuration.  The environment sinks are armed
    once at startup (see the main entry point); flag-given sinks are
    added here. *)
-let resolve_config ?jobs ?store ?metrics ?trace ?incremental () =
+let resolve_config ?jobs ?store ?metrics ?trace ?incremental ?coord ?lease_ttl
+    () =
   let cfg =
-    Core.Config.override ?jobs ?store ?metrics ?trace ?incremental
-      (Core.Config.of_env ())
+    Core.Config.override ?jobs ?store ?metrics ?trace ?incremental ?coord
+      ?lease_ttl (Core.Config.of_env ())
   in
   Obs.install_sink ?metrics ?trace ();
   cfg
@@ -847,6 +850,170 @@ let metrics_cmd =
           a machine-readable catalogue of the instrumentation.")
     Term.(const run $ program_opt)
 
+(* ---- fleet: serve / work ---- *)
+
+let parse_coord_addr s =
+  match Fleet.parse_addr s with
+  | Ok addr -> addr
+  | Error e ->
+      Printf.eprintf "%s\n" e;
+      exit 2
+
+let ttl_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "ttl" ] ~docv:"SECONDS"
+        ~doc:
+          "Lease TTL: a shard lease not heartbeated for $(docv) is \
+           reassigned to the next worker asking (overrides \
+           $(b,ONEBIT_LEASE_TTL); default 30).")
+
+let serve_cmd =
+  let run programs technique max_mbf win n seed ttl listen workers store_dir
+      metrics trace =
+    let cfg =
+      resolve_config ?store:store_dir ?metrics ?trace ?lease_ttl:ttl ()
+    in
+    let addr_spec =
+      match listen with
+      | Some a -> a
+      | None ->
+          Option.value cfg.Core.Config.coord ~default:"unix:onebit-coord.sock"
+    in
+    let addr = parse_coord_addr addr_spec in
+    let spec = spec_of technique max_mbf win in
+    let cells =
+      List.map
+        (fun p ->
+          let w = load_workload p in
+          {
+            Fleet.Proto.c_program = w.Core.Workload.name;
+            c_digest = w.Core.Workload.digest;
+            c_spec = spec;
+            c_n = n;
+            c_seed = seed;
+          })
+        programs
+    in
+    with_store cfg.Core.Config.store (fun store ->
+        let coord =
+          Fleet.Coord.create ~ttl:cfg.Core.Config.lease_ttl ?store ~cells ()
+        in
+        let srv = Fleet.Coord.listen coord addr in
+        let addr_s = Fleet.addr_to_string (Fleet.Coord.bound_addr srv) in
+        Printf.eprintf "coordinator: %s (%d tasks, lease ttl %.1fs)\n%!" addr_s
+          (Fleet.Coord.total_tasks coord)
+          (Fleet.Coord.ttl coord);
+        (* Self-spawned workers connect back over the same address; the
+           listener is already bound, so they can never race the accept
+           loop. *)
+        let children =
+          List.init workers (fun _ ->
+              Unix.create_process Sys.executable_name
+                [| Sys.executable_name; "work"; "--connect"; addr_s |]
+                Unix.stdin Unix.stdout Unix.stderr)
+        in
+        Fleet.Coord.serve srv;
+        List.iter (fun pid -> ignore (Unix.waitpid [] pid)) children;
+        print_endline Core.Csv.header;
+        List.iter
+          (fun (_, r) -> print_endline (Core.Csv.row r))
+          (Fleet.Coord.results coord))
+  in
+  let programs_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"PROGRAM")
+  in
+  let listen_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Address to listen on: $(b,unix:PATH) or $(b,HOST:PORT) \
+             (defaults to $(b,ONEBIT_COORD), else \
+             $(b,unix:onebit-coord.sock)).  The same socket answers HTTP \
+             GET with the Prometheus metrics dump.")
+  in
+  let workers_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Self-spawn $(docv) worker processes connected to this \
+             coordinator (0 = external workers only, started separately \
+             with $(b,onebit work)).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Coordinate a campaign fleet: lease the campaign's shards to \
+          workers, reassign leases whose worker stopped heartbeating, and \
+          print the merged CSV — byte-identical to $(b,onebit campaign \
+          --csv) for every fleet shape and kill history.  With \
+          $(b,--store), completed shards are also persisted and a \
+          restarted coordinator resumes at the first missing shard.")
+    Term.(
+      const run $ programs_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
+      $ seed_arg $ ttl_arg $ listen_arg $ workers_arg $ store_arg
+      $ metrics_arg $ trace_arg)
+
+let work_cmd =
+  let run connect id store_dir metrics trace =
+    let cfg = resolve_config ?store:store_dir ?metrics ?trace ?coord:connect () in
+    let addr_spec =
+      match cfg.Core.Config.coord with
+      | Some a -> a
+      | None ->
+          Printf.eprintf
+            "work: no coordinator address; pass --connect ADDR or set \
+             ONEBIT_COORD\n";
+          exit 2
+    in
+    let addr = parse_coord_addr addr_spec in
+    with_store cfg.Core.Config.store (fun store ->
+        match
+          Fleet.Worker.run ?id ?store ~connect:addr ~load:load_workload ()
+        with
+        | completed ->
+            Printf.eprintf "worker: completed %d shards\n" completed
+        | exception Failure e ->
+            Printf.eprintf "%s\n" e;
+            exit 1
+        | exception Unix.Unix_error (err, _, _) ->
+            Printf.eprintf "work: cannot reach coordinator %s: %s\n" addr_spec
+              (Unix.error_message err);
+            exit 1)
+  in
+  let connect_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"ADDR"
+          ~doc:
+            "Coordinator address: $(b,unix:PATH) or $(b,HOST:PORT) \
+             (overrides $(b,ONEBIT_COORD)).")
+  in
+  let id_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "id" ] ~docv:"ID"
+          ~doc:"Worker identity shown in coordinator state (default \
+                $(b,worker-<pid>)).")
+  in
+  Cmd.v
+    (Cmd.info "work"
+       ~doc:
+         "Serve a fleet coordinator as a worker: lease shards, compute \
+          them, heartbeat in-flight leases, report completions; exits when \
+          the coordinator reports the grid complete.  With $(b,--store), \
+          locally known shards are served without recomputation and fresh \
+          ones are persisted (the store is lease-protected against \
+          $(b,onebit engine gc) meanwhile).")
+    Term.(
+      const run $ connect_arg $ id_arg $ store_arg $ metrics_arg $ trace_arg)
+
 (* ---- engine ---- *)
 
 let require_store store_dir =
@@ -858,10 +1025,80 @@ let require_store store_dir =
          ONEBIT_STORE\n";
       exit 2
 
+(* One Drain transaction against a live coordinator. *)
+let fleet_state addr_spec =
+  let addr = parse_coord_addr addr_spec in
+  let sock = Unix.socket (Unix.domain_of_sockaddr addr) Unix.SOCK_STREAM 0 in
+  match Unix.connect sock addr with
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Printf.eprintf "status: cannot reach coordinator %s: %s\n" addr_spec
+        (Unix.error_message err);
+      exit 1
+  | () ->
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close sock with Unix.Unix_error _ -> ())
+        (fun () ->
+          let oc = Unix.out_channel_of_descr sock in
+          let ic = Unix.in_channel_of_descr sock in
+          Fleet.Proto.write oc Fleet.Proto.Drain;
+          match Fleet.Proto.read ic with
+          | Ok (Fleet.Proto.State s) -> s
+          | Ok _ | Error _ ->
+              Printf.eprintf
+                "status: unexpected reply from coordinator %s\n" addr_spec;
+              exit 1)
+
+let print_fleet_state addr_spec (s : Fleet.Proto.state) =
+  Printf.printf "coordinator: %s\n" addr_spec;
+  Printf.printf "cells:       %d\n" s.st_cells;
+  Printf.printf "tasks:       %d/%d completed, %d leased, %d reassigned\n"
+    s.st_completed s.st_tasks
+    (List.length s.st_leases)
+    s.st_reassigned;
+  Printf.printf "finished:    %s\n" (if s.st_finished then "yes" else "no");
+  if s.st_workers <> [] then begin
+    print_newline ();
+    print_string
+      (Report.Table.render
+         ~header:[ "worker"; "done"; "inflight"; "hb-age"; "connected" ]
+         (List.map
+            (fun (w : Fleet.Proto.worker_info) ->
+              [
+                w.wi_id;
+                string_of_int w.wi_completed;
+                string_of_int w.wi_inflight;
+                Printf.sprintf "%.1fs" w.wi_heartbeat_age;
+                (if w.wi_connected then "yes" else "no");
+              ])
+            s.st_workers))
+  end;
+  if s.st_leases <> [] then begin
+    print_newline ();
+    print_string
+      (Report.Table.render
+         ~header:[ "task"; "worker"; "remaining" ]
+         (List.map
+            (fun (l : Fleet.Proto.lease_info) ->
+              [
+                string_of_int l.li_task;
+                l.li_worker;
+                Printf.sprintf "%.1fs" l.li_remaining;
+              ])
+            s.st_leases))
+  end
+
 let engine_status_cmd =
-  let run store_dir =
-    match (resolve_config ?store:store_dir ()).Core.Config.store with
-    | None -> print_endline "no store configured"
+  let run store_dir coord =
+    let cfg = resolve_config ?store:store_dir ?coord () in
+    (match cfg.Core.Config.coord with
+    | Some addr_spec ->
+        print_fleet_state addr_spec (fleet_state addr_spec);
+        if cfg.Core.Config.store <> None then print_newline ()
+    | None -> ());
+    match cfg.Core.Config.store with
+    | None -> if cfg.Core.Config.coord = None then print_endline "no store configured"
     | Some dir ->
     let st = Store.open_dir dir in
     Fun.protect
@@ -910,10 +1147,23 @@ let engine_status_cmd =
                rows)
         end)
   in
+  let coord_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "coord" ] ~docv:"ADDR"
+          ~doc:
+            "Also query a live fleet coordinator ($(b,unix:PATH) or \
+             $(b,HOST:PORT); overrides $(b,ONEBIT_COORD)): live leases, \
+             per-worker shard counts, heartbeat ages and the reassignment \
+             count.")
+  in
   Cmd.v
     (Cmd.info "status"
-       ~doc:"Show result-store statistics and per-campaign coverage.")
-    Term.(const run $ store_arg)
+       ~doc:
+         "Show result-store statistics and per-campaign coverage; with \
+          $(b,--coord) (or $(b,ONEBIT_COORD)), fleet state first.")
+    Term.(const run $ store_arg $ coord_arg)
 
 let engine_gc_cmd =
   let run store_dir =
@@ -924,7 +1174,16 @@ let engine_gc_cmd =
     Fun.protect
       ~finally:(fun () -> Store.close st)
       (fun () ->
-        let r = Store.gc st in
+        let r =
+          try Store.gc st
+          with Store.Busy pids ->
+            Printf.eprintf
+              "gc: store %s is in use: writer lease(s) held by live \
+               process(es) %s; retry when the run finishes\n"
+              dir
+              (String.concat ", " (List.map string_of_int pids));
+            exit 1
+        in
         Printf.printf "live records:   %d\n" r.live_records;
         Printf.printf "dropped dups:   %d\n" r.dropped_duplicates;
         Printf.printf "segments:       %d -> %d\n" r.segments_before
@@ -956,4 +1215,5 @@ let () =
             list_cmd; dump_cmd; golden_cmd; campaign_cmd; plan_cmd;
             experiment_cmd; reproduce_cmd; run_ir_cmd; digests_cmd;
             diff_campaign_cmd; lint_cmd; harden_cmd; metrics_cmd; engine_cmd;
+            serve_cmd; work_cmd;
           ]))

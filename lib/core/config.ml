@@ -61,6 +61,8 @@ type t = {
   checkpoint : bool;
   checkpoint_interval : int;
   incremental : bool;
+  coord : string option;
+  lease_ttl : float;
 }
 
 let default =
@@ -80,6 +82,8 @@ let default =
     checkpoint = true;
     checkpoint_interval = 1024;
     incremental = false;
+    coord = None;
+    lease_ttl = 30.;
   }
 
 (* [jobs] semantics shared by env and flags: a positive value is taken
@@ -140,11 +144,16 @@ let of_env ?(getenv = Sys.getenv_opt) () =
       (match getenv "ONEBIT_INCREMENTAL" with
       | Some ("1" | "true" | "yes" | "on") -> true
       | Some _ | None -> default.incremental);
+    coord = path "ONEBIT_COORD";
+    lease_ttl =
+      (match Option.bind (getenv "ONEBIT_LEASE_TTL") float_of_string_opt with
+      | Some ttl when ttl > 0. -> ttl
+      | Some _ | None -> default.lease_ttl);
   }
 
 let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
     ?progress ?metrics ?trace ?backend ?checkpoint ?checkpoint_interval
-    ?incremental t =
+    ?incremental ?coord ?lease_ttl t =
   let opt v fallback = Option.value v ~default:fallback in
   {
     n = opt n t.n;
@@ -166,6 +175,11 @@ let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
       | Some k when k > 0 -> k
       | Some _ | None -> t.checkpoint_interval);
     incremental = opt incremental t.incremental;
+    coord = (match coord with Some c -> Some c | None -> t.coord);
+    lease_ttl =
+      (match lease_ttl with
+      | Some ttl when ttl > 0. -> ttl
+      | Some _ | None -> t.lease_ttl);
   }
 
 (* Process-wide active backend: what [Experiment]/[Workload] dispatch on

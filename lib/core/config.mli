@@ -29,7 +29,11 @@
       compiled backend: "on"/"off", a bare capture interval ("512",
       implying on), or "on,512".  Default on with interval 1024;
       results are bit-identical either way (the knob exists for
-      benchmarking and differential testing) *)
+      benchmarking and differential testing)
+    - [ONEBIT_COORD] — fleet coordinator address ([unix:PATH] or
+      [HOST:PORT]; empty = none), the default for [onebit work] and
+      [onebit engine status --coord]
+    - [ONEBIT_LEASE_TTL] — fleet lease TTL in seconds (default 30) *)
 
 type backend = Seed | Compiled
 (** Which VM executes workloads: the seed interpreter ({!Vm.Exec.run})
@@ -67,6 +71,9 @@ type t = {
       (** compose campaigns from cached per-function profiles
           ([Engine.Incremental]); resolved from ONEBIT_INCREMENTAL
           (["1"]/["true"]/["yes"]/["on"]) or [--incremental] *)
+  coord : string option;
+      (** fleet coordinator address ([ONEBIT_COORD]; empty = none) *)
+  lease_ttl : float;  (** fleet lease TTL in seconds ([ONEBIT_LEASE_TTL]) *)
 }
 
 val default : t
@@ -91,10 +98,12 @@ val override :
   ?checkpoint:bool ->
   ?checkpoint_interval:int ->
   ?incremental:bool ->
+  ?coord:string ->
+  ?lease_ttl:float ->
   t -> t
 (** Layer explicit values (CLI flags) over a resolved configuration.
     [jobs <= 0] means one worker per recommended domain; a
-    non-positive [shard_size] is ignored. *)
+    non-positive [shard_size] or [lease_ttl] is ignored. *)
 
 val resolve_jobs : int -> int
 (** [resolve_jobs j] is [j] if positive, else the recommended domain

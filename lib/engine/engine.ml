@@ -61,6 +61,13 @@ let run_campaign_stats ?(jobs = 1) ?shard_size ?store ?progress
   (* Kept experiment records are never persisted, so a kept campaign is
      computed in full (still in parallel) rather than read back. *)
   let store = if keep_experiments then None else store in
+  (* Hold a writer lease for the run: `onebit engine gc` refuses to
+     compact segments out from under a live writer. *)
+  (match store with Some st -> Store.lease st | None -> ());
+  Fun.protect
+    ~finally:(fun () ->
+      match store with Some st -> Store.release_lease st | None -> ())
+  @@ fun () ->
   let key_of (lo, hi) =
     match store with
     | None -> None

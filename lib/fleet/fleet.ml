@@ -1,0 +1,51 @@
+module Proto = Proto
+module Coord = Coord
+module Worker = Worker
+
+let resolve_tcp host port =
+  match int_of_string_opt port with
+  | None -> Error (Printf.sprintf "fleet: bad port %S" port)
+  | Some p when p < 0 || p > 0xffff ->
+      Error (Printf.sprintf "fleet: bad port %S" port)
+  | Some p -> (
+      match Unix.inet_addr_of_string host with
+      | ip -> Ok (Unix.ADDR_INET (ip, p))
+      | exception Failure _ -> (
+          match
+            Unix.getaddrinfo host ""
+              [ Unix.AI_FAMILY Unix.PF_INET; Unix.AI_SOCKTYPE Unix.SOCK_STREAM ]
+          with
+          | { Unix.ai_addr = Unix.ADDR_INET (ip, _); _ } :: _ ->
+              Ok (Unix.ADDR_INET (ip, p))
+          | _ -> Error (Printf.sprintf "fleet: cannot resolve host %S" host)))
+
+let parse_addr s =
+  if s = "" then Error "fleet: empty address"
+  else if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix.ADDR_UNIX (String.sub s 5 (String.length s - 5)))
+  else
+    let rest =
+      if String.length s > 4 && String.sub s 0 4 = "tcp:" then
+        Some (String.sub s 4 (String.length s - 4))
+      else None
+    in
+    match rest with
+    | Some rest -> (
+        match String.rindex_opt rest ':' with
+        | Some i ->
+            resolve_tcp (String.sub rest 0 i)
+              (String.sub rest (i + 1) (String.length rest - i - 1))
+        | None -> Error (Printf.sprintf "fleet: tcp address %S needs HOST:PORT" s))
+    | None -> (
+        if String.contains s '/' then Ok (Unix.ADDR_UNIX s)
+        else
+          match String.rindex_opt s ':' with
+          | Some i ->
+              resolve_tcp (String.sub s 0 i)
+                (String.sub s (i + 1) (String.length s - i - 1))
+          | None -> Ok (Unix.ADDR_UNIX s))
+
+let addr_to_string = function
+  | Unix.ADDR_UNIX path -> "unix:" ^ path
+  | Unix.ADDR_INET (ip, port) ->
+      Printf.sprintf "%s:%d" (Unix.string_of_inet_addr ip) port

@@ -1,0 +1,24 @@
+(** onebit.fleet — distributed campaign execution.
+
+    A {!Coord} owns a campaign grid, tiles it into exactly the shards a
+    single-process engine run would produce ([Engine.shards_of]), and
+    leases them to {!Worker} processes over the newline-delimited-JSON
+    protocol in {!Proto}.  Leases expire and are reassigned, duplicate
+    completions are exact no-ops, and the merged result is bit-identical
+    to [Core.Campaign.run] regardless of fleet shape or kill history —
+    every experiment runs on its own split-off generator, so a shard's
+    content depends only on (program, spec, seed, range), never on the
+    worker that computed it. *)
+
+module Proto = Proto
+module Coord = Coord
+module Worker = Worker
+
+val parse_addr : string -> (Unix.sockaddr, string) result
+(** Coordinator address spellings: [unix:PATH] (or any string containing
+    a [/]) for a Unix-domain socket; [tcp:HOST:PORT] or [HOST:PORT] for
+    TCP ([HOST] a numeric address or name resolvable via
+    [getaddrinfo]). *)
+
+val addr_to_string : Unix.sockaddr -> string
+(** Inverse spelling of {!parse_addr} ([unix:PATH] / [HOST:PORT]). *)

@@ -1,0 +1,344 @@
+(* Newline-delimited JSON wire protocol for the campaign fleet.
+
+   Each message is one canonical-Jsonx line tagged by a "t" field.  The
+   shard payload of Complete reuses the result store's codec
+   (Store.shard_json / shard_of_json) so a shard crosses the wire in
+   exactly the bytes it would occupy in a store segment. *)
+
+module J = Store.Jsonx
+
+let version = 1
+
+type cell = {
+  c_program : string;
+  c_digest : string;
+  c_spec : Core.Spec.t;
+  c_n : int;
+  c_seed : int64;
+}
+
+type task = { t_id : int; t_cell : int; t_lo : int; t_hi : int }
+
+type lease_info = { li_task : int; li_worker : string; li_remaining : float }
+
+type worker_info = {
+  wi_id : string;
+  wi_completed : int;
+  wi_inflight : int;
+  wi_heartbeat_age : float;
+  wi_connected : bool;
+}
+
+type state = {
+  st_cells : int;
+  st_tasks : int;
+  st_completed : int;
+  st_reassigned : int;
+  st_finished : bool;
+  st_workers : worker_info list;
+  st_leases : lease_info list;
+}
+
+type msg =
+  | Hello of { worker : string; pid : int }
+  | Welcome of { proto : int; ttl : float; cells : cell array }
+  | Lease of { worker : string }
+  | Grant of { task : task; ttl : float }
+  | Wait of { backoff : float }
+  | Done
+  | Heartbeat of { worker : string; task : int }
+  | Complete of { worker : string; task : int; shard : Core.Campaign.shard }
+  | Ack of { dup : bool }
+  | Drain
+  | State of state
+  | Error of string
+
+(* ---- encoding ---- *)
+
+let win_json : Core.Win.t -> J.t = function
+  | Fixed w -> J.Int w
+  | Rnd (lo, hi) -> J.Arr [ J.Int lo; J.Int hi ]
+
+let cell_json c =
+  J.Obj
+    [
+      ("p", J.Str c.c_program);
+      ("d", J.Str c.c_digest);
+      ("tech", J.Str (Core.Technique.to_string c.c_spec.technique));
+      ("m", J.Int c.c_spec.max_mbf);
+      ("win", win_json c.c_spec.win);
+      ("n", J.Int c.c_n);
+      ("seed", J.Str (Int64.to_string c.c_seed));
+    ]
+
+let task_json t =
+  J.Obj
+    [
+      ("id", J.Int t.t_id);
+      ("cell", J.Int t.t_cell);
+      ("lo", J.Int t.t_lo);
+      ("hi", J.Int t.t_hi);
+    ]
+
+let state_json s =
+  J.Obj
+    [
+      ("cells", J.Int s.st_cells);
+      ("tasks", J.Int s.st_tasks);
+      ("completed", J.Int s.st_completed);
+      ("reassigned", J.Int s.st_reassigned);
+      ("finished", J.Bool s.st_finished);
+      ( "workers",
+        J.Arr
+          (List.map
+             (fun w ->
+               J.Obj
+                 [
+                   ("id", J.Str w.wi_id);
+                   ("done", J.Int w.wi_completed);
+                   ("inflight", J.Int w.wi_inflight);
+                   ("hb", J.Float w.wi_heartbeat_age);
+                   ("conn", J.Bool w.wi_connected);
+                 ])
+             s.st_workers) );
+      ( "leases",
+        J.Arr
+          (List.map
+             (fun l ->
+               J.Obj
+                 [
+                   ("task", J.Int l.li_task);
+                   ("w", J.Str l.li_worker);
+                   ("remaining", J.Float l.li_remaining);
+                 ])
+             s.st_leases) );
+    ]
+
+let state_fields s =
+  match state_json s with J.Obj fields -> fields | _ -> assert false
+
+let to_json = function
+  | Hello { worker; pid } ->
+      J.Obj [ ("t", J.Str "hello"); ("w", J.Str worker); ("pid", J.Int pid) ]
+  | Welcome { proto; ttl; cells } ->
+      J.Obj
+        [
+          ("t", J.Str "welcome");
+          ("proto", J.Int proto);
+          ("ttl", J.Float ttl);
+          ("cells", J.Arr (Array.to_list (Array.map cell_json cells)));
+        ]
+  | Lease { worker } -> J.Obj [ ("t", J.Str "lease"); ("w", J.Str worker) ]
+  | Grant { task; ttl } ->
+      J.Obj
+        [ ("t", J.Str "grant"); ("task", task_json task); ("ttl", J.Float ttl) ]
+  | Wait { backoff } ->
+      J.Obj [ ("t", J.Str "wait"); ("backoff", J.Float backoff) ]
+  | Done -> J.Obj [ ("t", J.Str "done") ]
+  | Heartbeat { worker; task } ->
+      J.Obj
+        [ ("t", J.Str "heartbeat"); ("w", J.Str worker); ("task", J.Int task) ]
+  | Complete { worker; task; shard } ->
+      J.Obj
+        [
+          ("t", J.Str "complete");
+          ("w", J.Str worker);
+          ("task", J.Int task);
+          ("lo", J.Int shard.Core.Campaign.lo);
+          ("hi", J.Int shard.Core.Campaign.hi);
+          ("shard", Store.shard_json shard);
+        ]
+  | Ack { dup } -> J.Obj [ ("t", J.Str "ack"); ("dup", J.Bool dup) ]
+  | Drain -> J.Obj [ ("t", J.Str "drain") ]
+  | State s -> J.Obj (("t", J.Str "state") :: state_fields s)
+  | Error msg -> J.Obj [ ("t", J.Str "error"); ("msg", J.Str msg) ]
+
+(* ---- decoding ---- *)
+
+let ( let* ) = Option.bind
+
+let int_field name j = Option.bind (J.mem name j) J.to_int
+let float_field name j = Option.bind (J.mem name j) J.to_float
+let str_field name j = Option.bind (J.mem name j) J.to_str
+
+let bool_field name j =
+  match J.mem name j with Some (J.Bool b) -> Some b | _ -> None
+
+let win_of_json : J.t -> Core.Win.t option = function
+  | J.Int w when w >= 0 -> Some (Core.Win.Fixed w)
+  | J.Arr [ J.Int lo; J.Int hi ] when 0 <= lo && lo <= hi ->
+      Some (Core.Win.Rnd (lo, hi))
+  | _ -> None
+
+let cell_of_json j =
+  let* p = str_field "p" j in
+  let* d = str_field "d" j in
+  let* tech = Option.bind (str_field "tech" j) Core.Technique.of_string in
+  let* m = int_field "m" j in
+  let* win = Option.bind (J.mem "win" j) win_of_json in
+  let* n = int_field "n" j in
+  let* seed = Option.bind (str_field "seed" j) Int64.of_string_opt in
+  let spec =
+    if m <= 1 then Core.Spec.single tech
+    else Core.Spec.multi tech ~max_mbf:m ~win
+  in
+  Some { c_program = p; c_digest = d; c_spec = spec; c_n = n; c_seed = seed }
+
+let task_of_json j =
+  let* id = int_field "id" j in
+  let* cell = int_field "cell" j in
+  let* lo = int_field "lo" j in
+  let* hi = int_field "hi" j in
+  Some { t_id = id; t_cell = cell; t_lo = lo; t_hi = hi }
+
+let worker_info_of_json j =
+  let* id = str_field "id" j in
+  let* completed = int_field "done" j in
+  let* inflight = int_field "inflight" j in
+  let* hb = float_field "hb" j in
+  let* conn = bool_field "conn" j in
+  Some
+    {
+      wi_id = id;
+      wi_completed = completed;
+      wi_inflight = inflight;
+      wi_heartbeat_age = hb;
+      wi_connected = conn;
+    }
+
+let lease_info_of_json j =
+  let* task = int_field "task" j in
+  let* w = str_field "w" j in
+  let* remaining = float_field "remaining" j in
+  Some { li_task = task; li_worker = w; li_remaining = remaining }
+
+let all_some l =
+  List.fold_right
+    (fun x acc ->
+      let* acc = acc in
+      let* x = x in
+      Some (x :: acc))
+    l (Some [])
+
+let state_of_json j =
+  let* cells = int_field "cells" j in
+  let* tasks = int_field "tasks" j in
+  let* completed = int_field "completed" j in
+  let* reassigned = int_field "reassigned" j in
+  let* finished = bool_field "finished" j in
+  let* workers_j = Option.bind (J.mem "workers" j) J.to_list in
+  let* leases_j = Option.bind (J.mem "leases" j) J.to_list in
+  let* workers = all_some (List.map worker_info_of_json workers_j) in
+  let* leases = all_some (List.map lease_info_of_json leases_j) in
+  Some
+    {
+      st_cells = cells;
+      st_tasks = tasks;
+      st_completed = completed;
+      st_reassigned = reassigned;
+      st_finished = finished;
+      st_workers = workers;
+      st_leases = leases;
+    }
+
+let of_json j : (msg, string) result =
+  let need what = Stdlib.Error ("fleet proto: malformed " ^ what) in
+  match str_field "t" j with
+  | None -> Stdlib.Error "fleet proto: missing message tag"
+  | Some tag -> (
+      match tag with
+      | "hello" -> (
+          match (str_field "w" j, int_field "pid" j) with
+          | Some worker, Some pid -> Ok (Hello { worker; pid })
+          | _ -> need "hello")
+      | "welcome" -> (
+          match
+            ( int_field "proto" j,
+              float_field "ttl" j,
+              Option.bind (J.mem "cells" j) J.to_list )
+          with
+          | Some proto, Some ttl, Some cells_j -> (
+              match all_some (List.map cell_of_json cells_j) with
+              | Some cells ->
+                  Ok (Welcome { proto; ttl; cells = Array.of_list cells })
+              | None -> need "welcome")
+          | _ -> need "welcome")
+      | "lease" -> (
+          match str_field "w" j with
+          | Some worker -> Ok (Lease { worker })
+          | None -> need "lease")
+      | "grant" -> (
+          match
+            (Option.bind (J.mem "task" j) task_of_json, float_field "ttl" j)
+          with
+          | Some task, Some ttl -> Ok (Grant { task; ttl })
+          | _ -> need "grant")
+      | "wait" -> (
+          match float_field "backoff" j with
+          | Some backoff -> Ok (Wait { backoff })
+          | None -> need "wait")
+      | "done" -> Ok Done
+      | "heartbeat" -> (
+          match (str_field "w" j, int_field "task" j) with
+          | Some worker, Some task -> Ok (Heartbeat { worker; task })
+          | _ -> need "heartbeat")
+      | "complete" -> (
+          match
+            ( str_field "w" j,
+              int_field "task" j,
+              int_field "lo" j,
+              int_field "hi" j,
+              J.mem "shard" j )
+          with
+          | Some worker, Some task, Some lo, Some hi, Some shard_j -> (
+              match Store.shard_of_json ~lo ~hi shard_j with
+              | Some shard -> Ok (Complete { worker; task; shard })
+              | None -> need "complete shard")
+          | _ -> need "complete")
+      | "ack" -> (
+          match bool_field "dup" j with
+          | Some dup -> Ok (Ack { dup })
+          | None -> need "ack")
+      | "drain" -> Ok Drain
+      | "state" -> (
+          match state_of_json j with
+          | Some s -> Ok (State s)
+          | None -> need "state")
+      | "error" -> (
+          match str_field "msg" j with
+          | Some msg -> Ok (Error msg)
+          | None -> need "error")
+      | other -> Stdlib.Error ("fleet proto: unknown message tag " ^ other))
+
+let to_line m = J.to_string (to_json m)
+
+let of_line line =
+  match J.of_string line with
+  | Stdlib.Error e -> Stdlib.Error ("fleet proto: bad JSON: " ^ e)
+  | Ok j -> of_json j
+
+let write oc m =
+  output_string oc (to_line m);
+  output_char oc '\n';
+  flush oc
+
+let read ic =
+  match input_line ic with
+  | exception End_of_file -> Stdlib.Error `Eof
+  | line -> (
+      match of_line line with
+      | Ok m -> Ok m
+      | Stdlib.Error e -> Stdlib.Error (`Malformed e))
+
+(* Kept experiments never cross the wire; strip them so equality is
+   insensitive to how the shard was produced. *)
+let strip = function
+  | Complete c ->
+      Complete
+        {
+          c with
+          shard = { c.shard with Core.Campaign.s_experiments = [||] };
+        }
+  | m -> m
+
+let equal a b = strip a = strip b

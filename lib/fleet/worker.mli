@@ -1,0 +1,26 @@
+(** Fleet worker: connects to a coordinator, leases shards, computes
+    them with the same per-experiment generators a single-process run
+    uses, and reports completions.
+
+    One socket carries everything; a background thread heartbeats the
+    in-flight lease (every ttl/3) while the main thread computes, so a
+    shard that outlives its TTL is not reassigned under a live worker.
+    Given [?store], shards already present locally are returned without
+    recomputation and fresh completions are appended durably — the
+    worker holds a writer lease ({!Store.lease}) for the duration, which
+    is what makes [onebit engine gc] refuse to compact under it. *)
+
+val run :
+  ?id:string ->
+  ?store:Store.t ->
+  connect:Unix.sockaddr ->
+  load:(string -> Core.Workload.t) ->
+  unit -> int
+(** Serve until the coordinator answers a lease request with [done];
+    returns the number of shards this worker completed (first-completion
+    acks only — duplicates of reassigned shards don't count).  [id]
+    defaults to ["worker-<pid>"]; [load] maps a cell's program name to
+    its workload and is called at most once per program.
+
+    @raise Failure on protocol errors, a coordinator/worker program
+    digest mismatch, or a lost connection. *)

@@ -16,6 +16,17 @@ let set_enabled = Metrics.set_enabled
 
 let render () = Metrics.render (Metrics.snapshot ())
 
+let http_response () =
+  let body = render () in
+  Printf.sprintf
+    "HTTP/1.1 200 OK\r\n\
+     Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    (String.length body) body
+
 let write_text path text =
   match path with
   | "-" | "stderr" ->

@@ -24,6 +24,11 @@ val set_enabled : bool -> unit
 val render : unit -> string
 (** Prometheus-style text dump of the default registry. *)
 
+val http_response : unit -> string
+(** {!render} wrapped in a minimal [HTTP/1.1 200] response
+    ([text/plain; version=0.0.4], [Connection: close]) — what a
+    Prometheus scrape of an embedded metrics endpoint expects. *)
+
 val dump_metrics : string -> unit
 (** Write {!render} to a file path ("-" or "stderr" for stderr). *)
 

@@ -350,12 +350,15 @@ let m_truncated = Obs.Metrics.counter "onebit_store_truncated_records_total"
 let m_corrupt = Obs.Metrics.counter "onebit_store_corrupt_records_total"
 let m_fsync = Obs.Metrics.histogram "onebit_store_fsync_seconds"
 
+exception Busy of int list
+
 type t = {
   dir : string;
   segment_bytes : int;
   fsync : bool;
   index : (string, record) Hashtbl.t;
   lock : Mutex.t;
+  lock_fd : Unix.file_descr;  (* <dir>/.lock, advisory inter-process lock *)
   mutable active : int;
   mutable chan : out_channel;
   mutable active_bytes : int;
@@ -363,6 +366,7 @@ type t = {
   mutable truncated : int;
   mutable corrupt : int;
   mutable duplicates : int;  (* records shadowed by a later same-key record *)
+  mutable lease_count : int;  (* live writer registrations by this handle *)
 }
 
 let segment_name i = Printf.sprintf "seg-%06d.jsonl" i
@@ -431,6 +435,10 @@ let file_size path = (Unix.stat path).Unix.st_size
 
 let open_dir ?(segment_bytes = 8 * 1024 * 1024) ?(fsync = false) dir =
   mkdir_p dir;
+  let lock_fd =
+    Unix.openfile (Filename.concat dir ".lock")
+      [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+  in
   let segments = list_segments dir in
   let t =
     {
@@ -439,6 +447,7 @@ let open_dir ?(segment_bytes = 8 * 1024 * 1024) ?(fsync = false) dir =
       fsync;
       index = Hashtbl.create 1024;
       lock = Mutex.create ();
+      lock_fd;
       active = (match List.rev segments with s :: _ -> s | [] -> 1);
       chan = stdout (* replaced below *);
       active_bytes = 0;
@@ -446,6 +455,7 @@ let open_dir ?(segment_bytes = 8 * 1024 * 1024) ?(fsync = false) dir =
       truncated = 0;
       corrupt = 0;
       duplicates = 0;
+      lease_count = 0;
     }
   in
   let last = List.length segments - 1 in
@@ -468,6 +478,87 @@ let flush_chan t =
       Obs.Metrics.observe m_fsync (Unix.gettimeofday () -. t0)
     end
     else Unix.fsync (Unix.descr_of_out_channel t.chan)
+
+(* Advisory inter-process exclusion around segment mutation (appends and
+   the gc rewrite).  Intra-process exclusion is [t.lock]; this extends it
+   to separate processes sharing the directory, so two writers cannot
+   interleave partial lines and an append cannot race a gc rename.  The
+   lock is fcntl-style ([Unix.lockf]) on a dedicated [.lock] file, so
+   closing segment files never drops it. *)
+let with_file_lock t f =
+  ignore (Unix.lseek t.lock_fd 0 Unix.SEEK_SET);
+  Unix.lockf t.lock_fd Unix.F_LOCK 0;
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Unix.lseek t.lock_fd 0 Unix.SEEK_SET);
+      try Unix.lockf t.lock_fd Unix.F_ULOCK 0 with Unix.Unix_error _ -> ())
+    f
+
+(* ---- writer leases ----
+
+   A lease marks this process as a live writer of the store: a
+   [lease-<pid>] marker file that [gc] (possibly run from another
+   process) refuses to compact over.  Lease files from dead processes are
+   stale and swept on inspection, so a SIGKILLed writer never wedges the
+   store. *)
+
+let leases_dir t = Filename.concat t.dir "leases"
+let lease_path t pid = Filename.concat (leases_dir t) (Printf.sprintf "lease-%d" pid)
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception Unix.Unix_error (_, _, _) ->
+      (* EPERM etc.: the process exists but is not ours. *)
+      true
+
+let live_leases t =
+  match Sys.readdir (leases_dir t) with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun name ->
+             match String.length name > 6 && String.sub name 0 6 = "lease-" with
+             | false -> None
+             | true -> (
+                 match
+                   int_of_string_opt
+                     (String.sub name 6 (String.length name - 6))
+                 with
+                 | Some pid when pid_alive pid -> Some pid
+                 | Some pid ->
+                     (* Stale marker from a dead writer: sweep it. *)
+                     (try Sys.remove (lease_path t pid) with Sys_error _ -> ());
+                     None
+                 | None -> None))
+      |> List.sort_uniq compare
+
+let lease t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if t.lease_count = 0 then begin
+        mkdir_p (leases_dir t);
+        let path = lease_path t (Unix.getpid ()) in
+        Out_channel.with_open_bin path (fun oc ->
+            output_string oc (string_of_int (Unix.getpid ()));
+            output_char oc '\n')
+      end;
+      t.lease_count <- t.lease_count + 1)
+
+let release_lease t =
+  Mutex.lock t.lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.lock)
+    (fun () ->
+      if t.lease_count > 0 then begin
+        t.lease_count <- t.lease_count - 1;
+        if t.lease_count = 0 then
+          try Sys.remove (lease_path t (Unix.getpid ()))
+          with Sys_error _ -> ()
+      end)
 
 let rotate_locked t =
   flush_chan t;
@@ -493,9 +584,13 @@ let add_record t r =
           t.active_bytes > 0
           && t.active_bytes + String.length line + 1 > t.segment_bytes
         then rotate_locked t;
-        output_string t.chan line;
-        output_char t.chan '\n';
-        flush_chan t;
+        (* The file lock spans buffer-fill to flush so the appended line
+           reaches the segment as one unit even when another process
+           shares the directory. *)
+        with_file_lock t (fun () ->
+            output_string t.chan line;
+            output_char t.chan '\n';
+            flush_chan t);
         Obs.Metrics.incr m_appends;
         t.active_bytes <- t.active_bytes + String.length line + 1;
         Hashtbl.replace t.index ck r
@@ -573,6 +668,14 @@ let gc t =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
     (fun () ->
+      (* Compacting renames segments out from under concurrent appenders;
+         refuse while any *other* live process has registered as a writer
+         (our own lease cannot deadlock us: this handle holds [t.lock]). *)
+      let foreign =
+        List.filter (fun pid -> pid <> Unix.getpid ()) (live_leases t)
+      in
+      if foreign <> [] then raise (Busy foreign);
+      with_file_lock t @@ fun () ->
       flush t.chan;
       let bytes_before =
         List.fold_left
@@ -623,6 +726,9 @@ let gc t =
       })
 
 let close t =
+  while t.lease_count > 0 do
+    release_lease t
+  done;
   Mutex.lock t.lock;
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.lock)
@@ -630,6 +736,7 @@ let close t =
       flush t.chan;
       (try Unix.fsync (Unix.descr_of_out_channel t.chan)
        with Unix.Unix_error _ -> ());
-      close_out t.chan)
+      close_out t.chan;
+      try Unix.close t.lock_fd with Unix.Unix_error _ -> ())
 
 let dir t = t.dir

@@ -105,9 +105,36 @@ val fold_profiles : t -> (pkey -> Core.Campaign.profile -> 'a -> 'a) -> 'a -> 'a
 (** Profile records only. *)
 
 val stats : t -> stats
+
+exception Busy of int list
+(** Raised by {!gc} when other live processes hold writer leases on the
+    store; carries their pids. *)
+
 val gc : t -> gc_report
 (** Compact: rewrite live records into one fresh segment (fsync + atomic
-    rename), then unlink the old segments. *)
+    rename), then unlink the old segments.  The rewrite holds the same
+    advisory inter-process file lock appends take, so it can never
+    interleave with a concurrent writer's append.
+
+    @raise Busy if another live process holds a writer lease
+    ({!lease}) — compacting would rename segments out from under it. *)
+
+val lease : t -> unit
+(** Register this process as a live writer of the store (a
+    [leases/lease-<pid>] marker).  Re-entrant: calls nest, and the marker
+    is removed when the last one is released (or at {!close}).  Markers
+    of dead processes are stale and swept automatically, so a SIGKILLed
+    writer never wedges the store. *)
+
+val release_lease : t -> unit
+
+val live_leases : t -> int list
+(** Pids of live processes holding writer leases (stale markers swept). *)
+
+val shard_json : Core.Campaign.shard -> Jsonx.t
+val shard_of_json : lo:int -> hi:int -> Jsonx.t -> Core.Campaign.shard option
+(** The shard payload codec (re-exported for the fleet wire protocol,
+    which ships shards in exactly their store representation). *)
 
 val close : t -> unit
 val dir : t -> string

@@ -1,0 +1,522 @@
+(* Tests for the distributed campaign fleet: the wire codec, the
+   coordinator's lease state machine (expiry, reassignment, duplicate
+   completion, worker death at every interesting point), the store's
+   writer leases, and the load-bearing property — a fleet's merged
+   result is identical to [Campaign.run] for any fleet shape and kill
+   history. *)
+
+module Proto = Fleet.Proto
+module Coord = Fleet.Coord
+
+let workload =
+  lazy
+    (let e = Option.get (Bench_suite.Registry.find "spmv") in
+     Core.Workload.make ~name:e.name ~expected_output:(e.reference ())
+       (e.build ()))
+
+let temp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "onebit-fleet-test-%d-%d" (Unix.getpid ()) !counter)
+    in
+    Unix.mkdir d 0o755;
+    d
+
+let cell_of ?(n = 75) w spec =
+  {
+    Proto.c_program = w.Core.Workload.name;
+    c_digest = w.Core.Workload.digest;
+    c_spec = spec;
+    c_n = n;
+    c_seed = 20170626L;
+  }
+
+let spec = Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 5)
+
+let compute w (task : Proto.task) =
+  Core.Campaign.run_shard w spec ~seed:20170626L ~lo:task.t_lo ~hi:task.t_hi
+
+let result_eq = Alcotest.testable (Fmt.of_to_string (fun _ -> "<result>"))
+    Core.Campaign.equal_result
+
+(* ---- codec round-trip (qcheck, every message type) ---- *)
+
+(* Names exercise the JSON string escaper. *)
+let gen_name =
+  QCheck.Gen.(
+    map
+      (fun cs -> String.concat "" cs)
+      (list_size (int_range 1 8)
+         (oneofl [ "a"; "z"; "_"; "-"; "."; "/"; "\""; "\\"; "m"; "7" ])))
+
+let gen_tech = QCheck.Gen.oneofl [ Core.Technique.Read; Core.Technique.Write ]
+
+let gen_win =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun w -> Core.Win.Fixed w) (int_bound 100);
+        map2 (fun lo len -> Core.Win.Rnd (lo, lo + len)) (int_bound 50)
+          (int_bound 50);
+      ])
+
+let gen_spec =
+  QCheck.Gen.(
+    oneof
+      [
+        map Core.Spec.single gen_tech;
+        map3
+          (fun t m win -> Core.Spec.multi t ~max_mbf:(m + 2) ~win)
+          gen_tech (int_bound 8) gen_win;
+      ])
+
+let gen_seed = QCheck.Gen.(map Int64.of_int int)
+
+let gen_cell =
+  QCheck.Gen.(
+    map
+      (fun (p, d, spec, n, seed) ->
+        { Proto.c_program = p; c_digest = d; c_spec = spec; c_n = n; c_seed = seed })
+      (tup5 gen_name gen_name gen_spec (int_range 1 100_000) gen_seed))
+
+let gen_task =
+  QCheck.Gen.(
+    map
+      (fun (id, cell, lo, len) ->
+        { Proto.t_id = id; t_cell = cell; t_lo = lo; t_hi = lo + len + 1 })
+      (tup4 (int_bound 10_000) (int_bound 50) (int_bound 100_000) (int_bound 99)))
+
+let gen_pos_float = QCheck.Gen.(map abs_float (float_bound_exclusive 10_000.))
+
+(* Real shards with non-trivial trap/activation payloads, computed once;
+   the Complete codec ships them in their store representation. *)
+let shard_pool =
+  lazy
+    (let w = Lazy.force workload in
+     List.map
+       (fun (lo, hi) ->
+         Core.Campaign.run_shard w spec ~seed:20170626L ~lo ~hi)
+       [ (0, 25); (25, 50); (50, 60) ])
+
+let gen_shard = QCheck.Gen.(map (fun i -> List.nth (Lazy.force shard_pool) i) (int_bound 2))
+
+let gen_worker_info =
+  QCheck.Gen.(
+    map
+      (fun (id, completed, inflight, hb, conn) ->
+        {
+          Proto.wi_id = id;
+          wi_completed = completed;
+          wi_inflight = inflight;
+          wi_heartbeat_age = hb;
+          wi_connected = conn;
+        })
+      (tup5 gen_name (int_bound 1000) (int_bound 16) gen_pos_float bool))
+
+let gen_lease_info =
+  QCheck.Gen.(
+    map
+      (fun (task, w, remaining) ->
+        { Proto.li_task = task; li_worker = w; li_remaining = remaining })
+      (tup3 (int_bound 10_000) gen_name gen_pos_float))
+
+let gen_state =
+  QCheck.Gen.(
+    map
+      (fun (cells, tasks, completed, reassigned, (finished, workers, leases)) ->
+        {
+          Proto.st_cells = cells;
+          st_tasks = tasks;
+          st_completed = completed;
+          st_reassigned = reassigned;
+          st_finished = finished;
+          st_workers = workers;
+          st_leases = leases;
+        })
+      (tup5 (int_bound 50) (int_bound 10_000) (int_bound 10_000) (int_bound 100)
+         (tup3 bool
+            (list_size (int_bound 4) gen_worker_info)
+            (list_size (int_bound 4) gen_lease_info))))
+
+let gen_msg =
+  QCheck.Gen.(
+    oneof
+      [
+        map2 (fun w pid -> Proto.Hello { worker = w; pid }) gen_name (int_bound 100_000);
+        map2
+          (fun ttl cells -> Proto.Welcome { proto = Proto.version; ttl; cells })
+          gen_pos_float
+          (map Array.of_list (list_size (int_bound 3) gen_cell));
+        map (fun w -> Proto.Lease { worker = w }) gen_name;
+        map2 (fun task ttl -> Proto.Grant { task; ttl }) gen_task gen_pos_float;
+        map (fun b -> Proto.Wait { backoff = b }) gen_pos_float;
+        return Proto.Done;
+        map2 (fun w task -> Proto.Heartbeat { worker = w; task }) gen_name
+          (int_bound 10_000);
+        map3
+          (fun w task shard -> Proto.Complete { worker = w; task; shard })
+          gen_name (int_bound 10_000) gen_shard;
+        map (fun dup -> Proto.Ack { dup }) bool;
+        return Proto.Drain;
+        map (fun s -> Proto.State s) gen_state;
+        map (fun e -> Proto.Error e) gen_name;
+      ])
+
+let prop_codec_roundtrip =
+  QCheck.Test.make ~name:"fleet codec round-trips every message type"
+    ~count:300 (QCheck.make gen_msg) (fun msg ->
+      match Proto.of_line (Proto.to_line msg) with
+      | Ok msg' -> Proto.equal msg msg'
+      | Error e -> QCheck.Test.fail_reportf "decode failed: %s" e)
+
+let test_codec_rejects_garbage () =
+  let bad l = match Proto.of_line l with Ok _ -> false | Error _ -> true in
+  Alcotest.(check bool) "not json" true (bad "{nope");
+  Alcotest.(check bool) "no tag" true (bad {|{"w":"a"}|});
+  Alcotest.(check bool) "unknown tag" true (bad {|{"t":"frobnicate"}|});
+  Alcotest.(check bool) "missing field" true (bad {|{"t":"hello","w":"a"}|})
+
+(* ---- coordinator state machine ---- *)
+
+(* 75 experiments at shard size 25: tasks 0,1,2. *)
+let make_coord ?store ?(ttl = 10.) () =
+  let w = Lazy.force workload in
+  (w, Coord.create ~ttl ?store ~shard_size:25 ~cells:[ cell_of w spec ] ())
+
+let lease c ~now ~conn worker =
+  match Coord.handle c ~now ~conn (Proto.Lease { worker }) with
+  | Proto.Grant { task; _ } -> `Grant task
+  | Proto.Wait { backoff } -> `Wait backoff
+  | Proto.Done -> `Done
+  | m -> Alcotest.failf "unexpected lease reply %s" (Proto.to_line m)
+
+let complete c ~now ~conn worker (task : Proto.task) shard =
+  match
+    Coord.handle c ~now ~conn (Proto.Complete { worker; task = task.t_id; shard })
+  with
+  | Proto.Ack { dup } -> dup
+  | m -> Alcotest.failf "unexpected complete reply %s" (Proto.to_line m)
+
+let reference w ~n = Core.Campaign.run w spec ~n ~seed:20170626L
+
+let test_lease_expiry_reassignment () =
+  let w, c = make_coord () in
+  let t0 =
+    match lease c ~now:0. ~conn:1 "a" with
+    | `Grant t -> t
+    | _ -> Alcotest.fail "no grant"
+  in
+  Alcotest.(check int) "first task" 0 t0.Proto.t_id;
+  (* b works through tasks 1 and 2 promptly; with only a's live lease
+     outstanding, b must wait, not steal. *)
+  let t1 = match lease c ~now:1. ~conn:2 "b" with
+    | `Grant t -> t | _ -> Alcotest.fail "no grant" in
+  ignore (complete c ~now:1.5 ~conn:2 "b" t1 (compute w t1) : bool);
+  let t2 = match lease c ~now:2. ~conn:2 "b" with
+    | `Grant t -> t | _ -> Alcotest.fail "no grant" in
+  ignore (complete c ~now:2.5 ~conn:2 "b" t2 (compute w t2) : bool);
+  (match lease c ~now:3. ~conn:2 "b" with
+  | `Wait backoff -> Alcotest.(check bool) "positive backoff" true (backoff > 0.)
+  | _ -> Alcotest.fail "expected wait");
+  (* A heartbeat extends a's deadline: at t=12 (past the original t=10
+     expiry, within the extended one) the lease still holds. *)
+  (match Coord.handle c ~now:8. ~conn:1 (Proto.Heartbeat { worker = "a"; task = 0 }) with
+  | Proto.Ack { dup = false } -> ()
+  | m -> Alcotest.failf "unexpected heartbeat reply %s" (Proto.to_line m));
+  (match lease c ~now:12. ~conn:2 "b" with
+  | `Wait _ -> ()
+  | _ -> Alcotest.fail "extended lease must not be reassigned");
+  (* Past the extended deadline it is reassigned. *)
+  let t0' = match lease c ~now:18.5 ~conn:2 "b" with
+    | `Grant t -> t | _ -> Alcotest.fail "expected reassignment" in
+  Alcotest.(check int) "expired lease reassigned" 0 t0'.Proto.t_id;
+  Alcotest.(check int) "reassignment counted" 1
+    (Coord.state c ~now:19.).Proto.st_reassigned;
+  Alcotest.(check bool) "fresh" false
+    (complete c ~now:20. ~conn:2 "b" t0' (compute w t0'));
+  Alcotest.(check bool) "finished" true (Coord.finished c);
+  (* a's late completion of the task it lost is an exact no-op. *)
+  Alcotest.(check bool) "stale completion is dup" true
+    (complete c ~now:21. ~conn:1 "a" t0 (compute w t0));
+  Alcotest.check result_eq "fleet result = Campaign.run" (reference w ~n:75)
+    (snd (List.hd (Coord.results c)))
+
+let test_duplicate_complete_idempotent () =
+  let w, c = make_coord () in
+  let rec drain acc now =
+    match lease c ~now ~conn:1 "a" with
+    | `Grant t ->
+        ignore (complete c ~now ~conn:1 "a" t (compute w t) : bool);
+        drain (t :: acc) (now +. 0.1)
+    | `Done -> acc
+    | `Wait _ -> Alcotest.fail "unexpected wait"
+  in
+  let tasks = drain [] 0. in
+  Alcotest.(check int) "three tasks" 3 (List.length tasks);
+  (* Re-complete every task: all dups, counters unchanged, result same. *)
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "dup ack" true
+        (complete c ~now:5. ~conn:1 "a" t (compute w t)))
+    tasks;
+  let s = Coord.state c ~now:6. in
+  Alcotest.(check int) "completed stays 3" 3 s.Proto.st_completed;
+  Alcotest.check result_eq "result unchanged" (reference w ~n:75)
+    (snd (List.hd (Coord.results c)))
+
+(* Worker death at the three interesting points: before any lease,
+   mid-shard, and after the coordinator processed Complete but before
+   the worker saw the ack.  Reassignment is immediate on disconnect —
+   no TTL wait. *)
+let test_kill_points () =
+  let w, c = make_coord () in
+  (* a: killed before leasing anything — costs nothing. *)
+  ignore (Coord.handle c ~now:0. ~conn:1 (Proto.Hello { worker = "a"; pid = 1 }));
+  Coord.disconnect c ~now:0.5 ~conn:1;
+  (* b: leases the whole grid, then is killed mid-shard.  Disconnect
+     orphans every lease immediately — no TTL wait (ttl here is 10). *)
+  let tb0 = match lease c ~now:1. ~conn:2 "b" with
+    | `Grant t -> t | _ -> Alcotest.fail "no grant" in
+  let tb1 = match lease c ~now:1.1 ~conn:2 "b" with
+    | `Grant t -> t | _ -> Alcotest.fail "no grant" in
+  let tb2 = match lease c ~now:1.2 ~conn:2 "b" with
+    | `Grant t -> t | _ -> Alcotest.fail "no grant" in
+  Alcotest.(check (list int)) "b holds the grid" [ 0; 1; 2 ]
+    [ tb0.Proto.t_id; tb1.Proto.t_id; tb2.Proto.t_id ];
+  Coord.disconnect c ~now:1.5 ~conn:2;
+  (* c: picks up the orphaned tasks in order, completes two, then dies
+     after the coordinator processed the second Complete but before the
+     ack reached it. *)
+  let tc0 = match lease c ~now:2. ~conn:3 "c" with
+    | `Grant t -> t | _ -> Alcotest.fail "orphaned lease not reassigned" in
+  Alcotest.(check int) "task 0 reassigned to c" 0 tc0.Proto.t_id;
+  ignore (complete c ~now:2.5 ~conn:3 "c" tc0 (compute w tc0) : bool);
+  let tc1 = match lease c ~now:3. ~conn:3 "c" with
+    | `Grant t -> t | _ -> Alcotest.fail "no grant" in
+  Alcotest.(check int) "task 1 reassigned to c" 1 tc1.Proto.t_id;
+  ignore (complete c ~now:3.5 ~conn:3 "c" tc1 (compute w tc1) : bool);
+  Coord.disconnect c ~now:3.6 ~conn:3;
+  (* d mops up the one task still outstanding. *)
+  let td = match lease c ~now:4. ~conn:4 "d" with
+    | `Grant t -> t | _ -> Alcotest.fail "no grant" in
+  Alcotest.(check int) "only task 2 left" 2 td.Proto.t_id;
+  ignore (complete c ~now:4.5 ~conn:4 "d" td (compute w td) : bool);
+  (match lease c ~now:5. ~conn:4 "d" with
+  | `Done -> ()
+  | _ -> Alcotest.fail "expected done");
+  (* b's ghost resends task 0 from beyond the grave: exact no-op. *)
+  Alcotest.(check bool) "ghost completion is dup" true
+    (complete c ~now:5.5 ~conn:5 "b" tb0 (compute w tb0));
+  let s = Coord.state c ~now:6. in
+  Alcotest.(check int) "all three reassigned" 3 s.Proto.st_reassigned;
+  Alcotest.(check bool) "finished" true s.Proto.st_finished;
+  Alcotest.check result_eq "kill history does not change the result"
+    (reference w ~n:75)
+    (snd (List.hd (Coord.results c)))
+
+(* ---- fleet shapes x random programs (the determinism property) ---- *)
+
+(* Simulate k workers in lease/complete lockstep against the pure state
+   machine: all workers lease (so k leases are outstanding and grants
+   interleave), then all complete, until the grid drains. *)
+let run_sim c w k =
+  let now = ref 0. in
+  let alive = ref true in
+  while !alive do
+    let grants =
+      List.init k (fun i ->
+          now := !now +. 0.01;
+          match lease c ~now:!now ~conn:(i + 1) (Printf.sprintf "w%d" i) with
+          | `Grant t -> Some (i, t)
+          | `Wait _ | `Done -> None)
+      |> List.filter_map Fun.id
+    in
+    if grants = [] then alive := false
+    else
+      List.iter
+        (fun (i, t) ->
+          now := !now +. 0.01;
+          ignore
+            (complete c ~now:!now ~conn:(i + 1) (Printf.sprintf "w%d" i) t
+               (Core.Campaign.run_shard w spec ~seed:20170626L ~lo:t.Proto.t_lo
+                  ~hi:t.Proto.t_hi)
+              : bool))
+        grants
+  done
+
+let prop_fleet_shape_independence =
+  QCheck.Test.make
+    ~name:"merged fleet result = Campaign.run (random programs x 1/2/4 workers)"
+    ~count:8
+    (QCheck.make Suite_differential.case_gen)
+    (fun (ops, seeds) ->
+      let seeds = if seeds = [] then [ 1L ] else seeds in
+      let ops = Suite_differential.sanitize ops seeds in
+      let w =
+        Core.Workload.make ~name:"fleet-rand"
+          (Suite_differential.build_program ops seeds)
+      in
+      let n = 40 in
+      let expected = Core.Campaign.run w spec ~n ~seed:20170626L in
+      List.for_all
+        (fun k ->
+          let c =
+            Coord.create ~ttl:1000. ~shard_size:7
+              ~cells:
+                [
+                  {
+                    Proto.c_program = w.Core.Workload.name;
+                    c_digest = w.Core.Workload.digest;
+                    c_spec = spec;
+                    c_n = n;
+                    c_seed = 20170626L;
+                  };
+                ]
+              ()
+          in
+          run_sim c w k;
+          Coord.finished c
+          && Core.Campaign.equal_result expected (snd (List.hd (Coord.results c))))
+        [ 1; 2; 4 ])
+
+(* ---- sockets: a real coordinator server and real workers ---- *)
+
+let test_socket_fleet () =
+  let w = Lazy.force workload in
+  let c = Coord.create ~ttl:5. ~shard_size:25 ~cells:[ cell_of w spec ] () in
+  let sock_path = Filename.concat (temp_dir ()) "coord.sock" in
+  let srv = Coord.listen c (Unix.ADDR_UNIX sock_path) in
+  let addr = Coord.bound_addr srv in
+  let server = Thread.create (fun () -> Coord.serve srv) () in
+  let load name =
+    Alcotest.(check string) "worker asked for the right program"
+      w.Core.Workload.name name;
+    w
+  in
+  let workers =
+    List.init 2 (fun i ->
+        Thread.create
+          (fun () ->
+            Fleet.Worker.run ~id:(Printf.sprintf "sock-w%d" i) ~connect:addr
+              ~load ())
+          ())
+  in
+  List.iter Thread.join workers;
+  Thread.join server;
+  Alcotest.(check bool) "finished" true (Coord.finished c);
+  Alcotest.check result_eq "socket fleet result = Campaign.run"
+    (reference w ~n:75)
+    (snd (List.hd (Coord.results c)))
+
+let test_parse_addr () =
+  (match Fleet.parse_addr "unix:/tmp/x.sock" with
+  | Ok (Unix.ADDR_UNIX "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix: prefix");
+  (match Fleet.parse_addr "./rel.sock" with
+  | Ok (Unix.ADDR_UNIX "./rel.sock") -> ()
+  | _ -> Alcotest.fail "bare path");
+  (match Fleet.parse_addr "127.0.0.1:8080" with
+  | Ok (Unix.ADDR_INET (_, 8080)) -> ()
+  | _ -> Alcotest.fail "host:port");
+  (match Fleet.parse_addr "tcp:127.0.0.1:77777" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad port must be rejected");
+  Alcotest.(check string) "round trip" "unix:/tmp/x.sock"
+    (Fleet.addr_to_string (Unix.ADDR_UNIX "/tmp/x.sock"))
+
+(* ---- coordinator store: durable completions and restart resume ---- *)
+
+let test_coord_store_resume () =
+  let w = Lazy.force workload in
+  let dir = temp_dir () in
+  let st = Store.open_dir dir in
+  Fun.protect ~finally:(fun () -> Store.close st) @@ fun () ->
+  let c1 = Coord.create ~ttl:10. ~store:st ~shard_size:25
+      ~cells:[ cell_of w spec ] () in
+  (* Complete only task 0, then "crash" the coordinator. *)
+  let t0 = match lease c1 ~now:0. ~conn:1 "a" with
+    | `Grant t -> t | _ -> Alcotest.fail "no grant" in
+  ignore (complete c1 ~now:1. ~conn:1 "a" t0 (compute w t0) : bool);
+  (* A restarted coordinator resumes with task 0 already done... *)
+  let c2 = Coord.create ~ttl:10. ~store:st ~shard_size:25
+      ~cells:[ cell_of w spec ] () in
+  Alcotest.(check int) "one shard prefilled" 1
+    (Coord.state c2 ~now:0.).Proto.st_completed;
+  run_sim c2 w 2;
+  Alcotest.check result_eq "resumed fleet result = Campaign.run"
+    (reference w ~n:75)
+    (snd (List.hd (Coord.results c2)));
+  (* ... and a fleet store is interchangeable with an engine-run store:
+     the single-process engine reuses every fleet shard. *)
+  let _, stats =
+    Engine.run_campaign_stats ~jobs:1 ~shard_size:25 ~store:st w spec ~n:75
+      ~seed:20170626L
+  in
+  Alcotest.(check int) "engine reuses all fleet shards" 3
+    stats.Obs.Snapshot.shards_from_store
+
+(* ---- store writer leases and gc refusal ---- *)
+
+let test_store_leases_and_gc () =
+  let dir = temp_dir () in
+  let st = Store.open_dir dir in
+  Fun.protect ~finally:(fun () -> Store.close st) @@ fun () ->
+  let w = Lazy.force workload in
+  let key =
+    Store.key ~program:w.name ~digest:w.digest ~spec ~n:75 ~seed:20170626L
+      ~lo:0 ~hi:25
+  in
+  Store.add st key (Core.Campaign.run_shard w spec ~seed:20170626L ~lo:0 ~hi:25);
+  (* Own lease never blocks gc (the engine holds one while running). *)
+  Store.lease st;
+  Alcotest.(check (list int)) "own lease listed" [ Unix.getpid () ]
+    (Store.live_leases st);
+  ignore (Store.gc st : Store.gc_report);
+  Store.release_lease st;
+  Alcotest.(check (list int)) "released" [] (Store.live_leases st);
+  (* A live foreign pid's lease makes gc refuse.  Pid 1 is always alive
+     (and not ours), so plant its marker by hand. *)
+  let leases_dir = Filename.concat dir "leases" in
+  if not (Sys.file_exists leases_dir) then Unix.mkdir leases_dir 0o755;
+  let plant pid =
+    Out_channel.with_open_text
+      (Filename.concat leases_dir (Printf.sprintf "lease-%d" pid))
+      (fun _ -> ())
+  in
+  plant 1;
+  Alcotest.check_raises "gc refuses under a live foreign lease"
+    (Store.Busy [ 1 ])
+    (fun () -> ignore (Store.gc st : Store.gc_report));
+  Sys.remove (Filename.concat leases_dir "lease-1");
+  (* A dead pid's marker is stale: swept, and gc proceeds. *)
+  plant 999_999_999;
+  Alcotest.(check (list int)) "stale marker swept" [] (Store.live_leases st);
+  let r = Store.gc st in
+  Alcotest.(check int) "record survived the compactions" 1 r.Store.live_records
+
+let suites =
+  [
+    ( "fleet",
+      [
+        QCheck_alcotest.to_alcotest prop_codec_roundtrip;
+        Alcotest.test_case "codec rejects malformed input" `Quick
+          test_codec_rejects_garbage;
+        Alcotest.test_case "lease expiry and heartbeat extension" `Quick
+          test_lease_expiry_reassignment;
+        Alcotest.test_case "duplicate completion is idempotent" `Quick
+          test_duplicate_complete_idempotent;
+        Alcotest.test_case "worker death at every point" `Quick
+          test_kill_points;
+        QCheck_alcotest.to_alcotest prop_fleet_shape_independence;
+        Alcotest.test_case "socket server end to end" `Quick test_socket_fleet;
+        Alcotest.test_case "address parsing" `Quick test_parse_addr;
+        Alcotest.test_case "coordinator store resume" `Quick
+          test_coord_store_resume;
+        Alcotest.test_case "store writer leases gate gc" `Quick
+          test_store_leases_and_gc;
+      ] );
+  ]
