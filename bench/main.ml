@@ -380,12 +380,29 @@ let run_perf () =
                 (Core.Spec.multi tech ~max_mbf:3 ~win:(Fixed 10))
                 rng)))
   in
+  (* Non-register domains time-target on the dynamic axis instead of
+     read/write candidates; benchmarking them shows what Mem's byte
+     flips and Code's image forks cost per experiment. *)
+  let one_exp_domain domain name =
+    let counter = ref 0 in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           incr counter;
+           let rng = Prng.of_seed (Int64.of_int !counter) in
+           ignore
+             (Core.Experiment.run workload
+                (Core.Spec.multi ~domain Core.Technique.Write ~max_mbf:3
+                   ~win:(Fixed 10))
+                rng)))
+  in
   let tests =
     [
       golden_run_seed;
       golden_run_compiled;
       one_exp Core.Technique.Read "experiment(crc32,read,m=3)";
       one_exp Core.Technique.Write "experiment(crc32,write,m=3)";
+      one_exp_domain Core.Domain.Mem "experiment(crc32,mem,m=3)";
+      one_exp_domain Core.Domain.Code "experiment(crc32,code,m=3)";
     ]
   in
   let benchmark test =
@@ -741,6 +758,32 @@ let run_harden () =
       rows
   in
   print_string (Report.Table.render ~header body);
+  print_newline ();
+  (* Per-domain coverage: SWIFT and TMR defend the register-operand
+     model; the mem/code rows measure how much of that protection
+     survives flips in live memory and in the stored program. *)
+  section "Hardening: SWIFT vs TMR detection coverage per fault domain";
+  let e = Option.get (Bench_suite.Registry.find "crc32") in
+  let expected = e.reference () in
+  let base_modl = e.build () in
+  let variants =
+    [
+      ("crc32", Core.Workload.make ~name:"crc32" ~expected_output:expected
+                  base_modl);
+      ( "crc32+swift",
+        Core.Workload.make ~name:"crc32+swift" ~expected_output:expected
+          (Harden.Swift.apply base_modl) );
+      ( "crc32+tmr",
+        Core.Workload.make ~name:"crc32+tmr" ~expected_output:expected
+          (Harden.Tmr.apply base_modl) );
+    ]
+  in
+  let rows =
+    Harden.Coverage.measure ~variants ~n:n_per_campaign ~seed ()
+  in
+  print_string
+    (Report.Table.render ~header:Harden.Coverage.header
+       (List.map Harden.Coverage.to_cells rows));
   print_newline ()
 
 (* ------------------------------------------------------------------ *)

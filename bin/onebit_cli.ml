@@ -46,6 +46,25 @@ let technique_arg =
     & info [ "t"; "technique" ] ~docv:"TECH"
         ~doc:"Fault-injection technique: $(b,read) or $(b,write).")
 
+let domain_conv =
+  Arg.conv
+    ( (fun s ->
+        match Core.Domain.of_string s with
+        | Some d -> Ok d
+        | None -> Error (`Msg "expected `reg', `mem' or `code'")),
+      fun fmt d -> Format.pp_print_string fmt (Core.Domain.to_string d) )
+
+let domain_arg =
+  Arg.(
+    value
+    & opt (some domain_conv) None
+    & info [ "d"; "domain" ] ~docv:"DOMAIN"
+        ~doc:
+          "Fault domain: $(b,reg) flips a register operand (the paper's \
+           model and the default), $(b,mem) flips a bit of a live memory \
+           byte between dynamic instructions, $(b,code) flips a bit of a \
+           stored-program instruction field.  Overrides $(b,ONEBIT_DOMAIN).")
+
 let win_conv =
   Arg.conv
     ( (fun s ->
@@ -136,10 +155,10 @@ let trace_arg =
    once at startup (see the main entry point); flag-given sinks are
    added here. *)
 let resolve_config ?jobs ?store ?metrics ?trace ?incremental ?coord ?lease_ttl
-    () =
+    ?domain () =
   let cfg =
     Core.Config.override ?jobs ?store ?metrics ?trace ?incremental ?coord
-      ?lease_ttl (Core.Config.of_env ())
+      ?lease_ttl ?domain (Core.Config.of_env ())
   in
   Obs.install_sink ?metrics ?trace ();
   cfg
@@ -151,9 +170,23 @@ let with_store store_dir f =
       let st = Store.open_dir dir in
       Fun.protect ~finally:(fun () -> Store.close st) (fun () -> f (Some st))
 
-let spec_of technique max_mbf win =
-  if max_mbf <= 1 then Core.Spec.single technique
-  else Core.Spec.multi technique ~max_mbf ~win
+(* The --domain flag layers over ONEBIT_DOMAIN, like every other knob. *)
+let spec_of ?domain technique max_mbf win =
+  let domain =
+    match domain with
+    | Some d -> d
+    | None -> (Core.Config.of_env ()).Core.Config.domain
+  in
+  if max_mbf <= 1 then Core.Spec.single ~domain technique
+  else Core.Spec.multi ~domain technique ~max_mbf ~win
+
+(* Injection locations are domain-specific: a register number, an arena
+   address, or a stored-instruction flip-site ordinal. *)
+let loc_label (j : Core.Injector.injection) =
+  match j.inj_domain with
+  | Core.Domain.Reg -> Printf.sprintf "reg=%%%d" j.inj_loc
+  | Core.Domain.Mem -> Printf.sprintf "addr=%d" j.inj_loc
+  | Core.Domain.Code -> Printf.sprintf "site=%d" j.inj_loc
 
 let incremental_arg =
   Arg.(
@@ -243,15 +276,15 @@ let golden_cmd =
 (* ---- campaign ---- *)
 
 let campaign_cmd =
-  let run program technique max_mbf win n seed csv jobs store_dir metrics
-      trace incremental =
+  let run program domain technique max_mbf win n seed csv jobs store_dir
+      metrics trace incremental =
     let cfg =
-      resolve_config ?jobs ?store:store_dir ?metrics ?trace
+      resolve_config ?jobs ?store:store_dir ?metrics ?trace ?domain
         ?incremental:(if incremental then Some true else None)
         ()
     in
     let w = load_workload program in
-    let spec = spec_of technique max_mbf win in
+    let spec = spec_of ~domain:cfg.Core.Config.domain technique max_mbf win in
     let r =
       with_store cfg.Core.Config.store (fun store ->
           if cfg.Core.Config.incremental then begin
@@ -303,18 +336,22 @@ let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign" ~doc:"Run one fault-injection campaign.")
     Term.(
-      const run $ program_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
-      $ seed_arg $ csv_arg $ jobs_arg $ store_arg $ metrics_arg $ trace_arg
-      $ incremental_arg)
+      const run $ program_arg $ domain_arg $ technique_arg $ mbf_arg $ win_arg
+      $ n_arg $ seed_arg $ csv_arg $ jobs_arg $ store_arg $ metrics_arg
+      $ trace_arg $ incremental_arg)
 
 (* ---- plan ---- *)
 
 let plan_cmd =
-  let run program n seed both technique jobs store_dir metrics trace =
-    let cfg = resolve_config ?jobs ?store:store_dir ?metrics ?trace () in
+  let run program n seed both technique domain jobs store_dir metrics trace =
+    let cfg =
+      resolve_config ?jobs ?store:store_dir ?metrics ?trace ?domain ()
+    in
     let w = load_workload program in
     let specs =
-      if both then Core.Table1.all_specs else Core.Table1.specs technique
+      (if both then Core.Table1.all_specs else Core.Table1.specs technique)
+      |> List.map (fun (s : Core.Spec.t) ->
+             { s with domain = cfg.Core.Config.domain })
     in
     with_store cfg.Core.Config.store (fun store ->
         let progress = Engine.Progress.create () in
@@ -341,18 +378,18 @@ let plan_cmd =
           technique), emitting CSV.")
     Term.(
       const run $ program_arg $ n_arg $ seed_arg $ both_arg $ technique_arg
-      $ jobs_arg $ store_arg $ metrics_arg $ trace_arg)
+      $ domain_arg $ jobs_arg $ store_arg $ metrics_arg $ trace_arg)
 
 (* ---- experiment ---- *)
 
 let experiment_cmd =
-  let run program technique max_mbf win index seed =
+  let run program domain technique max_mbf win index seed =
     let w = load_workload program in
-    let spec = spec_of technique max_mbf win in
+    let spec = spec_of ?domain technique max_mbf win in
     let base = Prng.of_seed seed in
     let rng = Prng.split_at base index in
     (* Re-run with an inspectable injector. *)
-    let candidates = Core.Workload.candidates w technique in
+    let candidates = Core.Workload.candidates w spec in
     let inj = Core.Injector.create ~spec ~candidates rng in
     let res = Core.Experiment.run_raw w inj in
     let outcome = Core.Outcome.classify ~golden_output:w.golden.output res in
@@ -360,6 +397,8 @@ let experiment_cmd =
       program;
     Printf.printf "backend:    %s\n"
       (Core.Config.backend_name (Core.Config.active_backend ()));
+    Printf.printf "domain:     %s\n"
+      (Core.Domain.to_string spec.Core.Spec.domain);
     Printf.printf "outcome:    %s\n" (Core.Outcome.to_string outcome);
     Printf.printf "dyn count:  %d (golden %d)\n" res.dyn_count
       w.golden.dyn_count;
@@ -368,9 +407,8 @@ let experiment_cmd =
       max_mbf;
     List.iteri
       (fun i (inj : Core.Injector.injection) ->
-        Printf.printf
-          "  flip %d: dyn=%d cand=%d reg=%%%d slot=%d bit=%d\n" i inj.inj_dyn
-          inj.inj_cand inj.inj_reg inj.inj_slot inj.inj_bit)
+        Printf.printf "  flip %d: dyn=%d cand=%d %s slot=%d bit=%d\n" i
+          inj.inj_dyn inj.inj_cand (loc_label inj) inj.inj_slot inj.inj_bit)
       (Core.Injector.injections inj)
   in
   let index_arg =
@@ -383,20 +421,20 @@ let experiment_cmd =
     (Cmd.info "experiment"
        ~doc:"Replay a single experiment and show each injection.")
     Term.(
-      const run $ program_arg $ technique_arg $ mbf_arg $ win_arg $ index_arg
-      $ seed_arg)
+      const run $ program_arg $ domain_arg $ technique_arg $ mbf_arg $ win_arg
+      $ index_arg $ seed_arg)
 
 (* ---- reproduce ---- *)
 
 let reproduce_cmd =
-  let run program technique max_mbf win n seed index =
+  let run program domain technique max_mbf win n seed index =
     if index < 0 || index >= n then begin
       Printf.eprintf "index %d out of range (campaign has n=%d experiments)\n"
         index n;
       exit 2
     end;
     let w = load_workload program in
-    let spec = spec_of technique max_mbf win in
+    let spec = spec_of ?domain technique max_mbf win in
     (* The campaign's own record of experiment [index] ... *)
     let r = Core.Campaign.run ~keep_experiments:true w spec ~n ~seed in
     let stored = r.experiments.(index) in
@@ -404,7 +442,7 @@ let reproduce_cmd =
        replay bypasses golden-prefix checkpointing so every instruction
        it reports was actually re-executed. *)
     let rng = Prng.split_at (Prng.of_seed seed) index in
-    let candidates = Core.Workload.candidates w technique in
+    let candidates = Core.Workload.candidates w spec in
     let inj = Core.Injector.create ~spec ~candidates rng in
     let res = Core.Experiment.run_raw ~checkpoint:false w inj in
     let outcome = Core.Outcome.classify ~golden_output:w.golden.output res in
@@ -412,6 +450,8 @@ let reproduce_cmd =
       (Core.Spec.label spec) program n seed;
     Printf.printf "backend:    %s\n"
       (Core.Config.backend_name (Core.Config.active_backend ()));
+    Printf.printf "domain:     %s\n"
+      (Core.Domain.to_string spec.Core.Spec.domain);
     Printf.printf "outcome:    %s\n" (Core.Outcome.to_string outcome);
     Printf.printf "dyn count:  %d (golden %d)\n" res.dyn_count
       w.golden.dyn_count;
@@ -419,13 +459,14 @@ let reproduce_cmd =
       max_mbf;
     List.iteri
       (fun i (j : Core.Injector.injection) ->
-        Printf.printf "  flip %d: dyn=%d cand=%d reg=%%%d slot=%d bit=%d\n" i
-          j.inj_dyn j.inj_cand j.inj_reg j.inj_slot j.inj_bit)
+        Printf.printf "  flip %d: dyn=%d cand=%d %s slot=%d bit=%d\n" i
+          j.inj_dyn j.inj_cand (loc_label j) j.inj_slot j.inj_bit)
       (Core.Injector.injections inj);
     let injection_equal (a : Core.Injector.injection)
         (b : Core.Injector.injection) =
-      a.inj_dyn = b.inj_dyn && a.inj_cand = b.inj_cand
-      && a.inj_reg = b.inj_reg && a.inj_ty = b.inj_ty
+      Core.Domain.equal a.inj_domain b.inj_domain
+      && a.inj_dyn = b.inj_dyn && a.inj_cand = b.inj_cand
+      && a.inj_loc = b.inj_loc && a.inj_ty = b.inj_ty
       && a.inj_slot = b.inj_slot && a.inj_bit = b.inj_bit
       && a.inj_weight = b.inj_weight
     in
@@ -433,6 +474,12 @@ let reproduce_cmd =
       List.filter_map
         (fun (what, ok) -> if ok then None else Some what)
         [
+          (* every injection must land in the spec's fault domain *)
+          ( "domain",
+            List.for_all
+              (fun (j : Core.Injector.injection) ->
+                Core.Domain.equal j.inj_domain spec.Core.Spec.domain)
+              (Core.Injector.injections inj) );
           ("outcome", stored.outcome = outcome);
           ("activated", stored.activated = Core.Injector.activated inj);
           ("dyn count", stored.dyn_count = res.dyn_count);
@@ -463,19 +510,21 @@ let reproduce_cmd =
        ~doc:
          "Re-run one experiment of a campaign and assert that the replay \
           matches the campaign's stored record exactly (outcome, activation \
-          count, first injection, dynamic length, output).  Prints which \
-          execution backend produced the result; exits 1 on divergence.")
+          count, first injection, dynamic length, output) and that every \
+          injection landed in the requested fault domain.  Prints which \
+          execution backend and domain produced the result; exits 1 on \
+          divergence.")
     Term.(
-      const run $ program_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
-      $ seed_arg $ index_arg)
+      const run $ program_arg $ domain_arg $ technique_arg $ mbf_arg $ win_arg
+      $ n_arg $ seed_arg $ index_arg)
 
 (* ---- run-ir ---- *)
 
 let run_ir_cmd =
-  let run file technique max_mbf win n seed csv jobs store_dir metrics
+  let run file domain technique max_mbf win n seed csv jobs store_dir metrics
       incremental =
     let cfg =
-      resolve_config ?jobs ?store:store_dir ?metrics
+      resolve_config ?jobs ?store:store_dir ?metrics ?domain
         ?incremental:(if incremental then Some true else None)
         ()
     in
@@ -496,7 +545,7 @@ let run_ir_cmd =
         (String.length w.golden.output)
         w.golden.read_cands w.golden.write_cands;
     if n > 0 then begin
-      let spec = spec_of technique max_mbf win in
+      let spec = spec_of ~domain:cfg.Core.Config.domain technique max_mbf win in
       let r =
         with_store cfg.Core.Config.store (fun store ->
             if cfg.Core.Config.incremental then begin
@@ -548,8 +597,8 @@ let run_ir_cmd =
          "Parse a textual IR file (the `dump' format), run it, and \
           optionally inject faults into it.")
     Term.(
-      const run $ file_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
-      $ seed_arg $ csv_arg $ jobs_arg $ store_arg $ metrics_arg
+      const run $ file_arg $ domain_arg $ technique_arg $ mbf_arg $ win_arg
+      $ n_arg $ seed_arg $ csv_arg $ jobs_arg $ store_arg $ metrics_arg
       $ incremental_arg)
 
 (* ---- digests ---- *)
@@ -625,7 +674,11 @@ let digests_cmd =
 let diff_campaign_cmd =
   let run old_file new_file =
     (* A grid CSV row: the first five columns identify the campaign cell,
-       the next five are the outcome counters. *)
+       the next five are the outcome counters.  The technique column
+       carries the fault domain as a "mem:"/"code:" prefix (bare for the
+       register domain), so the domain is part of the cell key: the same
+       (workload, technique, mbf, win, n) cell in different domains never
+       compares. *)
     let load file =
       let lines = In_channel.with_open_text file In_channel.input_lines in
       List.filter_map
@@ -646,14 +699,22 @@ let diff_campaign_cmd =
                                line;
                              exit 2)
                 in
-                Some ((wl, tech, mbf, win, n), counts)
+                let dom, tech =
+                  match String.index_opt tech ':' with
+                  | Some i ->
+                      ( String.sub tech 0 i,
+                        String.sub tech (i + 1) (String.length tech - i - 1) )
+                  | None -> ("reg", tech)
+                in
+                Some ((wl, dom, tech, mbf, win, n), counts)
             | _ ->
                 Printf.eprintf "%s: malformed CSV row: %s\n" file line;
                 exit 2)
         lines
     in
     let old_rows = load old_file and new_rows = load new_file in
-    let cell_label (wl, tech, mbf, win, n) =
+    let cell_label (wl, dom, tech, mbf, win, n) =
+      let tech = if dom = "reg" then tech else dom ^ ":" ^ tech in
       Printf.sprintf "%s %s m=%s w=%s n=%s" wl tech mbf win n
     in
     let outcome_names = [ "benign"; "detected"; "hang"; "no-output"; "sdc" ] in
@@ -703,9 +764,10 @@ let diff_campaign_cmd =
        ~doc:
          "Compare two campaign CSV files (as written by $(b,campaign \
           --csv), $(b,plan) or $(b,run-ir --csv)) cell by cell, keyed on \
-          (workload, technique, max_mbf, win_size, n).  Prints each \
-          outcome-column delta and the cells present in only one file; \
-          exits 1 if anything differs.")
+          (workload, domain, technique, max_mbf, win_size, n) — the fault \
+          domain rides in the technique column as a $(b,mem:)/$(b,code:) \
+          prefix.  Prints each outcome-column delta and the cells present \
+          in only one file; exits 1 if anything differs.")
     Term.(const run $ old_arg $ new_arg)
 
 (* ---- lint ---- *)
@@ -771,7 +833,7 @@ let lint_cmd =
 (* ---- harden ---- *)
 
 let harden_cmd =
-  let run program light dump n seed =
+  let run program light dump coverage n seed =
     let e = find_entry program in
     let level = if light then `Light else `Full in
     let base_modl = e.build () in
@@ -791,17 +853,39 @@ let harden_cmd =
       Printf.printf "dynamic overhead: x%.2f\n"
         (float_of_int hard.golden.dyn_count
         /. float_of_int base.golden.dyn_count);
-      List.iter
-        (fun (name, w) ->
-          let r = Core.Campaign.run w (Core.Spec.single Write) ~n ~seed in
-          Printf.printf
-            "%-18s single/write: sdc=%.1f%%  detection=%.1f%%  benign=%.1f%%\n"
-            name (Core.Campaign.sdc_pct r)
-            (100.
-            *. float_of_int (r.detected + r.hang + r.no_output)
-            /. float_of_int r.n)
-            (100. *. float_of_int r.benign /. float_of_int r.n))
-        [ (program, base); (program ^ "+swift", hard) ]
+      if coverage then begin
+        (* SWIFT and TMR defend the register domain by construction;
+           running the same variants under mem and code flips shows what
+           each pass does NOT cover. *)
+        let tmr =
+          Core.Workload.make ~name:(program ^ "+tmr")
+            ~expected_output:expected
+            (Harden.Tmr.apply base_modl)
+        in
+        let rows =
+          Harden.Coverage.measure
+            ~variants:
+              [ (program, base); (program ^ "+swift", hard);
+                (program ^ "+tmr", tmr) ]
+            ~n ~seed ()
+        in
+        print_newline ();
+        print_string
+          (Report.Table.render ~header:Harden.Coverage.header
+             (List.map Harden.Coverage.to_cells rows))
+      end
+      else
+        List.iter
+          (fun (name, w) ->
+            let r = Core.Campaign.run w (Core.Spec.single Write) ~n ~seed in
+            Printf.printf
+              "%-18s single/write: sdc=%.1f%%  detection=%.1f%%  benign=%.1f%%\n"
+              name (Core.Campaign.sdc_pct r)
+              (100.
+              *. float_of_int (r.detected + r.hang + r.no_output)
+              /. float_of_int r.n)
+              (100. *. float_of_int r.benign /. float_of_int r.n))
+          [ (program, base); (program ^ "+swift", hard) ]
     end
   in
   let light_arg =
@@ -814,12 +898,25 @@ let harden_cmd =
       value & flag
       & info [ "dump" ] ~doc:"Print the hardened IR instead of measuring it.")
   in
+  let coverage_arg =
+    Arg.(
+      value & flag
+      & info [ "coverage" ]
+          ~doc:
+            "Measure baseline, SWIFT and TMR variants under every fault \
+             domain ($(b,reg), $(b,mem), $(b,code)) and print the \
+             sdc/detected/benign table — the non-register rows quantify \
+             what register-model hardening does not cover.")
+  in
   Cmd.v
     (Cmd.info "harden"
        ~doc:
          "Apply SWIFT-style duplication to a program and compare its \
-          resilience against the baseline.")
-    Term.(const run $ program_arg $ light_arg $ dump_arg $ n_arg $ seed_arg)
+          resilience against the baseline; with $(b,--coverage), also \
+          against TMR and across all fault domains.")
+    Term.(
+      const run $ program_arg $ light_arg $ dump_arg $ coverage_arg $ n_arg
+      $ seed_arg)
 
 (* ---- metrics ---- *)
 
@@ -870,10 +967,10 @@ let ttl_arg =
            $(b,ONEBIT_LEASE_TTL); default 30).")
 
 let serve_cmd =
-  let run programs technique max_mbf win n seed ttl listen workers store_dir
-      metrics trace =
+  let run programs domain technique max_mbf win n seed ttl listen workers
+      store_dir metrics trace =
     let cfg =
-      resolve_config ?store:store_dir ?metrics ?trace ?lease_ttl:ttl ()
+      resolve_config ?store:store_dir ?metrics ?trace ?lease_ttl:ttl ?domain ()
     in
     let addr_spec =
       match listen with
@@ -882,7 +979,7 @@ let serve_cmd =
           Option.value cfg.Core.Config.coord ~default:"unix:onebit-coord.sock"
     in
     let addr = parse_coord_addr addr_spec in
-    let spec = spec_of technique max_mbf win in
+    let spec = spec_of ~domain:cfg.Core.Config.domain technique max_mbf win in
     let cells =
       List.map
         (fun p ->
@@ -954,9 +1051,9 @@ let serve_cmd =
           $(b,--store), completed shards are also persisted and a \
           restarted coordinator resumes at the first missing shard.")
     Term.(
-      const run $ programs_arg $ technique_arg $ mbf_arg $ win_arg $ n_arg
-      $ seed_arg $ ttl_arg $ listen_arg $ workers_arg $ store_arg
-      $ metrics_arg $ trace_arg)
+      const run $ programs_arg $ domain_arg $ technique_arg $ mbf_arg
+      $ win_arg $ n_arg $ seed_arg $ ttl_arg $ listen_arg $ workers_arg
+      $ store_arg $ metrics_arg $ trace_arg)
 
 let work_cmd =
   let run connect id store_dir metrics trace =
@@ -1112,11 +1209,13 @@ let engine_status_cmd =
         Printf.printf "truncated:  %d\n" s.truncated;
         Printf.printf "corrupt:    %d\n" s.corrupt;
         (* Per-campaign breakdown: shards and experiments held per
-           (program, spec, n, seed) stream. *)
+           (program, domain, spec, n, seed) stream. *)
         let tbl = Hashtbl.create 16 in
         Store.fold st
           (fun (k : Store.key) _shard () ->
-            let id = (k.program, k.technique, k.max_mbf, k.win, k.n, k.seed) in
+            let id =
+              (k.program, k.domain, k.technique, k.max_mbf, k.win, k.n, k.seed)
+            in
             let shards, exps =
               Option.value (Hashtbl.find_opt tbl id) ~default:(0, 0)
             in
@@ -1125,16 +1224,17 @@ let engine_status_cmd =
         if Hashtbl.length tbl > 0 then begin
           let rows =
             Hashtbl.fold
-              (fun (p, t, m, w, n, seed) (shards, exps) acc ->
+              (fun (p, d, t, m, w, n, seed) (shards, exps) acc ->
+                let tech = if d = "reg" then t else d ^ ":" ^ t in
                 ( [
                     p;
-                    Printf.sprintf "%s m=%d w=%s" t m w;
+                    Printf.sprintf "%s m=%d w=%s" tech m w;
                     string_of_int n;
                     Int64.to_string seed;
                     string_of_int shards;
                     Printf.sprintf "%d/%d" exps n;
                   ],
-                  (p, t, m, w, n, seed) )
+                  (p, d, t, m, w, n, seed) )
                 :: acc)
               tbl []
             |> List.sort (fun (_, a) (_, b) -> compare a b)

@@ -29,6 +29,7 @@ let collect_metas (w : Core.Workload.t) =
     {
       Vm.Exec.pre = (fun ~dyn:_ _ m -> reads := m :: !reads);
       post = (fun ~dyn:_ _ m -> writes := m :: !writes);
+      at = Vm.Exec.no_hook;
     }
   in
   ignore (Vm.Exec.run ~hooks ~budget:w.budget w.prog);

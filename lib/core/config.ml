@@ -63,6 +63,7 @@ type t = {
   incremental : bool;
   coord : string option;
   lease_ttl : float;
+  domain : Domain.t;
 }
 
 let default =
@@ -84,13 +85,15 @@ let default =
     incremental = false;
     coord = None;
     lease_ttl = 30.;
+    domain = Domain.Reg;
   }
 
 (* [jobs] semantics shared by env and flags: a positive value is taken
    literally, 0 (or an unparsable env value) means one worker per
-   recommended domain. *)
+   recommended domain.  ([Core.Domain] is the fault domain; OCaml's
+   multicore domains are reached as [Stdlib.Domain].) *)
 let resolve_jobs j =
-  if j > 0 then j else Domain.recommended_domain_count ()
+  if j > 0 then j else Stdlib.Domain.recommended_domain_count ()
 
 let of_env ?(getenv = Sys.getenv_opt) () =
   let int name fallback =
@@ -116,7 +119,7 @@ let of_env ?(getenv = Sys.getenv_opt) () =
       | Some s -> (
           match int_of_string_opt s with
           | Some j when j > 0 -> j
-          | Some _ | None -> Domain.recommended_domain_count ()));
+          | Some _ | None -> Stdlib.Domain.recommended_domain_count ()));
     shard_size =
       (match Option.bind (getenv "ONEBIT_SHARD") int_of_string_opt with
       | Some s when s > 0 -> s
@@ -149,11 +152,15 @@ let of_env ?(getenv = Sys.getenv_opt) () =
       (match Option.bind (getenv "ONEBIT_LEASE_TTL") float_of_string_opt with
       | Some ttl when ttl > 0. -> ttl
       | Some _ | None -> default.lease_ttl);
+    domain =
+      (match Option.bind (getenv "ONEBIT_DOMAIN") Domain.of_string with
+      | Some d -> d
+      | None -> default.domain);
   }
 
 let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
     ?progress ?metrics ?trace ?backend ?checkpoint ?checkpoint_interval
-    ?incremental ?coord ?lease_ttl t =
+    ?incremental ?coord ?lease_ttl ?domain t =
   let opt v fallback = Option.value v ~default:fallback in
   {
     n = opt n t.n;
@@ -180,6 +187,7 @@ let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
       (match lease_ttl with
       | Some ttl when ttl > 0. -> ttl
       | Some _ | None -> t.lease_ttl);
+    domain = opt domain t.domain;
   }
 
 (* Process-wide active backend: what [Experiment]/[Workload] dispatch on

@@ -33,7 +33,10 @@
     - [ONEBIT_COORD] — fleet coordinator address ([unix:PATH] or
       [HOST:PORT]; empty = none), the default for [onebit work] and
       [onebit engine status --coord]
-    - [ONEBIT_LEASE_TTL] — fleet lease TTL in seconds (default 30) *)
+    - [ONEBIT_LEASE_TTL] — fleet lease TTL in seconds (default 30)
+    - [ONEBIT_DOMAIN] — fault domain: "reg" (dynamic register
+      operands, the paper's model and the default), "mem" (live arena
+      bytes), or "code" (stored-program bits, the icache analog) *)
 
 type backend = Seed | Compiled
 (** Which VM executes workloads: the seed interpreter ({!Vm.Exec.run})
@@ -74,6 +77,7 @@ type t = {
   coord : string option;
       (** fleet coordinator address ([ONEBIT_COORD]; empty = none) *)
   lease_ttl : float;  (** fleet lease TTL in seconds ([ONEBIT_LEASE_TTL]) *)
+  domain : Domain.t;  (** fault domain ([ONEBIT_DOMAIN]; default [Reg]) *)
 }
 
 val default : t
@@ -100,6 +104,7 @@ val override :
   ?incremental:bool ->
   ?coord:string ->
   ?lease_ttl:float ->
+  ?domain:Domain.t ->
   t -> t
 (** Layer explicit values (CLI flags) over a resolved configuration.
     [jobs <= 0] means one worker per recommended domain; a

@@ -1,11 +1,18 @@
 let header =
   "workload,technique,max_mbf,win_size,n,benign,detected,hang,no_output,sdc,sdc_pct,sdc_ci95"
 
+(* Non-register domains prefix the technique column ("mem:inject-on-read");
+   register-domain rows keep the bare technique, byte-identical to CSVs
+   written before fault domains existed. *)
+let technique_cell (spec : Spec.t) =
+  match spec.domain with
+  | Domain.Reg -> Technique.to_string spec.technique
+  | d -> Domain.to_string d ^ ":" ^ Technique.to_string spec.technique
+
 let row (r : Campaign.result) =
   let ci = Campaign.sdc_ci r in
   Printf.sprintf "%s,%s,%d,%s,%d,%d,%d,%d,%d,%d,%.4f,%.4f" r.workload_name
-    (Technique.to_string r.spec.technique)
-    r.spec.max_mbf
+    (technique_cell r.spec) r.spec.max_mbf
     (Win.to_string r.spec.win)
     r.n r.benign r.detected r.hang r.no_output r.sdc (Campaign.sdc_pct r)
     (100. *. Stats.Proportion.half_width ci)

@@ -17,6 +17,13 @@ val run_raw : ?checkpoint:bool -> Workload.t -> Injector.t -> Vm.Exec.result
     {!Injector.hooks}, or compiled pipeline with {!Injector.events}.
     Building block for {!run}/{!run_at} and the CLI's replay commands.
 
+    Handles the injector's domain binding: [Reg] runs the pristine
+    program; [Mem] binds a run-private memory (a template clone, or the
+    checkpoint working memory); [Code] binds a private program image —
+    executed directly by the interpreter, mirrored into a
+    {!Vm.Code.fork} via {!Vm.Code.patch} on the compiled backend.  Both
+    backends stay bit-identical in every domain.
+
     On the compiled backend, when [checkpoint] (default [true]) and
     {!Config.checkpointing} are both set, the golden prefix up to the
     first flip is restored from the workload's checkpoint set instead of

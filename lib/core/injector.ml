@@ -1,7 +1,8 @@
 type injection = {
+  inj_domain : Domain.t;
   inj_dyn : int;
   inj_cand : int;
-  inj_reg : int;
+  inj_loc : int;
   inj_ty : Ir.Ty.t;
   inj_slot : int;
   inj_bit : int;
@@ -10,11 +11,26 @@ type injection = {
 
 type state = Wait_first of int | Wait_next of int | Done
 
+(* Per-domain target material, attached after creation: the state
+   machine (time axis, windows, budget) is domain-independent; only the
+   location sampler and flip effector differ. *)
+type binding =
+  | Unbound
+  | Breg
+  | Bmem of { addrs : int array; mem : Vm.Memory.t }
+  | Bcode of {
+      sites : Vm.Codeflip.sites;
+      image : Vm.Program.t;
+      apply :
+        (fidx:int -> bidx:int -> idx:int -> Vm.Codeflip.patch -> unit) option;
+    }
+
 type t = {
   spec : Spec.t;
   rng : Prng.t;
   forced_first : (int * int * int) option;
   spacing : [ `Faulty | `Golden ];
+  mutable binding : binding;
   mutable state : state;
   mutable cand_seen : int;
   mutable last_target : int; (* scheduled dyn of the previous injection *)
@@ -37,12 +53,28 @@ let create ~spec ~candidates ?(spacing = `Faulty) ?first rng =
     rng;
     forced_first = first;
     spacing;
+    binding =
+      (match spec.Spec.domain with Domain.Reg -> Breg | Mem | Code -> Unbound);
     state = Wait_first target;
     cand_seen = 0;
     last_target = -1;
     performed = [];
     n_performed = 0;
   }
+
+let domain t = t.spec.Spec.domain
+
+let bind_mem t ~addrs ~mem =
+  (match t.spec.Spec.domain with
+  | Domain.Mem -> ()
+  | _ -> invalid_arg "Injector.bind_mem: not a Mem-domain injector");
+  t.binding <- Bmem { addrs; mem }
+
+let bind_code t ~sites ~image ?apply () =
+  (match t.spec.Spec.domain with
+  | Domain.Code -> ()
+  | _ -> invalid_arg "Injector.bind_code: not a Code-domain injector");
+  t.binding <- Bcode { sites; image; apply }
 
 let reg_width (frame : Vm.Exec.frame) reg =
   let ty = frame.reg_ty.(reg) in
@@ -72,7 +104,8 @@ let choose_target t (meta : Vm.Meta.t) ~forced_slot =
    §III-A1): for inject-on-read, the number of dynamic instructions the
    register stayed unmodified before this read — every fault arriving in
    that span is equivalent to this one; for inject-on-write the class is
-   the write event itself. *)
+   the write event itself.  The Mem/Code domains have no per-flip
+   register context, so their weight is 1 (each event its own class). *)
 let weight_of t (frame : Vm.Exec.frame) ~dyn reg =
   match t.spec.technique with
   | Technique.Write -> 1
@@ -83,13 +116,31 @@ let weight_of t (frame : Vm.Exec.frame) ~dyn reg =
 let record t frame ~dyn ~cand ~reg ~ty ~slot ~bit =
   t.performed <-
     {
+      inj_domain = Domain.Reg;
       inj_dyn = dyn;
       inj_cand = cand;
-      inj_reg = reg;
+      inj_loc = reg;
       inj_ty = ty;
       inj_slot = slot;
       inj_bit = bit;
       inj_weight = weight_of t frame ~dyn reg;
+    }
+    :: t.performed;
+  t.n_performed <- t.n_performed + 1
+
+(* Mem/Code injection log entry: [loc] is the arena address (Mem) or the
+   site ordinal (Code); weight is 1, there is no operand slot. *)
+let record_at t ~dyn ~cand ~loc ~ty ~bit =
+  t.performed <-
+    {
+      inj_domain = t.spec.Spec.domain;
+      inj_dyn = dyn;
+      inj_cand = cand;
+      inj_loc = loc;
+      inj_ty = ty;
+      inj_slot = -1;
+      inj_bit = bit;
+      inj_weight = 1;
     }
     :: t.performed;
   t.n_performed <- t.n_performed + 1
@@ -111,6 +162,9 @@ let after_injection t ~dyn =
     t.state <- Wait_next (base + w)
   end
 
+let win0_multi t =
+  t.spec.max_mbf > 1 && Win.equal t.spec.win (Fixed 0)
+
 let fire_first t ~dyn frame meta =
   let forced_slot, forced_bit =
     match t.forced_first with
@@ -119,10 +173,7 @@ let fire_first t ~dyn frame meta =
   in
   let reg, slot = choose_target t meta ~forced_slot in
   let width = reg_width frame reg in
-  let win0_multi =
-    t.spec.max_mbf > 1 && Win.equal t.spec.win (Fixed 0)
-  in
-  if win0_multi then begin
+  if win0_multi t then begin
     (* All flips at once: distinct bits of the same register operand,
        capped by the register width. *)
     let k = min t.spec.max_mbf width in
@@ -163,6 +214,113 @@ let fire_next t ~dyn frame meta =
   record t frame ~dyn ~cand:(-1) ~reg ~ty:frame.reg_ty.(reg) ~slot ~bit;
   after_injection t ~dyn
 
+(* ---- Mem / Code effectors ---- *)
+
+(* Flip a uniform bit of a uniform live (mapped) arena byte.  The flip
+   marks the page dirty, so undo-tracking working memories restore it
+   like any program store. *)
+let fire_mem t ~dyn ~first addrs mem =
+  let n = Array.length addrs in
+  if n = 0 then t.state <- Done
+  else begin
+    let forced_bit =
+      if first then
+        match t.forced_first with
+        | Some (_, _, b) when b >= 0 && b < 8 -> Some b
+        | _ -> None
+      else None
+    in
+    let addr = addrs.(Prng.int t.rng n) in
+    if first && win0_multi t then begin
+      let k = min t.spec.max_mbf 8 in
+      let bits =
+        match forced_bit with
+        | Some b ->
+            let rest =
+              Prng.sample_distinct t.rng ~k:(k - 1) ~n:7
+              |> List.map (fun x -> if x >= b then x + 1 else x)
+            in
+            b :: rest
+        | None -> Prng.sample_distinct t.rng ~k ~n:8
+      in
+      List.iteri
+        (fun i bit ->
+          Vm.Memory.flip_bit mem ~addr ~bit;
+          record_at t ~dyn
+            ~cand:(if i = 0 then dyn else -1)
+            ~loc:addr ~ty:Ir.Ty.I8 ~bit)
+        bits;
+      t.state <- Done
+    end
+    else begin
+      let bit =
+        match forced_bit with Some b -> b | None -> Prng.int t.rng 8
+      in
+      Vm.Memory.flip_bit mem ~addr ~bit;
+      record_at t ~dyn ~cand:(if first then dyn else -1) ~loc:addr
+        ~ty:Ir.Ty.I8 ~bit;
+      after_injection t ~dyn
+    end
+  end
+
+(* Flip a uniform bit of the program's flippable-field space.  The
+   injection is recorded *before* the flip is applied: an undecodable
+   result raises [Trap.Trap Ill_instr] out of the effector (through the
+   run loop — the decode-stage detection), and the log must still show
+   the flip that killed the run. *)
+let fire_code t ~dyn ~first sites image apply =
+  let total = Vm.Codeflip.total_bits sites in
+  if total = 0 then t.state <- Done
+  else begin
+    let forced_bit =
+      if first then
+        match t.forced_first with
+        | Some (_, _, b) when b >= 0 && b < total -> Some b
+        | _ -> None
+      else None
+    in
+    let g =
+      match forced_bit with Some b -> b | None -> Prng.int t.rng total
+    in
+    let site, sbit = Vm.Codeflip.locate sites g in
+    let do_flip ~cand bit =
+      record_at t ~dyn ~cand ~loc:site ~ty:Ir.Ty.I64 ~bit;
+      let patch = Vm.Codeflip.flip sites image ~site ~bit in
+      match apply with
+      | Some f ->
+          let fidx, bidx, idx = Vm.Codeflip.site_coords sites site in
+          f ~fidx ~bidx ~idx patch
+      | None -> ()
+    in
+    if first && win0_multi t then begin
+      let sb = Vm.Codeflip.site_bits sites site in
+      let k = min t.spec.max_mbf sb in
+      let bits =
+        sbit
+        :: (Prng.sample_distinct t.rng ~k:(k - 1) ~n:(sb - 1)
+           |> List.map (fun x -> if x >= sbit then x + 1 else x))
+      in
+      (* Mark Done before applying: a flip may raise Ill_instr and the
+         state machine must not be re-entered by an outer handler. *)
+      t.state <- Done;
+      List.iteri
+        (fun i bit -> do_flip ~cand:(if i = 0 then dyn else -1) bit)
+        bits
+    end
+    else begin
+      do_flip ~cand:(if first then dyn else -1) sbit;
+      after_injection t ~dyn
+    end
+  end
+
+let fire_domain t ~dyn ~first =
+  match t.binding with
+  | Bmem { addrs; mem } -> fire_mem t ~dyn ~first addrs mem
+  | Bcode { sites; image; apply } -> fire_code t ~dyn ~first sites image apply
+  | Breg -> assert false
+  | Unbound ->
+      failwith "Injector: Mem/Code domain not bound (bind_mem/bind_code)"
+
 let on_candidate t ~dyn frame meta =
   match t.state with
   | Done -> ()
@@ -171,14 +329,31 @@ let on_candidate t ~dyn frame meta =
       t.cand_seen <- t.cand_seen + 1
   | Wait_next target_dyn -> if dyn >= target_dyn then fire_next t ~dyn frame meta
 
+(* Mem/Code time axis: the raw dynamic-instruction stream.  Fires at the
+   first instruction whose dynamic index reaches the target — before it
+   executes, between dynamic instructions. *)
+let on_dyn t ~dyn _frame _meta =
+  match t.state with
+  | Done -> ()
+  | Wait_first target -> if dyn >= target then fire_domain t ~dyn ~first:true
+  | Wait_next target -> if dyn >= target then fire_domain t ~dyn ~first:false
+
 (* ---- run-until-event schedule (compiled backend) ---- *)
+
+let is_reg t = Domain.equal t.spec.Spec.domain Domain.Reg
 
 (* Next watched-candidate ordinal the injector must observe, or max_int
    when none is pending on the ordinal axis. *)
-let next_cand t = match t.state with Wait_first c -> c | _ -> max_int
+let next_cand t =
+  match t.state with Wait_first c when is_reg t -> c | _ -> max_int
 
-(* Next dynamic index of interest, or max_int. *)
-let next_dyn t = match t.state with Wait_next d -> d | _ -> max_int
+(* Next dynamic index of interest, or max_int.  For Mem/Code the first
+   target lives on the dyn axis too. *)
+let next_dyn t =
+  match t.state with
+  | Wait_next d -> d
+  | Wait_first d when not (is_reg t) -> d
+  | _ -> max_int
 
 (* Unlike [on_candidate], the compiled loop maintains the candidate
    ordinal itself and only enters the slow path at a scheduled event, so
@@ -196,41 +371,67 @@ let on_event t ~dyn ~cand frame meta =
       if dyn >= target_dyn then fire_next t ~dyn frame meta
 
 let events t : Vm.Code.events =
-  let watch =
-    match t.spec.technique with
-    | Technique.Read -> `Read
-    | Technique.Write -> `Write
-  in
-  let rec ev =
-    {
-      Vm.Code.watch;
-      ev_cand = next_cand t;
-      ev_dyn = next_dyn t;
-      handle =
-        (fun ~dyn ~cand frame meta ->
-          on_event t ~dyn ~cand frame meta;
-          ev.Vm.Code.ev_cand <- next_cand t;
-          ev.Vm.Code.ev_dyn <- next_dyn t);
-    }
-  in
-  ev
+  match t.spec.Spec.domain with
+  | Domain.Reg ->
+      let watch =
+        match t.spec.technique with
+        | Technique.Read -> `Read
+        | Technique.Write -> `Write
+      in
+      let rec ev =
+        {
+          Vm.Code.watch;
+          ev_cand = next_cand t;
+          ev_dyn = next_dyn t;
+          handle =
+            (fun ~dyn ~cand frame meta ->
+              on_event t ~dyn ~cand frame meta;
+              ev.Vm.Code.ev_cand <- next_cand t;
+              ev.Vm.Code.ev_dyn <- next_dyn t);
+        }
+      in
+      ev
+  | Mem | Code ->
+      let rec ev =
+        {
+          Vm.Code.watch = `Dyn;
+          ev_cand = max_int;
+          ev_dyn = next_dyn t;
+          handle =
+            (fun ~dyn ~cand:_ frame meta ->
+              on_dyn t ~dyn frame meta;
+              ev.Vm.Code.ev_dyn <- next_dyn t);
+        }
+      in
+      ev
 
 let hooks t : Vm.Exec.hooks =
-  match t.spec.technique with
-  | Technique.Read ->
+  match t.spec.Spec.domain with
+  | Domain.Mem | Domain.Code ->
       {
-        pre = (fun ~dyn frame meta -> on_candidate t ~dyn frame meta);
-        post = (fun ~dyn:_ _ _ -> ());
+        pre = Vm.Exec.no_hook;
+        post = Vm.Exec.no_hook;
+        at = (fun ~dyn frame meta -> on_dyn t ~dyn frame meta);
       }
-  | Technique.Write ->
-      {
-        pre = (fun ~dyn:_ _ _ -> ());
-        post = (fun ~dyn frame meta -> on_candidate t ~dyn frame meta);
-      }
+  | Domain.Reg -> (
+      match t.spec.technique with
+      | Technique.Read ->
+          {
+            pre = (fun ~dyn frame meta -> on_candidate t ~dyn frame meta);
+            post = Vm.Exec.no_hook;
+            at = Vm.Exec.no_hook;
+          }
+      | Technique.Write ->
+          {
+            pre = Vm.Exec.no_hook;
+            post = (fun ~dyn frame meta -> on_candidate t ~dyn frame meta);
+            at = Vm.Exec.no_hook;
+          })
 
-(* The first flip's scheduled candidate ordinal — fixed at creation, so
-   the checkpoint layer can fast-forward the golden prefix before any
-   injector state or randomness is touched. *)
+(* The first flip's scheduled target — a candidate ordinal (Reg) or a
+   dynamic index (Mem/Code) — fixed at creation, so the checkpoint layer
+   can fast-forward the golden prefix before any injector state or
+   randomness is touched. *)
 let first_target t = match t.state with Wait_first c -> Some c | _ -> None
 
 let activated t = t.n_performed

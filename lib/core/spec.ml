@@ -1,17 +1,33 @@
-type t = { technique : Technique.t; max_mbf : int; win : Win.t }
+type t = {
+  technique : Technique.t;
+  max_mbf : int;
+  win : Win.t;
+  domain : Domain.t;
+}
 
-let single technique = { technique; max_mbf = 1; win = Fixed 0 }
+let single ?(domain = Domain.Reg) technique =
+  { technique; max_mbf = 1; win = Fixed 0; domain }
 
-let multi technique ~max_mbf ~win =
+let multi ?(domain = Domain.Reg) technique ~max_mbf ~win =
   if max_mbf < 2 then invalid_arg "Spec.multi: max_mbf must be >= 2";
-  { technique; max_mbf; win }
+  { technique; max_mbf; win; domain }
 
 let is_single t = t.max_mbf = 1
 
+(* Reg-domain labels are exactly the historical ones ("read/single"), so
+   store keys, runner memo keys and derived seeds are unchanged for
+   every pre-redesign campaign; Mem/Code prefix the domain instead of
+   the technique (sampling there is technique-independent). *)
 let label t =
-  let tech = match t.technique with Technique.Read -> "read" | Write -> "write" in
-  if is_single t then Printf.sprintf "%s/single" tech
-  else Printf.sprintf "%s/m=%d/w=%s" tech t.max_mbf (Win.to_string t.win)
+  let head =
+    match t.domain with
+    | Domain.Reg -> (
+        match t.technique with Technique.Read -> "read" | Write -> "write")
+    | d -> Domain.to_string d
+  in
+  if is_single t then Printf.sprintf "%s/single" head
+  else Printf.sprintf "%s/m=%d/w=%s" head t.max_mbf (Win.to_string t.win)
 
 let equal a b =
   a.technique = b.technique && a.max_mbf = b.max_mbf && Win.equal a.win b.win
+  && Domain.equal a.domain b.domain

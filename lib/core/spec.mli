@@ -1,18 +1,33 @@
 (** A fault-model specification: one error cluster of the study.
 
     The paper clusters the multiple-bit error space by (max-MBF, win-size);
-    together with the technique this identifies a campaign's fault model.
-    [max_mbf = 1] is the single bit-flip model (win-size is irrelevant and
-    normalised to [Fixed 0]). *)
+    together with the technique and the fault {!Domain} this identifies a
+    campaign's fault model.  [max_mbf = 1] is the single bit-flip model
+    (win-size is irrelevant and normalised to [Fixed 0]).
 
-type t = { technique : Technique.t; max_mbf : int; win : Win.t }
+    For the [Mem] and [Code] domains the injection time axis is the
+    dynamic-instruction index rather than read/write candidates, so the
+    [technique] field is ignored at runtime there (it stays in the record
+    so specs keep a total order and stable serialisation). *)
 
-val single : Technique.t -> t
-val multi : Technique.t -> max_mbf:int -> win:Win.t -> t
+type t = {
+  technique : Technique.t;
+  max_mbf : int;
+  win : Win.t;
+  domain : Domain.t;  (** where flips land; [Reg] is the paper's model *)
+}
+
+val single : ?domain:Domain.t -> Technique.t -> t
+(** [domain] defaults to [Reg] — existing call sites are unchanged. *)
+
+val multi : ?domain:Domain.t -> Technique.t -> max_mbf:int -> win:Win.t -> t
 (** @raise Invalid_argument if [max_mbf < 2]. *)
 
 val is_single : t -> bool
+
 val label : t -> string
-(** e.g. ["read/m=3/w=RND(2-10)"]. *)
+(** e.g. ["read/m=3/w=RND(2-10)"]; non-register domains lead with the
+    domain instead of the technique (["mem/single"], ["code/m=3/w=0"]),
+    so register-domain labels are byte-identical to pre-domain ones. *)
 
 val equal : t -> t -> bool

@@ -11,6 +11,13 @@ type t = {
   budget : int;
   digest : string;
       (* md5 of the printed IR; part of every result-store key *)
+  mem_addrs : int array;
+      (* mapped arena addresses of the template — the Mem domain's
+         location space *)
+  code_sites : Vm.Codeflip.sites;
+      (* static instruction-field table — the Code domain's location
+         space.  Both eager: building them is one pass over static
+         state, and sharing them across engine domains must not race. *)
 }
 
 let make ?(hang_factor = 10) ?expected_output ~name m =
@@ -53,11 +60,21 @@ let make ?(hang_factor = 10) ?expected_output ~name m =
     profile;
     budget = (hang_factor * golden.dyn_count) + 1000;
     digest;
+    mem_addrs = Vm.Memory.mapped_addrs prog.mem_template;
+    code_sites = Vm.Codeflip.sites prog;
   }
 
-let candidates t = function
-  | Technique.Read -> t.golden.read_cands
-  | Technique.Write -> t.golden.write_cands
+(* The spec's time-axis size: candidate ordinals of the technique for
+   the Reg domain, raw dynamic instructions for Mem/Code (their flips
+   land between dynamic instructions, so every instruction is a
+   candidate). *)
+let candidates t (spec : Spec.t) =
+  match spec.domain with
+  | Domain.Reg -> (
+      match spec.technique with
+      | Technique.Read -> t.golden.read_cands
+      | Technique.Write -> t.golden.write_cands)
+  | Domain.Mem | Domain.Code -> t.golden.dyn_count
 
 (* Record golden-prefix checkpoints for this workload, once per digest
    process-wide (engine domains share the set like they share compiled

@@ -26,6 +26,12 @@ type t = {
       (** md5 hex digest of the printed IR; campaign results are only
           reusable across processes when the program text is unchanged, so
           the digest is part of every result-store key *)
+  mem_addrs : int array;
+      (** mapped arena addresses of the memory template, in address
+          order — the [Mem] fault domain's location space *)
+  code_sites : Vm.Codeflip.sites;
+      (** the program's static instruction-field table — the [Code]
+          fault domain's location space *)
 }
 
 val make : ?hang_factor:int -> ?expected_output:string -> name:string ->
@@ -37,8 +43,11 @@ val make : ?hang_factor:int -> ?expected_output:string -> name:string ->
     @raise Invalid_argument if the golden run does not finish normally, or
     if [expected_output] is given and differs from the golden output. *)
 
-val candidates : t -> Technique.t -> int
-(** Number of dynamic injection candidates for a technique. *)
+val candidates : t -> Spec.t -> int
+(** The spec's time-axis size: the number of dynamic injection
+    candidates for its technique ([Reg] domain), or the golden dynamic
+    instruction count ([Mem]/[Code] — their flips land between dynamic
+    instructions). *)
 
 val ensure_checkpoints : t -> Vm.Checkpoint.set option
 (** The workload's golden-prefix checkpoint set ({!Vm.Checkpoint}),

@@ -18,10 +18,6 @@ module Incremental = Incremental
 
 let default_shard_size = 25
 
-(* Deprecated wrappers: runtime configuration now resolves in one place,
-   [Core.Config].  Kept so out-of-tree callers keep compiling. *)
-let shard_size_from_env () = (Core.Config.of_env ()).Core.Config.shard_size
-let jobs_from_env () = (Core.Config.of_env ()).Core.Config.jobs
 let resolve_jobs = Core.Config.resolve_jobs
 
 let shards_of ~n ~shard_size =

@@ -10,8 +10,7 @@
     resume by executing only its missing shards.
 
     Runtime knobs (worker count, shard size, store path, …) resolve in
-    {!Core.Config}; the [*_from_env] helpers here are deprecated
-    wrappers over it. *)
+    {!Core.Config}. *)
 
 module Deque = Deque
 module Pool = Pool
@@ -20,17 +19,6 @@ module Incremental = Incremental
 
 val default_shard_size : int
 (** 25 experiments per shard. *)
-
-val shard_size_from_env : unit -> int
-  [@@ocaml.deprecated "use Core.Config.of_env instead"]
-(** [(Core.Config.of_env ()).shard_size]: [ONEBIT_SHARD] if set to a
-    positive integer, else {!default_shard_size}. *)
-
-val jobs_from_env : unit -> int
-  [@@ocaml.deprecated "use Core.Config.of_env instead"]
-(** [(Core.Config.of_env ()).jobs]: [ONEBIT_JOBS] if set (a positive
-    integer is taken literally, 0 or a non-integer means one worker per
-    recommended domain); unset means 1 (sequential). *)
 
 val shards_of : n:int -> shard_size:int -> (int * int) list
 (** The canonical [(lo, hi)] tiling of [0, n). *)

@@ -71,6 +71,7 @@ let owners (w : Core.Workload.t) =
                 (fun ~dyn:_ _ (m : Vm.Meta.t) ->
                   writes.(!nw) <- m.fidx;
                   incr nw);
+              at = Vm.Exec.no_hook;
             }
           in
           let r = Vm.Exec.run ~hooks ~budget:Vm.Exec.golden_budget w.prog in
@@ -95,7 +96,7 @@ let owners_of w (technique : Core.Technique.t) =
 let partition (w : Core.Workload.t) (spec : Core.Spec.t) ~n ~seed =
   if n <= 0 then invalid_arg "Incremental.partition: n must be positive";
   let own = owners_of w spec.technique in
-  let candidates = Core.Workload.candidates w spec.technique in
+  let candidates = Core.Workload.candidates w spec in
   let base = Prng.of_seed seed in
   let nfuncs = Array.length w.prog.funcs in
   let parts = Array.make nfuncs [] in
@@ -129,6 +130,51 @@ let run ?(jobs = 1) ?shard_size ~store (w : Core.Workload.t)
   in
   let label = w.name ^ " " ^ Core.Spec.label spec ^ " (incremental)" in
   span_if_tracing ("campaign " ^ label) @@ fun () ->
+  if not (Core.Domain.equal spec.Core.Spec.domain Core.Domain.Reg) then begin
+    (* Function-level profile reuse keys the first flip's candidate
+       ordinal to the function that owns the instruction — a
+       register-domain notion.  Mem/Code targets live on the raw dynamic
+       axis and their effects are not function-local (a flipped byte or
+       stored instruction is visible from anywhere), so caching would be
+       unsound: run the campaign in full, counted as recomputed. *)
+    let nfuncs = Array.length w.prog.funcs in
+    let rec shards lo acc =
+      if lo >= n then List.rev acc
+      else shards (lo + shard_size) ((lo, min n (lo + shard_size)) :: acc)
+    in
+    let ranges = Array.of_list (shards 0 []) in
+    let slots : Core.Campaign.shard option array =
+      Array.make (Array.length ranges) None
+    in
+    let tasks =
+      Array.mapi
+        (fun i (lo, hi) ->
+          fun ~worker:_ ->
+           span_if_tracing (Printf.sprintf "shard %d-%d %s" lo hi label)
+           @@ fun () ->
+           slots.(i) <- Some (Core.Campaign.run_shard w spec ~seed ~lo ~hi))
+        ranges
+    in
+    if Array.length tasks > 0 then
+      ignore (Core.Workload.ensure_checkpoints w : Vm.Checkpoint.set option);
+    Pool.run ~jobs tasks;
+    let result =
+      Core.Campaign.merge ~workload_name:w.name spec ~n ~seed
+        (Array.to_list slots
+        |> List.map (function Some s -> s | None -> assert false))
+    in
+    Obs.Metrics.add m_recompute n;
+    Obs.Metrics.add m_funcs_recomputed nfuncs;
+    ( result,
+      {
+        funcs_total = nfuncs;
+        funcs_reused = 0;
+        funcs_recomputed = nfuncs;
+        exps_reused = 0;
+        exps_recomputed = n;
+      } )
+  end
+  else begin
   let funcs = Array.of_list w.modl.m_funcs in
   let nfuncs = Array.length funcs in
   if nfuncs <> Array.length w.prog.funcs then
@@ -210,3 +256,4 @@ let run ?(jobs = 1) ?shard_size ~store (w : Core.Workload.t)
       exps_reused = !exps_reused;
       exps_recomputed;
     } )
+  end

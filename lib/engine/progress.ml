@@ -162,11 +162,11 @@ let render s =
     s.experiments s.from_store s.benign s.detected s.hang s.no_output s.sdc
     util (obs_suffix s.elapsed)
 
-let enabled_from_env () = (Core.Config.of_env ()).Core.Config.progress
-
 let with_reporter ?(interval = 0.5) ?enabled t f =
   let enabled =
-    match enabled with Some e -> e | None -> enabled_from_env ()
+    match enabled with
+    | Some e -> e
+    | None -> (Core.Config.of_env ()).Core.Config.progress
   in
   if not enabled then f ()
   else begin

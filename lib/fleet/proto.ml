@@ -59,17 +59,23 @@ let win_json : Core.Win.t -> J.t = function
   | Fixed w -> J.Int w
   | Rnd (lo, hi) -> J.Arr [ J.Int lo; J.Int hi ]
 
+(* "dom" is omitted for the register domain so pre-domain coordinators
+   and workers interoperate unchanged with new peers on reg campaigns. *)
 let cell_json c =
   J.Obj
-    [
-      ("p", J.Str c.c_program);
-      ("d", J.Str c.c_digest);
-      ("tech", J.Str (Core.Technique.to_string c.c_spec.technique));
-      ("m", J.Int c.c_spec.max_mbf);
-      ("win", win_json c.c_spec.win);
-      ("n", J.Int c.c_n);
-      ("seed", J.Str (Int64.to_string c.c_seed));
-    ]
+    ([
+       ("p", J.Str c.c_program);
+       ("d", J.Str c.c_digest);
+       ("tech", J.Str (Core.Technique.to_string c.c_spec.technique));
+       ("m", J.Int c.c_spec.max_mbf);
+       ("win", win_json c.c_spec.win);
+       ("n", J.Int c.c_n);
+       ("seed", J.Str (Int64.to_string c.c_seed));
+     ]
+    @
+    match c.c_spec.domain with
+    | Core.Domain.Reg -> []
+    | d -> [ ("dom", J.Str (Core.Domain.to_string d)) ])
 
 let task_json t =
   J.Obj
@@ -178,9 +184,14 @@ let cell_of_json j =
   let* win = Option.bind (J.mem "win" j) win_of_json in
   let* n = int_field "n" j in
   let* seed = Option.bind (str_field "seed" j) Int64.of_string_opt in
+  let* domain =
+    match str_field "dom" j with
+    | None -> Some Core.Domain.Reg (* pre-domain peer *)
+    | Some d -> Core.Domain.of_string d
+  in
   let spec =
-    if m <= 1 then Core.Spec.single tech
-    else Core.Spec.multi tech ~max_mbf:m ~win
+    if m <= 1 then Core.Spec.single ~domain tech
+    else Core.Spec.multi ~domain tech ~max_mbf:m ~win
   in
   Some { c_program = p; c_digest = d; c_spec = spec; c_n = n; c_seed = seed }
 

@@ -18,6 +18,8 @@ type key = {
   technique : string;
   max_mbf : int;
   win : string;
+  domain : string;  (* fault domain; "reg" for stores written before
+                       domains existed *)
   n : int;
   seed : int64;
   lo : int;
@@ -31,25 +33,32 @@ let key ~program ~digest ~(spec : Core.Spec.t) ~n ~seed ~lo ~hi =
     technique = Core.Technique.to_string spec.technique;
     max_mbf = spec.max_mbf;
     win = Core.Win.to_string spec.win;
+    domain = Core.Domain.to_string spec.domain;
     n;
     seed;
     lo;
     hi;
   }
 
+(* The "dom" member is omitted for the register domain: the canonical
+   key serialisation doubles as the index key, so emitting it would
+   orphan every record written before fault domains existed.  Readers
+   default a missing "dom" to "reg". *)
 let key_json k =
-  Jsonx.Obj
-    [
-      ("p", Str k.program);
-      ("d", Str k.digest);
-      ("t", Str k.technique);
-      ("m", Int k.max_mbf);
-      ("w", Str k.win);
-      ("n", Int k.n);
-      ("s", Str (Int64.to_string k.seed));
-      ("lo", Int k.lo);
-      ("hi", Int k.hi);
-    ]
+  let open Jsonx in
+  Obj
+    ([
+       ("p", Str k.program);
+       ("d", Str k.digest);
+       ("t", Str k.technique);
+       ("m", Int k.max_mbf);
+       ("w", Str k.win);
+       ("n", Int k.n);
+       ("s", Str (Int64.to_string k.seed));
+       ("lo", Int k.lo);
+       ("hi", Int k.hi);
+     ]
+    @ if String.equal k.domain "reg" then [] else [ ("dom", Str k.domain) ])
 
 type pkey = {
   pk_program : string;
@@ -59,6 +68,7 @@ type pkey = {
   pk_technique : string;
   pk_max_mbf : int;
   pk_win : string;
+  pk_domain : string;
   pk_n : int;
   pk_seed : int64;
 }
@@ -72,6 +82,7 @@ let profile_key ~program ~func ~fdigest ~env ~(spec : Core.Spec.t) ~n ~seed =
     pk_technique = Core.Technique.to_string spec.technique;
     pk_max_mbf = spec.max_mbf;
     pk_win = Core.Win.to_string spec.win;
+    pk_domain = Core.Domain.to_string spec.domain;
     pk_n = n;
     pk_seed = seed;
   }
@@ -80,19 +91,23 @@ let profile_key ~program ~func ~fdigest ~env ~(spec : Core.Spec.t) ~n ~seed =
    keys; shard keys stay exactly as they always were, so stores written
    before profiles existed load unchanged. *)
 let pkey_json k =
-  Jsonx.Obj
-    [
-      ("r", Str "prof");
-      ("p", Str k.pk_program);
-      ("f", Str k.pk_func);
-      ("fd", Str k.pk_fdigest);
-      ("e", Str k.pk_env);
-      ("t", Str k.pk_technique);
-      ("m", Int k.pk_max_mbf);
-      ("w", Str k.pk_win);
-      ("n", Int k.pk_n);
-      ("s", Str (Int64.to_string k.pk_seed));
-    ]
+  let open Jsonx in
+  Obj
+    ([
+       ("r", Str "prof");
+       ("p", Str k.pk_program);
+       ("f", Str k.pk_func);
+       ("fd", Str k.pk_fdigest);
+       ("e", Str k.pk_env);
+       ("t", Str k.pk_technique);
+       ("m", Int k.pk_max_mbf);
+       ("w", Str k.pk_win);
+       ("n", Int k.pk_n);
+       ("s", Str (Int64.to_string k.pk_seed));
+     ]
+    @
+    if String.equal k.pk_domain "reg" then []
+    else [ ("dom", Str k.pk_domain) ])
 
 let pkey_of_json j =
   let open Jsonx in
@@ -107,6 +122,9 @@ let pkey_of_json j =
   let* n = Option.bind (mem "n" j) to_int in
   let* s = Option.bind (mem "s" j) to_str in
   let* seed = Int64.of_string_opt s in
+  let dom =
+    match Option.bind (mem "dom" j) to_str with Some d -> d | None -> "reg"
+  in
   Some
     {
       pk_program = p;
@@ -116,6 +134,7 @@ let pkey_of_json j =
       pk_technique = t;
       pk_max_mbf = m;
       pk_win = w;
+      pk_domain = dom;
       pk_n = n;
       pk_seed = seed;
     }
@@ -133,9 +152,12 @@ let key_of_json j =
   let* seed = Int64.of_string_opt s in
   let* lo = Option.bind (mem "lo" j) to_int in
   let* hi = Option.bind (mem "hi" j) to_int in
+  let dom =
+    match Option.bind (mem "dom" j) to_str with Some d -> d | None -> "reg"
+  in
   Some
-    { program = p; digest = d; technique = t; max_mbf = m; win = w; n; seed;
-      lo; hi }
+    { program = p; digest = d; technique = t; max_mbf = m; win = w;
+      domain = dom; n; seed; lo; hi }
 
 let shard_json (s : Core.Campaign.shard) =
   Jsonx.Obj

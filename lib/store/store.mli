@@ -22,6 +22,11 @@ type key = {
   technique : string;
   max_mbf : int;
   win : string;
+  domain : string;
+      (** fault domain ({!Core.Domain.to_string}); serialised as an
+          optional trailing "dom" member omitted for ["reg"], so stores
+          written before fault domains existed load (and index) as
+          register-domain records unchanged *)
   n : int;  (** campaign size the shard belongs to *)
   seed : int64;
   lo : int;
@@ -45,6 +50,7 @@ type pkey = {
   pk_technique : string;
   pk_max_mbf : int;
   pk_win : string;
+  pk_domain : string;  (** fault domain; same legacy encoding as {!key} *)
   pk_n : int;  (** campaign size the profile was partitioned from *)
   pk_seed : int64;
 }

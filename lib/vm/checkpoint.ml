@@ -132,7 +132,7 @@ let note_restore (p : point) =
    been executed, so the suffix reaches it exactly as a full run would. *)
 let select set ~axis ~target =
   let ord (p : point) =
-    match axis with `Read -> p.ck_rc | `Write -> p.ck_wc
+    match axis with `Read -> p.ck_rc | `Write -> p.ck_wc | `Dyn -> p.ck_dyn
   in
   let pts = set.points in
   let n = Array.length pts in

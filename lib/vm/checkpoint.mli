@@ -70,10 +70,14 @@ val null_recorder : recorder
 (** Thresholds pinned at [max_int]; never captures.  The run loop's
     placeholder for non-recording runs. *)
 
-val select : set -> axis:[ `Read | `Write ] -> target:int -> point option
+val select :
+  set -> axis:[ `Read | `Write | `Dyn ] -> target:int -> point option
 (** Greatest point whose consumed-ordinal count on [axis] is [<= target]
     (binary search), or [None] if even the first checkpoint lies beyond
-    the target. *)
+    the target.  [`Dyn] selects on the raw dynamic-instruction counter —
+    the [Mem]/[Code] fault domains' time axis; a captured call frame's
+    call ran strictly before [ck_dyn], so resuming cannot skip the
+    target's top-of-loop event. *)
 
 val note_restore : point -> unit
 (** Count a restore (plain counter + Obs hit/distance/pages probes). *)

@@ -24,8 +24,10 @@
    smoke hold the two backends bit-identical. *)
 
 type events = {
-  watch : [ `Read | `Write ];
-      (* which candidate stream is monitored for events *)
+  watch : [ `Read | `Write | `Dyn ];
+      (* which stream is monitored for events: a candidate stream, or
+         (`Dyn) the raw dynamic-instruction stream — the Mem/Code fault
+         domains' time axis, firing via ev_dyn with cand = -1 *)
   mutable ev_cand : int;
       (* fire when the watched candidate ordinal reaches this *)
   mutable ev_dyn : int;
@@ -95,6 +97,15 @@ type uop =
   | Uret
   | Uret_i of int
   | Uret_f of int
+  (* Generic fallback uops holding a (possibly bit-flipped) source
+     instruction, installed by [patch] when the code domain mutates a
+     site of a forked copy.  They interpret the IR instruction directly
+     against the frame — semantics shared with the seed interpreter via
+     the Exec.exec_* helpers, so a flipped instruction means exactly the
+     same thing on both backends.  Slow, but a code-domain experiment
+     executes at most [max_mbf] of them per dynamic occurrence. *)
+  | Uinterp of Ir.Instr.t
+  | Uinterp_t of Ir.Instr.terminator
 
 type cfunc = {
   name : string;
@@ -400,6 +411,30 @@ let compile ?digest (p : Program.t) : t =
 let site_reads t = Array.map (fun cf -> Array.copy cf.site_reads) t.funcs
 let site_writes t = Array.map (fun cf -> Array.copy cf.site_writes) t.funcs
 
+(* ---- code-domain mutation ---- *)
+
+(* A private copy whose uop arrays may be patched: the decode-cache
+   invalidation analog.  Everything else (flags, metas, inits, source)
+   is immutable and shared, so a fork costs one array copy per function.
+   The digest-keyed cache only ever holds pristine code — forks are
+   created per experiment and dropped. *)
+let fork t =
+  {
+    t with
+    funcs = Array.map (fun cf -> { cf with uops = Array.copy cf.uops }) t.funcs;
+  }
+
+(* Install a mutated instruction (from Codeflip) at its site.  The site
+   keeps its original flags/metas: candidate accounting and last_write
+   bookkeeping follow the golden program structure while execution
+   follows the flipped instruction, exactly like the seed interpreter
+   running the mutated image (whose metas are also untouched). *)
+let patch t ~fidx ~bidx ~idx p =
+  let cf = t.funcs.(fidx) in
+  let off = cf.block_off.(bidx) + idx in
+  cf.uops.(off) <-
+    (match p with `Instr ins -> Uinterp ins | `Term tm -> Uinterp_t tm)
+
 (* ---- execution ---- *)
 
 exception Hang_exn
@@ -424,6 +459,22 @@ let no_events =
 
 let to_u64 v = Int64.logand (Int64.of_int v) 0x7FFFFFFFFFFFFFFFL
 
+(* Operand reads for the generic [Uinterp] path.  Register slots 0..nregs-1
+   of a compiled frame hold exactly the seed interpreter's register values
+   (the backends' core bit-identity invariant), so reading a flipped
+   register index out of them matches the seed run on the mutated image. *)
+let igeti (frame : Exec.frame) (op : Ir.Instr.operand) =
+  match op with
+  | Ir.Instr.Reg r -> frame.Exec.ints.(r)
+  | Imm n -> n
+  | FImm _ | Glob _ -> assert false (* canonicalised; flips preserve kind *)
+
+let igetf (frame : Exec.frame) (op : Ir.Instr.operand) =
+  match op with
+  | Ir.Instr.Reg r -> frame.Exec.flts.(r)
+  | FImm x -> x
+  | Imm _ | Glob _ -> assert false
+
 (* The one interpreter loop behind [run] and [resume].
 
    Recording ([record]): a golden run additionally maintains a shadow
@@ -439,7 +490,8 @@ let to_u64 v = Int64.logand (Int64.of_int v) 0x7FFFFFFFFFFFFFFFL
    call's write-candidate post-block using the call's own dynamic index)
    before that frame continues at the following pc.  [st.ret_i]/[st.ret_f]
    are dead at the top of the loop, so zero-initialising them is exact. *)
-let run_internal ?events ?block_hook ?record ?mem ?resume ~budget (code : t) =
+let run_internal ?events ?block_hook ?record ?mem ?resume ?orig ~budget
+    (code : t) =
   let mem =
     match mem with
     | Some m -> m
@@ -456,10 +508,10 @@ let run_internal ?events ?block_hook ?record ?mem ?resume ~budget (code : t) =
       st.rc <- p.ck_rc;
       st.wc <- p.ck_wc
   | None -> ());
-  let watch_read, watch_write, ev =
+  let watch_read, watch_write, watch_dyn, ev =
     match events with
-    | Some e -> (e.watch = `Read, e.watch = `Write, e)
-    | None -> (false, false, no_events)
+    | Some e -> (e.watch = `Read, e.watch = `Write, e.watch = `Dyn, e)
+    | None -> (false, false, false, no_events)
   in
   let has_bh = Option.is_some block_hook in
   let bh =
@@ -514,6 +566,8 @@ let run_internal ?events ?block_hook ?record ?mem ?resume ~budget (code : t) =
       let d = st.dyn in
       st.dyn <- d + 1;
       if d >= budget then raise Hang_exn;
+      if watch_dyn && d >= ev.ev_dyn then
+        ev.handle ~dyn:d ~cand:(-1) frame (Array.unsafe_get metas i);
       let fl = Array.unsafe_get flags i in
       if fl land 1 <> 0 then begin
         let c = st.rc in
@@ -781,7 +835,27 @@ let run_internal ?events ?block_hook ?record ?mem ?resume ~budget (code : t) =
           running := false
       | Uret_f s ->
           st.ret_f <- Array.unsafe_get flts s;
-          running := false);
+          running := false
+      | Uinterp ins ->
+          interp_step frame depth ins;
+          pc := i + 1
+      | Uinterp_t tm -> (
+          match tm with
+          | Br l ->
+              pc := cf.block_off.(l);
+              if has_bh then bh ~fidx ~bidx:l
+          | Cbr { cond; if_true; if_false } ->
+              let l = if igeti frame cond <> 0 then if_true else if_false in
+              pc := cf.block_off.(l);
+              if has_bh then bh ~fidx ~bidx:l
+          | Ret None -> running := false
+          | Ret (Some v) ->
+              (match code.source.Program.funcs.(fidx).Program.ret with
+              | Some rt when Ir.Ty.is_float rt -> st.ret_f <- igetf frame v
+              | Some _ -> st.ret_i <- igeti frame v
+              | None -> ());
+              running := false
+          | Unreachable -> raise (Trap.Trap Abort_called)));
       if fl land 2 <> 0 then begin
         let c = st.wc in
         st.wc <- c + 1;
@@ -790,15 +864,123 @@ let run_internal ?events ?block_hook ?record ?mem ?resume ~budget (code : t) =
           ev.handle ~dyn:d ~cand:c frame (Array.unsafe_get metas i)
       end
     done
+  (* One mutated instruction, interpreted generically — the mirror of the
+     seed interpreter's [step] over the same (flipped) [Ir.Instr.t], with
+     calls re-entering compiled code. *)
+  and interp_step (frame : Exec.frame) depth (ins : Ir.Instr.t) =
+    let ints = frame.Exec.ints and flts = frame.Exec.flts in
+    match ins with
+    | Binop { op; ty; dst; a; b } ->
+        ints.(dst) <- Exec.exec_binop op ty (igeti frame a) (igeti frame b)
+    | Fbinop { op; dst; a; b } ->
+        flts.(dst) <- Exec.exec_fbinop op (igetf frame a) (igetf frame b)
+    | Icmp { op; ty; dst; a; b } ->
+        ints.(dst) <- Exec.exec_icmp op ty (igeti frame a) (igeti frame b)
+    | Fcmp { op; dst; a; b } ->
+        ints.(dst) <- Exec.exec_fcmp op (igetf frame a) (igetf frame b)
+    | Select { ty; dst; cond; a; b } ->
+        if Ir.Ty.is_float ty then
+          flts.(dst) <-
+            (if igeti frame cond <> 0 then igetf frame a else igetf frame b)
+        else
+          ints.(dst) <-
+            (if igeti frame cond <> 0 then igeti frame a else igeti frame b)
+    | Cast { op; from_ty; to_ty; dst; a } -> (
+        match op with
+        | Trunc | Ptrtoint | Inttoptr ->
+            ints.(dst) <- Ir.Bits.mask to_ty (igeti frame a)
+        | Zext -> ints.(dst) <- igeti frame a
+        | Sext ->
+            ints.(dst) <-
+              Ir.Bits.mask to_ty (Ir.Bits.sext from_ty (igeti frame a))
+        | Fptosi -> ints.(dst) <- Exec.float_to_int to_ty (igetf frame a)
+        | Sitofp ->
+            flts.(dst) <- float_of_int (Ir.Bits.sext from_ty (igeti frame a)))
+    | Mov { ty; dst; a } ->
+        if Ir.Ty.is_float ty then flts.(dst) <- igetf frame a
+        else ints.(dst) <- igeti frame a
+    | Load { ty; dst; addr } ->
+        let a = igeti frame addr in
+        if Ir.Ty.is_float ty then flts.(dst) <- Memory.read_f64 mem ~addr:a
+        else ints.(dst) <- Memory.read_int mem ~width:(Ir.Ty.bytes ty) ~addr:a
+    | Store { ty; value; addr } ->
+        let a = igeti frame addr in
+        if Ir.Ty.is_float ty then
+          Memory.write_f64 mem ~addr:a (igetf frame value)
+        else
+          Memory.write_int mem ~width:(Ir.Ty.bytes ty) ~addr:a
+            (igeti frame value)
+    | Gep { dst; base; index; scale } ->
+        let idx = Ir.Bits.sext I32 (Ir.Bits.mask I32 (igeti frame index)) in
+        ints.(dst) <- Ir.Bits.mask Ptr (igeti frame base + (idx * scale))
+    | Call { dst; callee; args } -> (
+        match Hashtbl.find_opt code.source.Program.targets callee with
+        | None -> assert false (* validated; flips never touch names *)
+        | Some (Program.B1 f) ->
+            let r = f (igetf frame (List.hd args)) in
+            (match dst with Some d -> flts.(d) <- r | None -> ())
+        | Some (Program.B2 f) -> (
+            match args with
+            | [ a; b ] ->
+                let r = f (igetf frame a) (igetf frame b) in
+                (match dst with Some d -> flts.(d) <- r | None -> ())
+            | _ -> assert false)
+        | Some (Program.Fn cidx) ->
+            if depth >= Exec.max_call_depth then
+              raise (Trap.Trap Stack_overflow);
+            let cf2 = funcs.(cidx) in
+            let cframe =
+              {
+                Exec.ints = Array.copy cf2.int_init;
+                flts = Array.copy cf2.flt_init;
+                reg_ty = cf2.reg_ty;
+                last_write = Array.copy cf2.lw_init;
+              }
+            in
+            let src = code.source.Program.funcs.(cidx) in
+            List.iteri
+              (fun j arg ->
+                if Ir.Ty.is_float src.Program.params.(j) then
+                  cframe.Exec.flts.(j) <- igetf frame arg
+                else cframe.Exec.ints.(j) <- igeti frame arg)
+              args;
+            exec_fn cidx cframe (depth + 1) ~start:0 ~hook0:true;
+            (match (dst, src.Program.ret) with
+            | Some d, Some rt ->
+                if Ir.Ty.is_float rt then flts.(d) <- st.ret_f
+                else ints.(d) <- st.ret_i
+            | _ -> ()))
+    | Output { ty; value } ->
+        if Ir.Ty.is_float ty then
+          Exec.add_output out ty 0 (igetf frame value)
+        else Exec.add_output out ty (igeti frame value) 0.0
+    | Guard { ty; a; b } ->
+        let equal =
+          if Ir.Ty.is_float ty then
+            Int64.equal
+              (Int64.bits_of_float (igetf frame a))
+              (Int64.bits_of_float (igetf frame b))
+          else igeti frame a = igeti frame b
+        in
+        if not equal then raise (Trap.Trap Guard_violation)
+    | Abort -> raise (Trap.Trap Abort_called)
   in
   (* Complete an outer frame's in-progress call exactly as the original
      Ucall iteration would have after its callee returned: assign the
      return value, then run the call's write-candidate post-block with
      the call's own dynamic index [calld].  The iteration's budget check
-     and read-candidate pre-block already happened in the prefix. *)
+     and read-candidate pre-block already happened in the prefix.  The
+     call record is read from the PRISTINE code ([orig], when given):
+     checkpoints capture pre-flip prefixes, and non-checkpoint execution
+     on both backends destructures the call record at dispatch, so an
+     in-flight call completes with its original destination even if a
+     stored-program flip later patches that slot. *)
+  let orig_funcs =
+    match orig with Some (o : t) -> o.funcs | None -> funcs
+  in
   let complete_call fidx (frame : Exec.frame) i calld =
     let cf = funcs.(fidx) in
-    (match cf.uops.(i) with
+    (match orig_funcs.(fidx).uops.(i) with
     | Ucall cr ->
         if cr.c_dst >= 0 then
           if cr.c_dst_f then frame.Exec.flts.(cr.c_dst) <- st.ret_f
@@ -871,7 +1053,7 @@ let run_internal ?events ?block_hook ?record ?mem ?resume ~budget (code : t) =
 let run ?events ?block_hook ?record ?mem ~budget code =
   run_internal ?events ?block_hook ?record ?mem ~budget code
 
-let resume ~events ~mem ~(point : Checkpoint.point) ~budget code =
+let resume ~events ~mem ~(point : Checkpoint.point) ?orig ~budget code =
   Checkpoint.note_restore point;
   Memory.restore_pages mem point.ck_pages;
-  run_internal ~events ~mem ~resume:point ~budget code
+  run_internal ~events ~mem ~resume:point ?orig ~budget code

@@ -24,21 +24,26 @@
     differential suite and CI pipeline smoke enforce this. *)
 
 type t
-(** Immutable compiled form of a program. *)
+(** Compiled form of a program.  Immutable — except through {!patch} on
+    a private {!fork}, the code-domain fault injector's entry point. *)
 
 type events = {
-  watch : [ `Read | `Write ];
-      (** which candidate stream carries the scheduled events *)
+  watch : [ `Read | `Write | `Dyn ];
+      (** which stream carries the scheduled events: a candidate stream,
+          or ([`Dyn]) the raw dynamic-instruction stream — the
+          [Mem]/[Code] fault domains' time axis *)
   mutable ev_cand : int;
-      (** fire when the watched candidate ordinal reaches this *)
+      (** fire when the watched candidate ordinal reaches this
+          (unused, keep at [max_int], for [`Dyn]) *)
   mutable ev_dyn : int;
-      (** or when, at a watched candidate, the dynamic index reaches
-          this; either threshold triggers, [max_int] disables *)
+      (** or when, at a watched candidate (any instruction for [`Dyn]),
+          the dynamic index reaches this; either threshold triggers,
+          [max_int] disables *)
   handle : dyn:int -> cand:int -> Exec.frame -> Meta.t -> unit;
       (** the slow path.  Fires at the same point the corresponding
           {!Exec.hooks} callback would ([pre] for [`Read], [post] for
-          [`Write]) and must refresh [ev_cand]/[ev_dyn] before
-          returning. *)
+          [`Write], [at] for [`Dyn], where [cand] is [-1]) and must
+          refresh [ev_cand]/[ev_dyn] before returning. *)
 }
 
 val compile : ?digest:string -> Program.t -> t
@@ -75,6 +80,7 @@ val resume :
   events:events ->
   mem:Memory.t ->
   point:Checkpoint.point ->
+  ?orig:t ->
   budget:int ->
   t ->
   Exec.result
@@ -83,7 +89,38 @@ val resume :
     execute only the suffix.  The result is field-for-field what {!run}
     with the same [events] would return: [dyn_count]/candidate ordinals
     continue from the restored counters, so they count the whole logical
-    run, not just the suffix.  [budget] keeps its whole-run meaning. *)
+    run, not just the suffix.  [budget] keeps its whole-run meaning.
+
+    When executing a {!fork} that {!patch} may rewrite mid-run (the code
+    fault domain), pass the pristine original as [orig]: the restored
+    stack's in-progress calls complete with their pre-flip destination
+    registers, matching non-checkpoint execution, where the call record
+    is destructured at dispatch and thus immune to later patches. *)
+
+val fork : t -> t
+(** A private copy whose micro-op arrays may be {!patch}ed — the
+    decode-cache invalidation analog of the code fault domain: the
+    digest-keyed decode cache only ever holds pristine code, and a
+    mutated experiment runs on a throwaway fork (one array copy per
+    function; flags, metas, constant pools and the source program are
+    shared). *)
+
+val patch :
+  t ->
+  fidx:int ->
+  bidx:int ->
+  idx:int ->
+  [ `Instr of Ir.Instr.t | `Term of Ir.Instr.terminator ] ->
+  unit
+(** Install a (bit-flipped) source instruction at its site, replacing
+    the decoded micro-op with a generic interpreting fallback.  [idx] is
+    the instruction index within the block ([Array.length instrs] for
+    the terminator — {!Meta.t}'s numbering).  The site keeps its
+    original candidate flags and metadata, so candidate ordinals and
+    [last_write] bookkeeping still follow the golden program structure
+    while execution follows the mutated instruction — mirroring the seed
+    interpreter on a {!Codeflip} image, with which it stays
+    bit-identical.  Only call on a {!fork}. *)
 
 val site_reads : t -> int array array
 (** [site_reads code].(fidx).(bidx) is the number of static

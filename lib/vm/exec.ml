@@ -19,7 +19,10 @@ type frame = {
 type hooks = {
   pre : dyn:int -> frame -> Meta.t -> unit;
   post : dyn:int -> frame -> Meta.t -> unit;
+  at : dyn:int -> frame -> Meta.t -> unit;
 }
+
+let no_hook ~dyn:_ _ _ = ()
 
 exception Hang_exn
 
@@ -153,8 +156,10 @@ let add_output buf ty (iv : int) (fv : float) =
   | I64 -> add_int64_le buf (to_u64 iv)
   | F64 -> add_int64_le buf (Int64.bits_of_float fv)
 
-let run ?hooks ?block_hook ~budget (prog : Program.t) =
-  let mem = Memory.clone prog.mem_template in
+let run ?hooks ?block_hook ?mem ~budget (prog : Program.t) =
+  let mem =
+    match mem with Some m -> m | None -> Memory.clone prog.mem_template
+  in
   let out = Buffer.create 256 in
   let dyn = ref 0 in
   let read_cands = ref 0 in
@@ -276,6 +281,7 @@ let run ?hooks ?block_hook ~budget (prog : Program.t) =
         let d = !dyn in
         incr dyn;
         if !dyn > budget then raise Hang_exn;
+        (match hooks with Some h -> h.at ~dyn:d frame m | None -> ());
         if Array.length m.srcs > 0 then begin
           incr read_cands;
           match hooks with Some h -> h.pre ~dyn:d frame m | None -> ()
@@ -291,6 +297,7 @@ let run ?hooks ?block_hook ~budget (prog : Program.t) =
       let d = !dyn in
       incr dyn;
       if !dyn > budget then raise Hang_exn;
+      (match hooks with Some h -> h.at ~dyn:d frame m | None -> ());
       if Array.length m.srcs > 0 then begin
         incr read_cands;
         match hooks with Some h -> h.pre ~dyn:d frame m | None -> ()

@@ -39,17 +39,29 @@ type frame = {
 type hooks = {
   pre : dyn:int -> frame -> Meta.t -> unit;
   post : dyn:int -> frame -> Meta.t -> unit;
+  at : dyn:int -> frame -> Meta.t -> unit;
+      (** fires before {e every} dynamic instruction and terminator,
+          candidate or not — the time axis of the [Mem]/[Code] fault
+          domains, whose flips land between dynamic instructions *)
 }
+
+val no_hook : dyn:int -> frame -> Meta.t -> unit
+(** A no-op hook body, for callers that only need one or two of the
+    three entry points. *)
 
 val run :
   ?hooks:hooks ->
   ?block_hook:(fidx:int -> bidx:int -> unit) ->
+  ?mem:Memory.t ->
   budget:int ->
   Program.t ->
   result
 (** Execute the entry function.  [budget] bounds the number of dynamic
     instructions; exceeding it yields [Hung] (the paper's watchdog).  Call
-    depth beyond 1000 frames traps as [Stack_overflow]. *)
+    depth beyond 1000 frames traps as [Stack_overflow].  [mem], when
+    given, is executed against directly instead of a fresh clone of the
+    program's template — the memory-domain injector passes a
+    pre-faulted or undo-tracking memory here. *)
 
 val golden_budget : int
 (** A generous default budget for fault-free runs (100M instructions). *)
@@ -62,3 +74,23 @@ val record_run : result -> unit
     hangs).  Called by [run] itself and by the compiled pipeline
     ({!Code.run}), so the vm_* metrics are backend-independent.
     Self-gates on [Obs.Metrics.enabled]. *)
+
+(** {2 Shared instruction semantics}
+
+    The single definition of each operator's semantics, used by this
+    interpreter and by the compiled pipeline's generic fallback uop
+    ([Code]'s [Uinterp], which executes code-domain-mutated
+    instructions) so a flipped instruction means exactly the same thing
+    on both backends. *)
+
+val exec_binop : Ir.Instr.binop -> Ir.Ty.t -> int -> int -> int
+val exec_fbinop : Ir.Instr.fbinop -> float -> float -> float
+val exec_icmp : Ir.Instr.icmp -> Ir.Ty.t -> int -> int -> int
+val exec_fcmp : Ir.Instr.fcmp -> float -> float -> int
+val float_to_int : Ir.Ty.t -> float -> int
+val ucompare : int -> int -> int
+val to_u64 : int -> int64
+
+val add_output : Buffer.t -> Ir.Ty.t -> int -> float -> unit
+(** Append one [Output] value to the stream ([iv] for integer types,
+    [fv] for [F64]). *)

@@ -172,6 +172,37 @@ let write_f64 t ~addr v =
   mark t ~width:8 ~addr;
   Bytes.set_int64_le t.arena addr (Int64.bits_of_float v)
 
+(* Fault injection: flip one bit of a mapped arena byte.  Bypasses the
+   alignment/width checks (a particle strike does not obey the ABI) but
+   still refuses unmapped addresses, and marks the page dirty so
+   undo-tracking memories rewind the flip like any ordinary write. *)
+let flip_bit t ~addr ~bit =
+  if addr < 0 || addr >= t.size then
+    invalid_arg "Memory.flip_bit: address out of bounds";
+  if bit < 0 || bit > 7 then invalid_arg "Memory.flip_bit: bit out of range";
+  if Bytes.unsafe_get t.mapped addr = '\000' then
+    invalid_arg "Memory.flip_bit: unmapped address";
+  mark t ~width:1 ~addr;
+  Bytes.set_uint8 t.arena addr (Bytes.get_uint8 t.arena addr lxor (1 lsl bit))
+
+(* The mapped (flippable) addresses of the arena, in address order.  The
+   mapped table is immutable and shared across clones, so this is a pure
+   function of the program's layout — compute it once per workload. *)
+let mapped_addrs t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if Bytes.unsafe_get t.mapped i <> '\000' then incr n
+  done;
+  let out = Array.make !n 0 in
+  let k = ref 0 in
+  for i = 0 to t.size - 1 do
+    if Bytes.unsafe_get t.mapped i <> '\000' then begin
+      out.(!k) <- i;
+      incr k
+    end
+  done;
+  out
+
 let peek_bytes t ~addr ~len =
   if addr < 0 || len < 0 || addr + len > t.size then
     invalid_arg "Memory.peek_bytes: out of bounds";

@@ -59,5 +59,18 @@ val write_int : t -> width:int -> addr:int -> int -> unit
 val read_f64 : t -> addr:int -> float
 val write_f64 : t -> addr:int -> float -> unit
 
+val flip_bit : t -> addr:int -> bit:int -> unit
+(** Flip bit [bit] (0–7) of the mapped arena byte at [addr] — the
+    memory-domain fault effector.  No alignment check (faults ignore the
+    ABI); the touched page is marked dirty so undo-tracking memories
+    rewind the flip on {!reset} exactly like a program store.  Raises
+    [Invalid_argument] on an out-of-bounds or unmapped address. *)
+
+val mapped_addrs : t -> int array
+(** All mapped arena addresses in increasing order — the memory-domain
+    fault target space.  Determined entirely by the program's global
+    layout (shared by every clone of a template), so it can be computed
+    once per workload. *)
+
 val peek_bytes : t -> addr:int -> len:int -> bytes
 (** Unchecked snapshot for tests and debugging (still bounds-checked). *)

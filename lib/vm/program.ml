@@ -1,6 +1,6 @@
 type lblock = {
   instrs : Ir.Instr.t array;
-  term : Ir.Instr.terminator;
+  mutable term : Ir.Instr.terminator;
   metas : Meta.t array;
 }
 

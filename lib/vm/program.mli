@@ -8,7 +8,10 @@
 
 type lblock = {
   instrs : Ir.Instr.t array;
-  term : Ir.Instr.terminator;
+  mutable term : Ir.Instr.terminator;
+      (** mutable so code-domain fault injection ({!Codeflip}) can flip
+          bits of a {e private copy}'s terminator in place; loaded
+          programs themselves are never mutated *)
   metas : Meta.t array;  (** length [Array.length instrs + 1]; last = term *)
 }
 

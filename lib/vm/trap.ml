@@ -5,6 +5,7 @@ type t =
   | Abort_called
   | Stack_overflow
   | Guard_violation
+  | Ill_instr
 
 exception Trap of t
 
@@ -15,6 +16,7 @@ let to_string = function
   | Abort_called -> "abort"
   | Stack_overflow -> "stack-overflow"
   | Guard_violation -> "guard-violation"
+  | Ill_instr -> "ill-instr"
 
 let all =
   [
@@ -24,6 +26,7 @@ let all =
     Abort_called;
     Stack_overflow;
     Guard_violation;
+    Ill_instr;
   ]
 
 let of_string s = List.find_opt (fun t -> String.equal (to_string t) s) all
@@ -35,3 +38,4 @@ let index = function
   | Abort_called -> 3
   | Stack_overflow -> 4
   | Guard_violation -> 5
+  | Ill_instr -> 6

@@ -13,6 +13,10 @@ type t =
   | Stack_overflow
   | Guard_violation
       (** a software [Guard] detector (inserted by a hardening pass) fired *)
+  | Ill_instr
+      (** a code-domain bit flip produced an undecodable instruction (an
+          out-of-range register or branch-target field); the decode-stage
+          illegal-instruction exception analog *)
 
 exception Trap of t
 

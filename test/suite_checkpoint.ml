@@ -16,7 +16,7 @@ let with_checkpoint ?interval on f =
 
 let injection_equal (a : Core.Injector.injection) (b : Core.Injector.injection)
     =
-  a.inj_dyn = b.inj_dyn && a.inj_cand = b.inj_cand && a.inj_reg = b.inj_reg
+  a.inj_dyn = b.inj_dyn && a.inj_cand = b.inj_cand && a.inj_loc = b.inj_loc && Core.Domain.equal a.inj_domain b.inj_domain
   && a.inj_ty = b.inj_ty && a.inj_slot = b.inj_slot && a.inj_bit = b.inj_bit
   && a.inj_weight = b.inj_weight
 
@@ -31,7 +31,7 @@ let result_equal name (a : Vm.Exec.result) (b : Vm.Exec.result) =
    identical runs and identical full injection logs. *)
 let check_experiment w spec ~interval ~base i =
   let mk () =
-    let cands = Core.Workload.candidates w spec.Core.Spec.technique in
+    let cands = Core.Workload.candidates w spec in
     Core.Injector.create ~spec ~candidates:cands (Prng.split_at base i)
   in
   let inj_full = mk () in
@@ -127,7 +127,7 @@ let prop_random_differential =
                     (fun i ->
                       let mk () =
                         let cands =
-                          Core.Workload.candidates w technique
+                          Core.Workload.candidates w spec
                         in
                         Core.Injector.create ~spec ~candidates:cands
                           (Prng.split_at base i)

@@ -97,9 +97,9 @@ let test_workload_golden () =
   let w = Lazy.force workload in
   Alcotest.(check bool) "budget > golden" true (w.budget > w.golden.dyn_count);
   Alcotest.(check int) "read candidates" w.golden.read_cands
-    (Core.Workload.candidates w Read);
+    (Core.Workload.candidates w (Core.Spec.single Read));
   Alcotest.(check int) "write candidates" w.golden.write_cands
-    (Core.Workload.candidates w Write)
+    (Core.Workload.candidates w (Core.Spec.single Write))
 
 let test_workload_rejects_bad_reference () =
   let e = Lazy.force spmv in
@@ -160,7 +160,7 @@ let test_activation_bounded_by_mbf () =
 let test_win0_multi_distinct_bits_same_target () =
   let w = Lazy.force workload in
   let spec = Core.Spec.multi Write ~max_mbf:8 ~win:(Fixed 0) in
-  let candidates = Core.Workload.candidates w Write in
+  let candidates = Core.Workload.candidates w spec in
   let base = Prng.of_seed 23L in
   for i = 0 to 19 do
     let rng = Prng.split_at base i in
@@ -169,7 +169,7 @@ let test_win0_multi_distinct_bits_same_target () =
     let injections = Core.Injector.injections inj in
     Alcotest.(check bool) "some flips" true (List.length injections >= 1);
     let dyns = List.map (fun (j : Core.Injector.injection) -> j.inj_dyn) injections in
-    let regs = List.map (fun (j : Core.Injector.injection) -> j.inj_reg) injections in
+    let regs = List.map (fun (j : Core.Injector.injection) -> j.inj_loc) injections in
     let bits = List.map (fun (j : Core.Injector.injection) -> j.inj_bit) injections in
     Alcotest.(check int) "single dyn instruction" 1
       (List.length (List.sort_uniq compare dyns));
@@ -183,7 +183,7 @@ let test_win_spacing_respected () =
   let w = Lazy.force qsort_workload in
   let win = 10 in
   let spec = Core.Spec.multi Read ~max_mbf:6 ~win:(Fixed win) in
-  let candidates = Core.Workload.candidates w Read in
+  let candidates = Core.Workload.candidates w spec in
   let base = Prng.of_seed 31L in
   for i = 0 to 19 do
     let rng = Prng.split_at base i in
@@ -213,7 +213,7 @@ let test_forced_first_replays_location () =
   let inj2 = Option.get e2.first in
   Alcotest.(check int) "same candidate" inj.inj_cand inj2.inj_cand;
   Alcotest.(check int) "same bit" inj.inj_bit inj2.inj_bit;
-  Alcotest.(check int) "same register" inj.inj_reg inj2.inj_reg;
+  Alcotest.(check int) "same register" inj.inj_loc inj2.inj_loc;
   Alcotest.(check string) "same outcome (single-bit replay)"
     (Core.Outcome.to_string e.outcome)
     (Core.Outcome.to_string e2.outcome)

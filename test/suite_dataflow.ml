@@ -388,6 +388,7 @@ let check_trace_live (w : Core.Workload.t) =
               then incr bad)
             mt.srcs);
       post = (fun ~dyn:_ _ _ -> ());
+      at = Vm.Exec.no_hook;
     }
   in
   ignore (Vm.Exec.run ~hooks ~budget:w.budget w.prog);
@@ -437,6 +438,7 @@ let test_forwarding_differential () =
     {
       Vm.Exec.pre = (fun ~dyn _ mt -> reads := (dyn, mt) :: !reads);
       post = (fun ~dyn _ mt -> writes := (dyn, mt) :: !writes);
+      at = Vm.Exec.no_hook;
     }
   in
   ignore (Vm.Exec.run ~hooks ~budget:w.budget w.prog);
@@ -532,6 +534,7 @@ let prop_liveness_sound =
                   then ok := false)
                 mt.srcs);
           post = (fun ~dyn:_ _ _ -> ());
+      at = Vm.Exec.no_hook;
         }
       in
       ignore (Vm.Exec.run ~hooks ~budget:1_000_000 (Vm.Program.load m));
@@ -571,6 +574,7 @@ let benign_env =
                  done)
                mt.srcs);
          post = (fun ~dyn:_ _ _ -> ());
+      at = Vm.Exec.no_hook;
        }
      in
      ignore (Vm.Exec.run ~hooks ~budget:w.budget w.prog);

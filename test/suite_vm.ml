@@ -242,6 +242,7 @@ let test_hooks_fire_and_flip () =
           let reg = m.srcs.(0) in
           frame.ints.(reg) <- Ir.Bits.flip I32 ~bit:1 frame.ints.(reg));
       post = (fun ~dyn:_ _ _ -> ());
+      at = Vm.Exec.no_hook;
     }
   in
   let r = Vm.Exec.run ~hooks ~budget:1000 prog in
@@ -261,6 +262,7 @@ let test_post_hook_flips_dst () =
         (fun ~dyn:_ frame (m : Vm.Meta.t) ->
           if m.dst >= 0 then
             frame.ints.(m.dst) <- Ir.Bits.flip I32 ~bit:0 frame.ints.(m.dst));
+      at = Vm.Exec.no_hook;
     }
   in
   let r = Vm.Exec.run ~hooks ~budget:1000 prog in

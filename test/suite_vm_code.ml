@@ -88,7 +88,7 @@ let prop_random_programs =
 
 let injection_equal (a : Core.Injector.injection) (b : Core.Injector.injection)
     =
-  a.inj_dyn = b.inj_dyn && a.inj_cand = b.inj_cand && a.inj_reg = b.inj_reg
+  a.inj_dyn = b.inj_dyn && a.inj_cand = b.inj_cand && a.inj_loc = b.inj_loc && Core.Domain.equal a.inj_domain b.inj_domain
   && a.inj_ty = b.inj_ty && a.inj_slot = b.inj_slot && a.inj_bit = b.inj_bit
   && a.inj_weight = b.inj_weight
 
@@ -103,7 +103,7 @@ let workload =
    pipeline: runs and full injection logs must be bit-identical. *)
 let check_experiment w spec ~spacing ~base i =
   let mk () =
-    let cands = Core.Workload.candidates w spec.Core.Spec.technique in
+    let cands = Core.Workload.candidates w spec in
     Core.Injector.create ~spec ~candidates:cands ~spacing
       (Prng.split_at base i)
   in
