@@ -551,6 +551,86 @@ let run_perf () =
    close_out oc);
   Printf.printf "(wrote BENCH_5.json)\n";
   print_newline ();
+  section "Suffix batching: campaign wall-clock, batch off vs on (checkpoint on)";
+  Printf.printf "%-10s %10s %10s %9s %12s %12s   (%s over %d experiments)\n"
+    "program" "off" "on" "speedup" "full(off)" "full(on)"
+    (Core.Spec.label pipeline_spec)
+    n_pipeline;
+  let batch_saved = Core.Config.batching () in
+  Core.Config.set_checkpoint true;
+  let groups0, members0 = Core.Batch.stats () in
+  let batch_rows =
+    List.map
+      (fun name ->
+        let e = Option.get (Bench_suite.Registry.find name) in
+        let w =
+          Core.Workload.make ~name ~expected_output:(e.reference ())
+            (e.build ())
+        in
+        let campaign batch =
+          Core.Config.set_batch batch;
+          let f0, u0 = Vm.Memory.restore_stats () in
+          let t0 = Unix.gettimeofday () in
+          let r = Core.Campaign.run w pipeline_spec ~n:n_pipeline ~seed:5L in
+          let t = Unix.gettimeofday () -. t0 in
+          let f1, u1 = Vm.Memory.restore_stats () in
+          (t, r, f1 - f0, u1 - u0)
+        in
+        (* Warm-up records the checkpoint set outside the timed runs. *)
+        ignore (campaign true);
+        let off_t, off_r, off_full, _ = campaign false in
+        let on_t, on_r, on_full, on_undo = campaign true in
+        let identical = Core.Campaign.equal_result off_r on_r in
+        Printf.printf "%-10s %9.2fs %9.2fs %8.2fx %12d %12d   %s\n" name off_t
+          on_t (off_t /. on_t) off_full on_full
+          (if identical then "bit-identical results" else "!! MISMATCH");
+        (name, off_t, on_t, off_full, on_full, on_undo, identical))
+      pipeline_progs
+  in
+  let groups1, members1 = Core.Batch.stats () in
+  Core.Config.set_batch batch_saved;
+  Core.Config.set_checkpoint ~interval:ck_saved_k ck_saved_on;
+  let groups = groups1 - groups0 and members = members1 - members0 in
+  Printf.printf
+    "groups=%d  batched experiments=%d  mean group size=%.1f\n" groups members
+    (if groups = 0 then 0. else float_of_int members /. float_of_int groups);
+  (let oc = open_out "BENCH_9.json" in
+   let total_off = List.fold_left (fun a (_, _, _, f, _, _, _) -> a + f) 0 batch_rows
+   and total_on = List.fold_left (fun a (_, _, _, _, f, _, _) -> a + f) 0 batch_rows in
+   Printf.fprintf oc
+     "{\n\
+     \  \"pr\": 9,\n\
+     \  \"bench\": \"campaign_wall_clock_suffix_batching\",\n\
+     \  \"spec\": %S,\n\
+     \  \"n\": %d,\n\
+     \  \"seed\": 5,\n\
+     \  \"full_restores_unbatched\": %d,\n\
+     \  \"full_restores_batched\": %d,\n\
+     \  \"restore_reduction\": %.2f,\n\
+     \  \"groups\": %d,\n\
+     \  \"batched_experiments\": %d,\n\
+     \  \"mean_group_size\": %.2f,\n\
+     \  \"programs\": [\n"
+     (Core.Spec.label pipeline_spec)
+     n_pipeline total_off total_on
+     (if total_on = 0 then 0.
+      else float_of_int total_off /. float_of_int total_on)
+     groups members
+     (if groups = 0 then 0. else float_of_int members /. float_of_int groups);
+   List.iteri
+     (fun i (name, off_t, on_t, off_full, on_full, on_undo, identical) ->
+       Printf.fprintf oc
+         "    {\"program\": %S, \"off_s\": %.4f, \"on_s\": %.4f, \
+          \"speedup\": %.3f, \"full_restores_off\": %d, \
+          \"full_restores_on\": %d, \"undo_resets_on\": %d, \
+          \"bit_identical\": %b}%s\n"
+         name off_t on_t (off_t /. on_t) off_full on_full on_undo identical
+         (if i = List.length batch_rows - 1 then "" else ","))
+     batch_rows;
+   output_string oc "  ]\n}\n";
+   close_out oc);
+  Printf.printf "(wrote BENCH_9.json)\n";
+  print_newline ();
   section "Engine scaling: one campaign, sequential vs parallel";
   let spec = Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 10) in
   let n = 800 in

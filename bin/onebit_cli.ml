@@ -212,10 +212,11 @@ let require_incremental_store = function
 
 let report_incremental (s : Engine.Incremental.stats) =
   Printf.eprintf
-    "incremental: reused %d experiments (%d/%d functions), re-ran %d \
-     experiments (%d functions)\n"
-    s.exps_reused s.funcs_reused s.funcs_total s.exps_recomputed
-    s.funcs_recomputed
+    "incremental: reused %d experiments (%d/%d functions), skipped %d \
+     experiments as provably benign (%d functions), re-ran %d experiments \
+     (%d functions)\n"
+    s.exps_reused s.funcs_reused s.funcs_total s.exps_skipped s.funcs_skipped
+    s.exps_recomputed s.funcs_recomputed
 
 (* ---- list ---- *)
 
@@ -450,6 +451,12 @@ let reproduce_cmd =
       (Core.Spec.label spec) program n seed;
     Printf.printf "backend:    %s\n"
       (Core.Config.backend_name (Core.Config.active_backend ()));
+    (* The campaign above honours ONEBIT_BATCH; the replay never does —
+       [run_raw ~checkpoint:false] executes one experiment from the top,
+       outside the batch scheduler, whatever the environment says. *)
+    Printf.printf
+      "replay:     unbatched full execution (checkpoint restore and suffix \
+       batching bypassed)\n";
     Printf.printf "domain:     %s\n"
       (Core.Domain.to_string spec.Core.Spec.domain);
     Printf.printf "outcome:    %s\n" (Core.Outcome.to_string outcome);
@@ -512,8 +519,9 @@ let reproduce_cmd =
           matches the campaign's stored record exactly (outcome, activation \
           count, first injection, dynamic length, output) and that every \
           injection landed in the requested fault domain.  Prints which \
-          execution backend and domain produced the result; exits 1 on \
-          divergence.")
+          execution backend, replay path and domain produced the result — \
+          the replay always runs unbatched from the top, regardless of \
+          ONEBIT_BATCH/ONEBIT_CHECKPOINT; exits 1 on divergence.")
     Term.(
       const run $ program_arg $ domain_arg $ technique_arg $ mbf_arg $ win_arg
       $ n_arg $ seed_arg $ index_arg)

@@ -113,22 +113,31 @@ let acc_profile acc =
 
 let empty_profile = acc_profile (acc_create ())
 
+(* Execute a set of campaign indices, preferring the batched scheduler
+   ([Batch]: experiments grouped by restore point, one full page-restore
+   amortised per group) and falling back to the bit-identical
+   one-at-a-time path when batching does not apply.  Results come back
+   positionally — [k] holds experiment [indices.(k)] — and are always
+   folded into accumulators in index order, so campaign results are
+   byte-identical across the batch switch. *)
+let run_indices ?spacing workload spec ~seed ~indices =
+  match Batch.run_indices ?spacing workload spec ~seed ~indices with
+  | Some exps -> exps
+  | None ->
+      let base = Prng.of_seed seed in
+      Array.map
+        (fun i ->
+          let rng = Prng.split_at base i in
+          Experiment.run ?spacing workload spec rng)
+        indices
+
 let run_shard ?(keep_experiments = false) ?spacing workload spec ~seed ~lo ~hi =
   if lo < 0 || hi <= lo then invalid_arg "Campaign.run_shard: bad range";
-  let base = Prng.of_seed seed in
   let acc = acc_create () in
-  let kept = if keep_experiments then Array.make (hi - lo) None else [||] in
-  for i = lo to hi - 1 do
-    let rng = Prng.split_at base i in
-    let e = Experiment.run ?spacing workload spec rng in
-    acc_add acc e;
-    if keep_experiments then kept.(i - lo) <- Some e
-  done;
-  let s_experiments =
-    if keep_experiments then
-      Array.map (function Some e -> e | None -> assert false) kept
-    else [||]
-  in
+  let indices = Array.init (hi - lo) (fun k -> lo + k) in
+  let exps = run_indices ?spacing workload spec ~seed ~indices in
+  Array.iter (acc_add acc) exps;
+  let s_experiments = if keep_experiments then exps else [||] in
   {
     lo;
     hi;
@@ -145,14 +154,12 @@ let run_shard ?(keep_experiments = false) ?spacing workload spec ~seed ~lo ~hi =
   }
 
 let run_profile ?spacing workload spec ~seed ~indices =
-  let base = Prng.of_seed seed in
-  let acc = acc_create () in
   Array.iter
     (fun i ->
-      if i < 0 then invalid_arg "Campaign.run_profile: negative index";
-      let rng = Prng.split_at base i in
-      acc_add acc (Experiment.run ?spacing workload spec rng))
+      if i < 0 then invalid_arg "Campaign.run_profile: negative index")
     indices;
+  let acc = acc_create () in
+  Array.iter (acc_add acc) (run_indices ?spacing workload spec ~seed ~indices);
   acc_profile acc
 
 let merge_profiles a b =

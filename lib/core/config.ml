@@ -60,6 +60,7 @@ type t = {
   backend : backend;
   checkpoint : bool;
   checkpoint_interval : int;
+  batch : bool;
   incremental : bool;
   coord : string option;
   lease_ttl : float;
@@ -82,6 +83,7 @@ let default =
     backend = Compiled;
     checkpoint = true;
     checkpoint_interval = 1024;
+    batch = true;
     incremental = false;
     coord = None;
     lease_ttl = 30.;
@@ -143,6 +145,14 @@ let of_env ?(getenv = Sys.getenv_opt) () =
       (match Option.bind (getenv "ONEBIT_CHECKPOINT") checkpoint_of_string with
       | Some (_, Some k) -> k
       | Some (_, None) | None -> default.checkpoint_interval);
+    batch =
+      (match getenv "ONEBIT_BATCH" with
+      | Some s -> (
+          match String.lowercase_ascii (String.trim s) with
+          | "on" | "true" | "yes" | "1" -> true
+          | "off" | "false" | "no" | "0" -> false
+          | _ -> default.batch)
+      | None -> default.batch);
     incremental =
       (match getenv "ONEBIT_INCREMENTAL" with
       | Some ("1" | "true" | "yes" | "on") -> true
@@ -159,7 +169,7 @@ let of_env ?(getenv = Sys.getenv_opt) () =
   }
 
 let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
-    ?progress ?metrics ?trace ?backend ?checkpoint ?checkpoint_interval
+    ?progress ?metrics ?trace ?backend ?checkpoint ?checkpoint_interval ?batch
     ?incremental ?coord ?lease_ttl ?domain t =
   let opt v fallback = Option.value v ~default:fallback in
   {
@@ -181,6 +191,7 @@ let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
       (match checkpoint_interval with
       | Some k when k > 0 -> k
       | Some _ | None -> t.checkpoint_interval);
+    batch = opt batch t.batch;
     incremental = opt incremental t.incremental;
     coord = (match coord with Some c -> Some c | None -> t.coord);
     lease_ttl =
@@ -230,7 +241,25 @@ let set_checkpoint ?interval on =
 let checkpointing () = fst (checkpoint_state ())
 let checkpoint_interval () = snd (checkpoint_state ())
 
+(* Process-wide suffix-batching switch, same shape as the checkpoint
+   switch: lazily resolved from ONEBIT_BATCH, settable by flags/tests.
+   Batching is a pure scheduling change — results are byte-identical on
+   or off — so this only trades restore amortisation for per-experiment
+   dispatch. *)
+let batch_active = ref None
+
+let batching () =
+  match !batch_active with
+  | Some b -> b
+  | None ->
+      let b = (of_env ()).batch in
+      batch_active := Some b;
+      b
+
+let set_batch b = batch_active := Some b
+
 let install t =
   set_backend t.backend;
   set_checkpoint ~interval:t.checkpoint_interval t.checkpoint;
+  set_batch t.batch;
   Obs.install_sink ?metrics:t.metrics ?trace:t.trace ()

@@ -30,6 +30,11 @@
       implying on), or "on,512".  Default on with interval 1024;
       results are bit-identical either way (the knob exists for
       benchmarking and differential testing)
+    - [ONEBIT_BATCH] — checkpoint-tree suffix batching: group a shard's
+      experiments by their selected restore point and amortise one full
+      page-restore across each group ("on"/"off"/boolean spellings;
+      default on).  Applies only when the compiled backend and
+      checkpointing are active; results are byte-identical either way
     - [ONEBIT_COORD] — fleet coordinator address ([unix:PATH] or
       [HOST:PORT]; empty = none), the default for [onebit work] and
       [onebit engine status --coord]
@@ -70,6 +75,9 @@ type t = {
   checkpoint : bool;
       (** reuse golden-prefix checkpoints on the compiled backend *)
   checkpoint_interval : int;  (** capture every K candidate instructions *)
+  batch : bool;
+      (** group experiments by selected checkpoint and amortise restores
+          ([ONEBIT_BATCH]; default on; byte-identical either way) *)
   incremental : bool;
       (** compose campaigns from cached per-function profiles
           ([Engine.Incremental]); resolved from ONEBIT_INCREMENTAL
@@ -101,6 +109,7 @@ val override :
   ?backend:backend ->
   ?checkpoint:bool ->
   ?checkpoint_interval:int ->
+  ?batch:bool ->
   ?incremental:bool ->
   ?coord:string ->
   ?lease_ttl:float ->
@@ -142,3 +151,15 @@ val set_checkpoint : ?interval:int -> bool -> unit
     and positive, also fixes the capture interval.  Benchmarks and the
     differential suite flip this between timed sections — results are
     bit-identical either way. *)
+
+val batching : unit -> bool
+(** Whether {!Campaign} may group experiments by selected checkpoint
+    and amortise restores ({!Batch}).  Resolved lazily from
+    [ONEBIT_BATCH] on first read unless {!set_batch} or {!install} has
+    fixed it.  Only consulted when the compiled backend and
+    checkpointing are both active. *)
+
+val set_batch : bool -> unit
+(** Fix the process-wide batching state (benchmarks and the batch
+    differential suite flip this between sections — results are
+    byte-identical either way). *)

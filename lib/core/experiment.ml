@@ -102,8 +102,11 @@ let run_raw ?(checkpoint = true) (workload : Workload.t) inj =
         | Domain.Reg | Domain.Code ->
             Vm.Code.run ~events:ev ~budget:workload.budget code)
 
-let run_inj workload inj =
-  let res = run_raw workload inj in
+(* Classification + bookkeeping shared by the one-at-a-time path below
+   and the batched scheduler ([Batch]): both must count and classify
+   identically for results and metrics to be byte-identical across the
+   batch switch. *)
+let conclude (workload : Workload.t) inj (res : Vm.Exec.result) =
   if Obs.Metrics.enabled () then begin
     Obs.Metrics.incr m_experiments;
     Obs.Metrics.add m_activations (Injector.activated inj);
@@ -116,6 +119,8 @@ let run_inj workload inj =
     dyn_count = res.dyn_count;
     output = res.output;
   }
+
+let run_inj workload inj = conclude workload inj (run_raw workload inj)
 
 let run ?spacing workload spec rng =
   let candidates = Workload.candidates workload spec in

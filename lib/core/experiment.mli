@@ -32,6 +32,13 @@ val run_raw : ?checkpoint:bool -> Workload.t -> Injector.t -> Vm.Exec.result
     [~checkpoint:false] to force full execution ([onebit reproduce]
     does, so a replay re-runs every instruction it reports). *)
 
+val conclude : Workload.t -> Injector.t -> Vm.Exec.result -> t
+(** Classify a finished faulty run against the workload's golden output
+    and package it with the injector's activation record, bumping the
+    experiment/activation/domain metrics.  Shared by {!run}'s
+    one-at-a-time path and the batched scheduler ({!Batch}) so both
+    count and classify identically. *)
+
 val run :
   ?spacing:[ `Faulty | `Golden ] -> Workload.t -> Spec.t -> Prng.t -> t
 (** Run one experiment with a private generator ([?spacing] as in

@@ -9,7 +9,16 @@
    Shard boundaries depend only on (n, shard_size) — never on [jobs] — so
    a store populated by one run is hit by any later run, whatever its
    parallelism, and a killed run resumes by re-executing only the shards
-   that never made it to the store. *)
+   that never made it to the store.
+
+   Within a shard, execution is plan-then-run: Campaign.run_shard hands
+   its index range to the batch scheduler (Core.Batch), which groups the
+   experiments by their selected golden-prefix checkpoint and amortises
+   one full page-restore per group.  Batching is invisible at this layer
+   by construction — results come back in index order whatever the
+   execution order — so shard tiling, store keys and fleet merges are
+   untouched and results stay byte-identical at any [jobs] count with
+   batching on or off. *)
 
 module Deque = Deque
 module Pool = Pool

@@ -1,0 +1,338 @@
+(* Differential tests for the checkpoint-tree suffix batcher
+   (Core.Batch): a shard executed as checkpoint groups — one full
+   page-restore amortised per group, O(dirty) baseline resets between
+   members, sorted event queue — must be byte-identical to the
+   one-at-a-time path for every domain, technique, window, multiplicity
+   and jobs count, down to the full injection logs; and `onebit
+   reproduce`'s replay contract (unbatched full execution) must hold
+   against batched campaign records. *)
+
+let with_batch on f =
+  let saved = Core.Config.batching () in
+  Core.Config.set_batch on;
+  Fun.protect ~finally:(fun () -> Core.Config.set_batch saved) f
+
+let with_checkpoint ?interval on f =
+  let saved_on = Core.Config.checkpointing ()
+  and saved_k = Core.Config.checkpoint_interval () in
+  Core.Config.set_checkpoint ?interval on;
+  Fun.protect
+    ~finally:(fun () -> Core.Config.set_checkpoint ~interval:saved_k saved_on)
+    f
+
+let injection_equal (a : Core.Injector.injection) (b : Core.Injector.injection)
+    =
+  Core.Domain.equal a.inj_domain b.inj_domain
+  && a.inj_dyn = b.inj_dyn && a.inj_cand = b.inj_cand
+  && a.inj_loc = b.inj_loc && a.inj_ty = b.inj_ty && a.inj_slot = b.inj_slot
+  && a.inj_bit = b.inj_bit && a.inj_weight = b.inj_weight
+
+let experiment_equal (a : Core.Experiment.t) (b : Core.Experiment.t) =
+  a.outcome = b.outcome && a.activated = b.activated
+  && a.dyn_count = b.dyn_count
+  && String.equal a.output b.output
+  && (match (a.first, b.first) with
+     | None, None -> true
+     | Some x, Some y -> injection_equal x y
+     | _ -> false)
+
+let registry_workload name =
+  let d = Option.get (Bench_suite.Registry.find name) in
+  Core.Workload.make ~name ~expected_output:(d.reference ()) (d.build ())
+
+(* The unbatched reference for one experiment index: a private injector
+   through [Experiment.run_raw] (one-at-a-time path, checkpointing still
+   on), returning the packaged experiment plus the full injection log. *)
+let reference w spec ~base i =
+  let inj =
+    Core.Injector.create ~spec
+      ~candidates:(Core.Workload.candidates w spec)
+      (Prng.split_at base i)
+  in
+  let res = Core.Experiment.run_raw w inj in
+  let e =
+    {
+      Core.Experiment.outcome =
+        Core.Outcome.classify ~golden_output:w.Core.Workload.golden.output res;
+      activated = Core.Injector.activated inj;
+      first = Core.Injector.first_injection inj;
+      dyn_count = res.dyn_count;
+      output = res.output;
+    }
+  in
+  (e, Core.Injector.injections inj)
+
+(* Batched vs unbatched over a set of indices, full-log equality. *)
+let check_indices label w spec ~seed ~interval indices =
+  with_checkpoint ~interval true (fun () ->
+      let batched =
+        with_batch true (fun () ->
+            Core.Batch.run_indices_logged w spec ~seed ~indices)
+      in
+      match batched with
+      | None ->
+          (* no checkpoint set for this workload: nothing to compare *)
+          ()
+      | Some batched ->
+          let base = Prng.of_seed seed in
+          Array.iteri
+            (fun k i ->
+              let e_b, log_b = batched.(k) in
+              let e_u, log_u =
+                with_batch false (fun () -> reference w spec ~base i)
+              in
+              let what = Printf.sprintf "%s #%d" label i in
+              Alcotest.(check bool)
+                (what ^ " experiment") true (experiment_equal e_u e_b);
+              Alcotest.(check bool)
+                (what ^ " injection log") true
+                (List.equal injection_equal log_u log_b))
+            indices)
+
+let all_domain_specs domain =
+  [
+    Core.Spec.single ~domain Read;
+    Core.Spec.single ~domain Write;
+    Core.Spec.multi ~domain Read ~max_mbf:3 ~win:(Fixed 0);
+    Core.Spec.multi ~domain Write ~max_mbf:3 ~win:(Fixed 1);
+    Core.Spec.multi ~domain Read ~max_mbf:3 ~win:(Fixed 100);
+    Core.Spec.multi ~domain Write ~max_mbf:4 ~win:(Fixed 0);
+    Core.Spec.multi ~domain Read ~max_mbf:4 ~win:(Fixed 1);
+    Core.Spec.multi ~domain Write ~max_mbf:4 ~win:(Fixed 100);
+  ]
+
+(* Registry programs x all domains x techniques x win in {0,1,100} x
+   m in {1,3,4}: tiny intervals force many distinct restore points, so
+   groups form, split and interleave with the ord = -1 pseudo-group. *)
+let test_registry_differential () =
+  let groups0, members0 = Core.Batch.stats () in
+  List.iter
+    (fun (name, interval) ->
+      let w = registry_workload name in
+      List.iter
+        (fun domain ->
+          List.iter
+            (fun spec ->
+              check_indices
+                (name ^ " " ^ Core.Spec.label spec)
+                w spec ~seed:20260808L ~interval
+                (Array.init 12 (fun k -> k)))
+            (all_domain_specs domain))
+        Core.Domain.all)
+    [ ("crc32", 64); ("qsort", 128) ];
+  let groups1, members1 = Core.Batch.stats () in
+  Alcotest.(check bool) "groups actually formed" true (groups1 > groups0);
+  Alcotest.(check bool)
+    "groups amortise (fewer groups than members)" true
+    (members1 - members0 > groups1 - groups0)
+
+(* Random programs under the same product of axes (reduced index count
+   to keep the suite fast). *)
+let prop_random_differential =
+  QCheck.Test.make ~name:"batched run matches unbatched (random programs)"
+    ~count:40
+    (QCheck.make Suite_differential.case_gen)
+    (fun (ops, seeds) ->
+      let seeds = if seeds = [] then [ 1L ] else seeds in
+      let ops = Suite_differential.sanitize ops seeds in
+      let m = Suite_differential.build_program ops seeds in
+      (match Core.Workload.make ~name:"rand" m with
+      | exception Invalid_argument _ -> ()
+      | w ->
+          List.iter
+            (fun domain ->
+              List.iter
+                (fun (technique, max_mbf, win) ->
+                  let spec =
+                    if max_mbf = 1 then Core.Spec.single ~domain technique
+                    else
+                      Core.Spec.multi ~domain technique ~max_mbf
+                        ~win:(Fixed win)
+                  in
+                  check_indices
+                    ("rand " ^ Core.Spec.label spec)
+                    w spec ~seed:7L ~interval:2 [| 0; 1; 2; 3 |])
+                [
+                  (Core.Technique.Read, 1, 0);
+                  (Core.Technique.Write, 3, 0);
+                  (Core.Technique.Read, 3, 1);
+                  (Core.Technique.Write, 3, 100);
+                  (Core.Technique.Read, 4, 1);
+                  (Core.Technique.Write, 4, 100);
+                ])
+            Core.Domain.all);
+      true)
+
+(* Whole campaigns across the batch switch — sequential and through the
+   engine at jobs in {1,4} — must be equal down to kept experiments. *)
+let test_campaign_switch () =
+  List.iter
+    (fun domain ->
+      let w = registry_workload "qsort" in
+      let spec = Core.Spec.multi ~domain Read ~max_mbf:3 ~win:(Fixed 10) in
+      with_checkpoint ~interval:100 true (fun () ->
+          let off =
+            with_batch false (fun () ->
+                Core.Campaign.run ~keep_experiments:true w spec ~n:60 ~seed:99L)
+          in
+          let on =
+            with_batch true (fun () ->
+                Core.Campaign.run ~keep_experiments:true w spec ~n:60 ~seed:99L)
+          in
+          Alcotest.(check bool)
+            (Core.Domain.to_string domain ^ " campaign equal across switch")
+            true
+            (Core.Campaign.equal_result off on);
+          List.iter
+            (fun jobs ->
+              let eng =
+                with_batch true (fun () ->
+                    Engine.run_campaign ~jobs ~shard_size:10
+                      ~keep_experiments:true w spec ~n:60 ~seed:99L)
+              in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s batched engine jobs=%d equals unbatched"
+                   (Core.Domain.to_string domain)
+                   jobs)
+                true
+                (Core.Campaign.equal_result off eng))
+            [ 1; 4 ]))
+    Core.Domain.all
+
+(* Restore amortisation is observable: a batched campaign performs
+   strictly fewer full restores than experiments, and baseline resets
+   appear; unbatched performs no baseline resets. *)
+let test_restore_amortisation () =
+  let w = registry_workload "crc32" in
+  let spec = Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 10) in
+  with_checkpoint ~interval:64 true (fun () ->
+      (* Warm up golden/checkpoint recording outside the measured span. *)
+      ignore (Core.Workload.ensure_checkpoints w);
+      let full0, undo0 = Vm.Memory.restore_stats () in
+      let _ =
+        with_batch false (fun () -> Core.Campaign.run w spec ~n:100 ~seed:5L)
+      in
+      let full1, undo1 = Vm.Memory.restore_stats () in
+      Alcotest.(check int) "unbatched: no baseline resets" 0 (undo1 - undo0);
+      let _ =
+        with_batch true (fun () -> Core.Campaign.run w spec ~n:100 ~seed:5L)
+      in
+      let full2, undo2 = Vm.Memory.restore_stats () in
+      Alcotest.(check bool) "batched: baseline resets appear" true
+        (undo2 - undo1 > 0);
+      Alcotest.(check bool) "batched: fewer full restores" true
+        (full2 - full1 < full1 - full0);
+      Alcotest.(check int)
+        "batched: every resumed member restored once either way"
+        (full1 - full0)
+        ((full2 - full1) + (undo2 - undo1)))
+
+(* Memory baseline overlay semantics (the intra-group step). *)
+let test_memory_baseline () =
+  let region = Bytes.init 64 (fun i -> Char.chr (i land 0xFF)) in
+  let tmpl =
+    Vm.Memory.create_template ~size:4096 ~regions:[ (1024, region) ]
+  in
+  let m = Vm.Memory.with_undo tmpl in
+  (* Build a mid-run image and snapshot it. *)
+  Vm.Memory.write_int m ~width:4 ~addr:1024 0xBEEF;
+  Vm.Memory.write_int m ~width:8 ~addr:1056 42;
+  let snap = Vm.Memory.snapshot_pages m in
+  Vm.Memory.reset m;
+  (* Install as baseline; arena must equal the snapshot image. *)
+  Vm.Memory.set_baseline m snap;
+  Alcotest.(check int) "baseline word" 0xBEEF
+    (Vm.Memory.read_int m ~width:4 ~addr:1024);
+  Alcotest.check_raises "snapshot refused under baseline"
+    (Invalid_argument "Memory.snapshot_pages: baseline overlay installed")
+    (fun () -> ignore (Vm.Memory.snapshot_pages m));
+  (* Dirty baseline and non-baseline pages, then rewind to baseline. *)
+  Vm.Memory.write_int m ~width:4 ~addr:1024 7;
+  Vm.Memory.write_int m ~width:1 ~addr:1060 9;
+  Vm.Memory.reset_to_baseline m;
+  Alcotest.(check int) "baseline page rewound to overlay" 0xBEEF
+    (Vm.Memory.read_int m ~width:4 ~addr:1024);
+  Alcotest.(check int) "baseline second word intact" 42
+    (Vm.Memory.read_int m ~width:8 ~addr:1056);
+  (* reset_to_baseline must reproduce restore_pages exactly. *)
+  let m2 = Vm.Memory.with_undo tmpl in
+  Vm.Memory.restore_pages m2 snap;
+  Alcotest.(check bool) "baseline reset == restore_pages" true
+    (Bytes.equal
+       (Vm.Memory.peek_bytes m ~addr:0 ~len:4096)
+       (Vm.Memory.peek_bytes m2 ~addr:0 ~len:4096));
+  (* A plain reset drops the overlay and returns to the template. *)
+  Vm.Memory.reset m;
+  Alcotest.(check bool) "reset returns to template" true
+    (Bytes.equal
+       (Vm.Memory.peek_bytes m ~addr:0 ~len:4096)
+       (Vm.Memory.peek_bytes tmpl ~addr:0 ~len:4096));
+  Alcotest.check_raises "no baseline after reset"
+    (Invalid_argument "Memory.reset_to_baseline: no baseline installed")
+    (fun () -> Vm.Memory.reset_to_baseline m)
+
+(* Satellite regression: a record from a batched campaign reproduces
+   field-for-field through the unbatched full-execution replay path —
+   what `onebit reproduce` runs regardless of ONEBIT_BATCH. *)
+let test_reproduce_from_batched_record () =
+  List.iter
+    (fun domain ->
+      let w = registry_workload "crc32" in
+      let spec = Core.Spec.multi ~domain Write ~max_mbf:3 ~win:(Fixed 10) in
+      let n = 30 and seed = 13L in
+      let r =
+        with_checkpoint ~interval:64 true (fun () ->
+            with_batch true (fun () ->
+                Core.Campaign.run ~keep_experiments:true w spec ~n ~seed))
+      in
+      List.iter
+        (fun index ->
+          let stored = r.Core.Campaign.experiments.(index) in
+          let inj =
+            Core.Injector.create ~spec
+              ~candidates:(Core.Workload.candidates w spec)
+              (Prng.split_at (Prng.of_seed seed) index)
+          in
+          (* The replay path: full execution, no checkpoint restore, no
+             batching, whatever the process-wide switches say. *)
+          let res =
+            with_batch true (fun () ->
+                Core.Experiment.run_raw ~checkpoint:false w inj)
+          in
+          let outcome =
+            Core.Outcome.classify ~golden_output:w.golden.output res
+          in
+          let what =
+            Printf.sprintf "%s #%d" (Core.Spec.label spec) index
+          in
+          Alcotest.(check bool) (what ^ " outcome") true
+            (stored.outcome = outcome);
+          Alcotest.(check int) (what ^ " activated") stored.activated
+            (Core.Injector.activated inj);
+          Alcotest.(check int) (what ^ " dyn") stored.dyn_count res.dyn_count;
+          Alcotest.(check string) (what ^ " output") stored.output res.output;
+          Alcotest.(check bool) (what ^ " first injection") true
+            (match (stored.first, Core.Injector.first_injection inj) with
+            | None, None -> true
+            | Some a, Some b -> injection_equal a b
+            | _ -> false))
+        [ 0; 7; 19; 29 ])
+    Core.Domain.all
+
+let suites =
+  [
+    ( "batch",
+      [
+        Alcotest.test_case "registry differential (all domains)" `Quick
+          test_registry_differential;
+        QCheck_alcotest.to_alcotest prop_random_differential;
+        Alcotest.test_case "campaign equal across batch switch" `Quick
+          test_campaign_switch;
+        Alcotest.test_case "restore amortisation observable" `Quick
+          test_restore_amortisation;
+        Alcotest.test_case "memory baseline overlay" `Quick
+          test_memory_baseline;
+        Alcotest.test_case "reproduce from batched record" `Quick
+          test_reproduce_from_batched_record;
+      ] );
+  ]
