@@ -631,6 +631,127 @@ let run_perf () =
    close_out oc);
   Printf.printf "(wrote BENCH_9.json)\n";
   print_newline ();
+  section
+    "Adaptive sequential sampling: fixed-N grid vs CI-targeted rounds";
+  (* The mini-grid of the adaptive study: three programs x three fault
+     domains, one cell per pair.  The fixed-N baseline spends the cap on
+     every cell; the adaptive sampler stops each cell at the first shard
+     boundary whose SDC Wilson half-width reaches the target, and every
+     experiment it runs is the fixed-N campaign's prefix. *)
+  let adaptive_cap = 600 and adaptive_target = 0.06 in
+  let adaptive_progs = [ "crc32"; "qsort"; "nn" ] in
+  let adaptive_domains =
+    [ Core.Domain.Reg; Core.Domain.Mem; Core.Domain.Code ]
+  in
+  let adaptive_cells =
+    List.concat_map
+      (fun name ->
+        let e = Option.get (Bench_suite.Registry.find name) in
+        let w =
+          Core.Workload.make ~name ~expected_output:(e.reference ())
+            (e.build ())
+        in
+        List.map
+          (fun domain ->
+            {
+              Engine.Adaptive.c_workload = w;
+              c_spec = Core.Spec.single ~domain Read;
+              c_cap = adaptive_cap;
+              c_seed = 5L;
+            })
+          adaptive_domains)
+      adaptive_progs
+  in
+  let t0 = Unix.gettimeofday () in
+  let fixed_results =
+    List.map
+      (fun (c : Engine.Adaptive.cell) ->
+        Engine.run_campaign ~jobs:1 c.c_workload c.c_spec ~n:c.c_cap
+          ~seed:c.c_seed)
+      adaptive_cells
+  in
+  let fixed_t = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let adaptive_results, adaptive_stats =
+    Engine.Adaptive.run_grid ~jobs:1 ~target:adaptive_target adaptive_cells
+  in
+  let adaptive_t = Unix.gettimeofday () -. t0 in
+  Printf.printf "%-10s %-6s %8s %9s %8s %6s   (target +/-%g, cap %d)\n"
+    "program" "domain" "fixed-N" "adaptive" "hw" "met" adaptive_target
+    adaptive_cap;
+  let adaptive_rows =
+    List.map2
+      (fun (cr : Engine.Adaptive.cell_result) fixed ->
+        (* The prefix assert: the adaptive cell's merged result must be
+           byte-identical to a fixed-N campaign of the stopping N. *)
+        let prefix =
+          Engine.run_campaign ~jobs:1 cr.r_cell.c_workload cr.r_cell.c_spec
+            ~n:cr.r_closed_at ~seed:cr.r_cell.c_seed
+        in
+        let identical = Core.Campaign.equal_result prefix cr.r_result in
+        let hw =
+          Stats.Proportion.(
+            half_width
+              (wilson ~successes:cr.r_result.Core.Campaign.sdc
+                 ~trials:cr.r_result.Core.Campaign.n ()))
+        in
+        ignore fixed;
+        Printf.printf "%-10s %-6s %8d %9d %8.4f %6s   %s\n"
+          cr.r_cell.c_workload.Core.Workload.name
+          (Core.Domain.to_string cr.r_cell.c_spec.Core.Spec.domain)
+          adaptive_cap cr.r_closed_at hw
+          (if cr.r_met then "yes" else "no")
+          (if identical then "bit-identical prefix" else "!! MISMATCH");
+        (cr, hw, identical))
+      adaptive_results fixed_results
+  in
+  let total_fixed = adaptive_cap * List.length adaptive_cells in
+  let total_adaptive =
+    List.fold_left
+      (fun a (cr, _, _) -> a + cr.Engine.Adaptive.r_closed_at)
+      0 adaptive_rows
+  in
+  let exp_ratio = float_of_int total_fixed /. float_of_int total_adaptive in
+  Printf.printf
+    "experiments: fixed-N %d, adaptive %d (%.2fx fewer, %d saved)\n"
+    total_fixed total_adaptive exp_ratio adaptive_stats.g_saved;
+  Printf.printf "wall-clock:  fixed-N %.2fs, adaptive %.2fs (%.2fx)\n" fixed_t
+    adaptive_t (fixed_t /. adaptive_t);
+  (let oc = open_out "BENCH_10.json" in
+   Printf.fprintf oc
+     "{\n\
+     \  \"pr\": 10,\n\
+     \  \"bench\": \"adaptive_vs_fixed_n\",\n\
+     \  \"ci_target\": %g,\n\
+     \  \"cap\": %d,\n\
+     \  \"seed\": 5,\n\
+     \  \"rounds\": %d,\n\
+     \  \"experiments_fixed\": %d,\n\
+     \  \"experiments_adaptive\": %d,\n\
+     \  \"experiments_saved\": %d,\n\
+     \  \"experiment_ratio\": %.3f,\n\
+     \  \"fixed_s\": %.4f,\n\
+     \  \"adaptive_s\": %.4f,\n\
+     \  \"wall_clock_ratio\": %.3f,\n\
+     \  \"cells\": [\n"
+     adaptive_target adaptive_cap adaptive_stats.g_rounds total_fixed
+     total_adaptive adaptive_stats.g_saved exp_ratio fixed_t adaptive_t
+     (fixed_t /. adaptive_t);
+   List.iteri
+     (fun i ((cr : Engine.Adaptive.cell_result), hw, identical) ->
+       Printf.fprintf oc
+         "    {\"program\": %S, \"domain\": %S, \"cap\": %d, \
+          \"closed_at\": %d, \"half_width\": %.5f, \"met\": %b, \
+          \"prefix_bit_identical\": %b}%s\n"
+         cr.r_cell.c_workload.Core.Workload.name
+         (Core.Domain.to_string cr.r_cell.c_spec.Core.Spec.domain)
+         adaptive_cap cr.r_closed_at hw cr.r_met identical
+         (if i = List.length adaptive_rows - 1 then "" else ","))
+     adaptive_rows;
+   output_string oc "  ]\n}\n";
+   close_out oc);
+  Printf.printf "(wrote BENCH_10.json)\n";
+  print_newline ();
   section "Engine scaling: one campaign, sequential vs parallel";
   let spec = Core.Spec.multi Read ~max_mbf:3 ~win:(Fixed 10) in
   let n = 800 in

@@ -155,10 +155,10 @@ let trace_arg =
    once at startup (see the main entry point); flag-given sinks are
    added here. *)
 let resolve_config ?jobs ?store ?metrics ?trace ?incremental ?coord ?lease_ttl
-    ?domain () =
+    ?domain ?adaptive ?ci_target () =
   let cfg =
     Core.Config.override ?jobs ?store ?metrics ?trace ?incremental ?coord
-      ?lease_ttl ?domain (Core.Config.of_env ())
+      ?lease_ttl ?domain ?adaptive ?ci_target (Core.Config.of_env ())
   in
   Obs.install_sink ?metrics ?trace ();
   cfg
@@ -200,6 +200,28 @@ let incremental_arg =
            share of the experiments re-runs — and the composed result is \
            bit-identical to a full run.  A reuse summary is printed to \
            stderr.")
+
+let adaptive_arg =
+  Arg.(
+    value & flag
+    & info [ "adaptive" ]
+        ~doc:
+          "CI-targeted sequential sampling (see also $(b,ONEBIT_ADAPTIVE)): \
+           run the campaign in rounds, stop as soon as the SDC Wilson 95% \
+           CI half-width reaches the target ($(b,--ci-target)), and treat \
+           $(b,--n) as the cap.  Every experiment run is the one the \
+           fixed-N campaign would run, so the result is byte-identical to \
+           a fixed-N campaign of the stopping N.")
+
+let ci_target_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "ci-target" ] ~docv:"HW"
+        ~doc:
+          "Adaptive stopping target: the Wilson 95% CI half-width, as a \
+           proportion in (0, 1), at which a cell stops sampling (overrides \
+           $(b,ONEBIT_CI); default 0.02).")
 
 (* Incremental composition needs somewhere to cache the profiles. *)
 let require_incremental_store = function
@@ -278,17 +300,48 @@ let golden_cmd =
 
 let campaign_cmd =
   let run program domain technique max_mbf win n seed csv jobs store_dir
-      metrics trace incremental =
+      metrics trace incremental adaptive ci_target =
     let cfg =
       resolve_config ?jobs ?store:store_dir ?metrics ?trace ?domain
         ?incremental:(if incremental then Some true else None)
-        ()
+        ?adaptive:(if adaptive then Some true else None)
+        ?ci_target ()
     in
     let w = load_workload program in
     let spec = spec_of ~domain:cfg.Core.Config.domain technique max_mbf win in
     let r =
       with_store cfg.Core.Config.store (fun store ->
-          if cfg.Core.Config.incremental then begin
+          if cfg.Core.Config.adaptive then begin
+            if cfg.Core.Config.incremental then begin
+              Printf.eprintf
+                "--adaptive and --incremental are mutually exclusive\n";
+              exit 2
+            end;
+            let cell =
+              {
+                Engine.Adaptive.c_workload = w;
+                c_spec = spec;
+                c_cap = n;
+                c_seed = seed;
+              }
+            in
+            let results, stats =
+              Engine.Adaptive.run_grid ~jobs:cfg.Core.Config.jobs ?store
+                ~log:(fun line -> Printf.eprintf "%s\n%!" line)
+                ~target:cfg.Core.Config.ci_target [ cell ]
+            in
+            let cr = List.hd results in
+            Printf.eprintf
+              "adaptive: closed at n=%d of cap %d (%s, half-width target \
+               %g) after %d rounds; %d experiments saved, %d from store\n"
+              cr.Engine.Adaptive.r_closed_at n
+              (if cr.Engine.Adaptive.r_met then "CI target met"
+               else "cap exhausted")
+              cfg.Core.Config.ci_target stats.Engine.Adaptive.g_rounds
+              stats.Engine.Adaptive.g_saved stats.Engine.Adaptive.g_from_store;
+            cr.Engine.Adaptive.r_result
+          end
+          else if cfg.Core.Config.incremental then begin
             let store = require_incremental_store store in
             let r, stats =
               Engine.Incremental.run ~jobs:cfg.Core.Config.jobs ~store w spec
@@ -309,7 +362,7 @@ let campaign_cmd =
     else begin
       let ci = Core.Campaign.sdc_ci r in
       Printf.printf "campaign:   %s on %s (n=%d, seed=%Ld)\n"
-        (Core.Spec.label spec) program n seed;
+        (Core.Spec.label spec) program r.n seed;
       Printf.printf "benign:     %d\n" r.benign;
       Printf.printf "detected:   %d" r.detected;
       if r.traps <> [] then
@@ -339,7 +392,7 @@ let campaign_cmd =
     Term.(
       const run $ program_arg $ domain_arg $ technique_arg $ mbf_arg $ win_arg
       $ n_arg $ seed_arg $ csv_arg $ jobs_arg $ store_arg $ metrics_arg
-      $ trace_arg $ incremental_arg)
+      $ trace_arg $ incremental_arg $ adaptive_arg $ ci_target_arg)
 
 (* ---- plan ---- *)
 
@@ -680,7 +733,7 @@ let digests_cmd =
 (* ---- diff-campaign ---- *)
 
 let diff_campaign_cmd =
-  let run old_file new_file =
+  let run tolerance old_file new_file =
     (* A grid CSV row: the first five columns identify the campaign cell,
        the next five are the outcome counters.  The technique column
        carries the fault domain as a "mem:"/"code:" prefix (bare for the
@@ -721,45 +774,105 @@ let diff_campaign_cmd =
         lines
     in
     let old_rows = load old_file and new_rows = load new_file in
-    let cell_label (wl, dom, tech, mbf, win, n) =
-      let tech = if dom = "reg" then tech else dom ^ ":" ^ tech in
-      Printf.sprintf "%s %s m=%s w=%s n=%s" wl tech mbf win n
-    in
     let outcome_names = [ "benign"; "detected"; "hang"; "no-output"; "sdc" ] in
     let changed = ref 0 and compared = ref 0 in
-    List.iter
-      (fun (key, nw) ->
-        match List.assoc_opt key old_rows with
-        | None -> ()
-        | Some od ->
-            incr compared;
-            let ds = List.map2 (fun a b -> b - a) od nw in
-            if List.exists (fun d -> d <> 0) ds then begin
-              incr changed;
-              let parts =
-                List.map2
-                  (fun name d ->
-                    if d = 0 then None else Some (Printf.sprintf "%s %+d" name d))
-                  outcome_names ds
-                |> List.filter_map Fun.id
-              in
-              Printf.printf "%s: %s\n" (cell_label key)
-                (String.concat ", " parts)
-            end)
-      new_rows;
-    let only_in tag rows others =
+    let diff_keyed cell_label judge old_rows new_rows =
       List.iter
-        (fun (key, _) ->
-          if not (List.mem_assoc key others) then begin
-            incr changed;
-            Printf.printf "%s: only in %s\n" (cell_label key) tag
-          end)
-        rows
+        (fun (key, nw) ->
+          match List.assoc_opt key old_rows with
+          | None -> ()
+          | Some od ->
+              incr compared;
+              let parts = judge od nw in
+              if parts <> [] then begin
+                incr changed;
+                Printf.printf "%s: %s\n" (cell_label key)
+                  (String.concat ", " parts)
+              end)
+        new_rows;
+      let only_in tag rows others =
+        List.iter
+          (fun (key, _) ->
+            if not (List.mem_assoc key others) then begin
+              incr changed;
+              Printf.printf "%s: only in %s\n" (cell_label key) tag
+            end)
+          rows
+      in
+      only_in "OLD" old_rows new_rows;
+      only_in "NEW" new_rows old_rows
     in
-    only_in "OLD" old_rows new_rows;
-    only_in "NEW" new_rows old_rows;
+    (match tolerance with
+    | `Exact ->
+        let cell_label (wl, dom, tech, mbf, win, n) =
+          let tech = if dom = "reg" then tech else dom ^ ":" ^ tech in
+          Printf.sprintf "%s %s m=%s w=%s n=%s" wl tech mbf win n
+        in
+        let judge od nw =
+          List.map2
+            (fun name (a, b) ->
+              if b = a then None
+              else Some (Printf.sprintf "%s %+d" name (b - a)))
+            outcome_names (List.combine od nw)
+          |> List.filter_map Fun.id
+        in
+        diff_keyed cell_label judge old_rows new_rows
+    | `Ci ->
+        (* Statistical drift detection: the cell key drops N so a
+           fixed-N campaign compares against an adaptive (or any
+           different-N) rerun of the same cell, and an outcome counter
+           only counts as drift when the two Wilson 95% intervals are
+           disjoint — sampling noise at different N is expected, a
+           separated proportion is not. *)
+        let rekey file rows =
+          List.map
+            (fun ((wl, dom, tech, mbf, win, n), counts) ->
+              match int_of_string_opt n with
+              | Some trials when trials > 0 ->
+                  ((wl, dom, tech, mbf, win), (trials, counts))
+              | _ ->
+                  Printf.eprintf "%s: malformed n column for %s\n" file wl;
+                  exit 2)
+            rows
+        in
+        let old_rows = rekey old_file old_rows
+        and new_rows = rekey new_file new_rows in
+        let cell_label (wl, dom, tech, mbf, win) =
+          let tech = if dom = "reg" then tech else dom ^ ":" ^ tech in
+          Printf.sprintf "%s %s m=%s w=%s" wl tech mbf win
+        in
+        let disjoint (n1, k1) (n2, k2) =
+          let c1 = Stats.Proportion.wilson ~successes:k1 ~trials:n1 ()
+          and c2 = Stats.Proportion.wilson ~successes:k2 ~trials:n2 () in
+          c1.Stats.Proportion.hi < c2.Stats.Proportion.lo
+          || c2.Stats.Proportion.hi < c1.Stats.Proportion.lo
+        in
+        let judge (on, oc) (nn, nc) =
+          List.map2
+            (fun name (ok, nk) ->
+              if disjoint (on, ok) (nn, nk) then
+                Some
+                  (Printf.sprintf "%s %d/%d vs %d/%d (disjoint CIs)" name ok
+                     on nk nn)
+              else None)
+            outcome_names (List.combine oc nc)
+          |> List.filter_map Fun.id
+        in
+        diff_keyed cell_label judge old_rows new_rows);
     Printf.printf "%d cells compared, %d differ\n" !compared !changed;
     if !changed > 0 then exit 1
+  in
+  let tolerance_arg =
+    Arg.(
+      value
+      & opt (enum [ ("exact", `Exact); ("ci", `Ci) ]) `Exact
+      & info [ "tolerance" ] ~docv:"MODE"
+          ~doc:
+            "$(b,exact) (default) compares counters cell by cell with N in \
+             the key; $(b,ci) drops N from the key and reports a drift \
+             only when an outcome's old and new Wilson 95% intervals are \
+             disjoint — the mode for comparing a fixed-N baseline against \
+             an adaptive rerun.")
   in
   let old_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD")
@@ -775,8 +888,10 @@ let diff_campaign_cmd =
           (workload, domain, technique, max_mbf, win_size, n) — the fault \
           domain rides in the technique column as a $(b,mem:)/$(b,code:) \
           prefix.  Prints each outcome-column delta and the cells present \
-          in only one file; exits 1 if anything differs.")
-    Term.(const run $ old_arg $ new_arg)
+          in only one file; exits 1 if anything differs.  With \
+          $(b,--tolerance ci), N leaves the key and only statistically \
+          significant drifts (disjoint Wilson intervals) count.")
+    Term.(const run $ tolerance_arg $ old_arg $ new_arg)
 
 (* ---- lint ---- *)
 
@@ -976,9 +1091,11 @@ let ttl_arg =
 
 let serve_cmd =
   let run programs domain technique max_mbf win n seed ttl listen workers
-      store_dir metrics trace =
+      store_dir metrics trace adaptive ci_target =
     let cfg =
-      resolve_config ?store:store_dir ?metrics ?trace ?lease_ttl:ttl ?domain ()
+      resolve_config ?store:store_dir ?metrics ?trace ?lease_ttl:ttl ?domain
+        ?adaptive:(if adaptive then Some true else None)
+        ?ci_target ()
     in
     let addr_spec =
       match listen with
@@ -1003,12 +1120,22 @@ let serve_cmd =
     in
     with_store cfg.Core.Config.store (fun store ->
         let coord =
-          Fleet.Coord.create ~ttl:cfg.Core.Config.lease_ttl ?store ~cells ()
+          Fleet.Coord.create ~ttl:cfg.Core.Config.lease_ttl ?store
+            ?ci_target:
+              (if cfg.Core.Config.adaptive then
+                 Some cfg.Core.Config.ci_target
+               else None)
+            ~cells ()
         in
         let srv = Fleet.Coord.listen coord addr in
         let addr_s = Fleet.addr_to_string (Fleet.Coord.bound_addr srv) in
-        Printf.eprintf "coordinator: %s (%d tasks, lease ttl %.1fs)\n%!" addr_s
+        Printf.eprintf "coordinator: %s (%d tasks%s, lease ttl %.1fs)\n%!"
+          addr_s
           (Fleet.Coord.total_tasks coord)
+          (if cfg.Core.Config.adaptive then
+             Printf.sprintf " in round 0, adaptive ci-target %g"
+               cfg.Core.Config.ci_target
+           else "")
           (Fleet.Coord.ttl coord);
         (* Self-spawned workers connect back over the same address; the
            listener is already bound, so they can never race the accept
@@ -1021,6 +1148,16 @@ let serve_cmd =
         in
         Fleet.Coord.serve srv;
         List.iter (fun pid -> ignore (Unix.waitpid [] pid)) children;
+        (match Fleet.Coord.adaptive_summary coord with
+        | None -> ()
+        | Some rows ->
+            List.iter
+              (fun ((c : Fleet.Proto.cell), closed_at, met) ->
+                Printf.eprintf
+                  "adaptive: %s closed at n=%d of cap %d (%s)\n"
+                  c.Fleet.Proto.c_program closed_at c.Fleet.Proto.c_n
+                  (if met then "CI target met" else "cap exhausted"))
+              rows);
         print_endline Core.Csv.header;
         List.iter
           (fun (_, r) -> print_endline (Core.Csv.row r))
@@ -1061,7 +1198,7 @@ let serve_cmd =
     Term.(
       const run $ programs_arg $ domain_arg $ technique_arg $ mbf_arg
       $ win_arg $ n_arg $ seed_arg $ ttl_arg $ listen_arg $ workers_arg
-      $ store_arg $ metrics_arg $ trace_arg)
+      $ store_arg $ metrics_arg $ trace_arg $ adaptive_arg $ ci_target_arg)
 
 let work_cmd =
   let run connect id store_dir metrics trace =
@@ -1162,6 +1299,10 @@ let print_fleet_state addr_spec (s : Fleet.Proto.state) =
     s.st_completed s.st_tasks
     (List.length s.st_leases)
     s.st_reassigned;
+  if s.st_adaptive then
+    Printf.printf "adaptive:    round %d, %d cell%s still open\n" s.st_rounds
+      s.st_open
+      (if s.st_open = 1 then "" else "s");
   Printf.printf "finished:    %s\n" (if s.st_finished then "yes" else "no");
   if s.st_workers <> [] then begin
     print_newline ();

@@ -1,0 +1,304 @@
+(* Fixed-point neural-network inference: a two-layer Q8.8 MLP classifying
+   8x8 digit bitmaps.
+
+   The first ten hidden units are matched filters for the ten digit
+   prototypes (positive weight on the prototype's pixels, a small
+   negative weight elsewhere); the remaining units carry pseudo-random
+   weights so the weight arena has realistic mass and entropy.  The
+   output layer passes each matched filter straight through to its
+   class, so the argmax over the ten scores is the digit whose
+   prototype the input most resembles.  The input set is prototypes
+   with one pixel toggled — a known-answer test (ground truth below,
+   asserted by the suite tests).
+
+   All arithmetic is Q8.8 fixed point on I32: weights are raw
+   fractional values (256 = 1.0), pixels are 0 or 256, and every
+   product is rescaled with an arithmetic shift right by 8.
+   Magnitudes stay far below 2^31, so the OCaml reference mirrors the
+   VM byte-exactly with plain int arithmetic.
+
+   The weight arena is deliberately the largest memory image in the
+   suite (~54 KB small, ~69 KB large): weight-bit flips a la
+   BitFlipScope/SBFA are a huge, extremely skewed error space — most
+   flips land in low-order bits or in filters the argmax ignores — and
+   that skew is exactly what the adaptive sampler (Engine.Adaptive) is
+   for. *)
+
+module B = Ir.Build
+
+let side = 8
+let npix = side * side
+let nclasses = 10
+
+(* 8x8 digit prototypes; '#' = pixel on. *)
+let glyphs =
+  [|
+    (* 0 *)
+    [| "........";
+       ".####...";
+       "#....#..";
+       "#....#..";
+       "#....#..";
+       "#....#..";
+       ".####...";
+       "........" |];
+    (* 1 *)
+    [| "........";
+       "..##....";
+       ".#.#....";
+       "...#....";
+       "...#....";
+       "...#....";
+       ".#####..";
+       "........" |];
+    (* 2 *)
+    [| "........";
+       ".####...";
+       "#....#..";
+       "....#...";
+       "...#....";
+       "..#.....";
+       "######..";
+       "........" |];
+    (* 3 *)
+    [| "........";
+       "#####...";
+       ".....#..";
+       "..###...";
+       ".....#..";
+       "#....#..";
+       ".####...";
+       "........" |];
+    (* 4 *)
+    [| "........";
+       "...##...";
+       "..#.#...";
+       ".#..#...";
+       "######..";
+       "....#...";
+       "....#...";
+       "........" |];
+    (* 5 *)
+    [| "........";
+       "######..";
+       "#.......";
+       "#####...";
+       ".....#..";
+       "#....#..";
+       ".####...";
+       "........" |];
+    (* 6 *)
+    [| "........";
+       "..###...";
+       ".#......";
+       "#####...";
+       "#....#..";
+       "#....#..";
+       ".####...";
+       "........" |];
+    (* 7 *)
+    [| "........";
+       "######..";
+       ".....#..";
+       "....#...";
+       "...#....";
+       "..#.....";
+       "..#.....";
+       "........" |];
+    (* 8 *)
+    [| "........";
+       ".####...";
+       "#....#..";
+       ".####...";
+       "#....#..";
+       "#....#..";
+       ".####...";
+       "........" |];
+    (* 9 *)
+    [| "........";
+       ".####...";
+       "#....#..";
+       "#....#..";
+       ".#####..";
+       "......#.";
+       ".####...";
+       "........" |];
+  |]
+
+let proto d =
+  Array.init npix (fun i ->
+      if glyphs.(d).(i / side).[i mod side] = '#' then 1 else 0)
+
+(* ---- baked parameters, shared by the IR build and the reference ---- *)
+
+(* Row j < 10 is the matched filter for digit j; rows beyond are
+   pseudo-random ballast in [-32, 32]. *)
+let w1 ~hidden =
+  let noise = Util.gen ~seed:88 ~n:(hidden * npix) ~bound:65 in
+  Array.init (hidden * npix) (fun idx ->
+      let j = idx / npix and i = idx mod npix in
+      if j < nclasses then if (proto j).(i) = 1 then 48 else -12
+      else noise.(idx) - 32)
+
+let b1 ~hidden =
+  let noise = Util.gen ~seed:89 ~n:hidden ~bound:33 in
+  Array.init hidden (fun j -> if j < nclasses then 0 else noise.(j) - 16)
+
+(* Identity passthrough for the matched filters; zero elsewhere (zero
+   weights are still injection targets — a flipped bit turns one on). *)
+let w2 ~hidden =
+  Array.init (nclasses * hidden) (fun idx ->
+      let k = idx / hidden and j = idx mod hidden in
+      if j = k then 256 else 0)
+
+let b2 = Array.make nclasses 0
+
+(* The known-answer input set: each listed digit's prototype with one
+   deterministically chosen pixel toggled. *)
+let inputs_of labels =
+  List.map
+    (fun d ->
+      let px = proto d in
+      let t = ((13 * d) + 5) mod npix in
+      px.(t) <- 1 - px.(t);
+      px)
+    labels
+
+(* ---- the program ---- *)
+
+let make ~name ~hidden ~labels =
+  let inputs = inputs_of labels in
+  let ninputs = List.length inputs in
+  let input_bytes = Array.concat inputs in
+  let w1 = w1 ~hidden and b1 = b1 ~hidden and w2 = w2 ~hidden in
+  let build () =
+    let m = B.create () in
+    B.global_u8s m "inputs" input_bytes;
+    B.global_i32s m "w1" w1;
+    B.global_i32s m "b1" b1;
+    B.global_i32s m "w2" w2;
+    B.global_i32s m "b2" b2;
+    B.global_zeros m "xq" (npix * 4);
+    B.global_zeros m "hidden" (hidden * 4);
+    B.func m "main" ~params:[] ~ret:None (fun f ->
+        B.for_ f ~from_:(B.ci 0) ~below:(B.ci ninputs) (fun p ->
+            (* Quantise this input's pixels to Q8.8 (0 or 256). *)
+            let base = B.mul f I32 p (B.ci npix) in
+            B.for_ f ~from_:(B.ci 0) ~below:(B.ci npix) (fun i ->
+                let bp =
+                  B.gep f ~base:(B.glob "inputs")
+                    ~index:(B.add f I32 base i) ~scale:1
+                in
+                let pix = B.cast f Zext ~from_ty:I8 ~to_ty:I32 (B.load f I8 bp) in
+                let q = B.shl f I32 pix (B.ci 8) in
+                let xp = B.gep f ~base:(B.glob "xq") ~index:i ~scale:4 in
+                B.store f I32 ~value:q ~addr:xp);
+            (* Hidden layer: h_j = relu(b1_j + sum_i (w1_ji * x_i) >> 8). *)
+            B.for_ f ~from_:(B.ci 0) ~below:(B.ci hidden) (fun j ->
+                let acc =
+                  B.local_init f I32
+                    (B.load f I32 (B.gep f ~base:(B.glob "b1") ~index:j ~scale:4))
+                in
+                let row = B.mul f I32 j (B.ci npix) in
+                B.for_ f ~from_:(B.ci 0) ~below:(B.ci npix) (fun i ->
+                    let wp =
+                      B.gep f ~base:(B.glob "w1")
+                        ~index:(B.add f I32 row i) ~scale:4
+                    in
+                    let w = B.load f I32 wp in
+                    let x = B.load f I32 (B.gep f ~base:(B.glob "xq") ~index:i ~scale:4) in
+                    let prod = B.ashr f I32 (B.mul f I32 w x) (B.ci 8) in
+                    B.set f acc (B.add f I32 (B.r acc) prod));
+                let pos = B.sgt f I32 (B.r acc) (B.ci 0) in
+                let h = B.select f I32 ~cond:pos (B.r acc) (B.ci 0) in
+                B.store f I32 ~value:h
+                  ~addr:(B.gep f ~base:(B.glob "hidden") ~index:j ~scale:4));
+            (* Output layer + argmax; every score is emitted, then the
+               predicted class. *)
+            let best = B.local_init f I32 (B.ci (-0x40000000)) in
+            let bidx = B.local_init f I32 (B.ci 0) in
+            B.for_ f ~from_:(B.ci 0) ~below:(B.ci nclasses) (fun k ->
+                let acc =
+                  B.local_init f I32
+                    (B.load f I32 (B.gep f ~base:(B.glob "b2") ~index:k ~scale:4))
+                in
+                let row = B.mul f I32 k (B.ci hidden) in
+                B.for_ f ~from_:(B.ci 0) ~below:(B.ci hidden) (fun j ->
+                    let wp =
+                      B.gep f ~base:(B.glob "w2")
+                        ~index:(B.add f I32 row j) ~scale:4
+                    in
+                    let w = B.load f I32 wp in
+                    let h =
+                      B.load f I32
+                        (B.gep f ~base:(B.glob "hidden") ~index:j ~scale:4)
+                    in
+                    let prod = B.ashr f I32 (B.mul f I32 w h) (B.ci 8) in
+                    B.set f acc (B.add f I32 (B.r acc) prod));
+                B.output f I32 (B.r acc);
+                let gt = B.sgt f I32 (B.r acc) (B.r best) in
+                B.set f bidx (B.select f I32 ~cond:gt k (B.r bidx));
+                B.set f best (B.select f I32 ~cond:gt (B.r acc) (B.r best)));
+            B.output f I32 (B.r bidx)));
+    B.finish m
+  in
+  let reference () =
+    let out = Util.Out.create () in
+    List.iter
+      (fun px ->
+        let x = Array.map (fun p -> p lsl 8) px in
+        let h =
+          Array.init hidden (fun j ->
+              let acc = ref b1.(j) in
+              for i = 0 to npix - 1 do
+                acc := !acc + ((w1.((j * npix) + i) * x.(i)) asr 8)
+              done;
+              if !acc > 0 then !acc else 0)
+        in
+        let best = ref (-0x40000000) and bidx = ref 0 in
+        for k = 0 to nclasses - 1 do
+          let acc = ref b2.(k) in
+          for j = 0 to hidden - 1 do
+            acc := !acc + ((w2.((k * hidden) + j) * h.(j)) asr 8)
+          done;
+          Util.Out.i32 out !acc;
+          if !acc > !best then begin
+            best := !acc;
+            bidx := k
+          end
+        done;
+        Util.Out.i32 out !bidx)
+      inputs;
+    Util.Out.contents out
+  in
+  {
+    Desc.name;
+    suite = "parboil";
+    package = "nn";
+    description =
+      Printf.sprintf
+        "fixed-point Q8.8 two-layer MLP (%d hidden units, ~%d KB of baked \
+         weights) classifying %d perturbed 8x8 digit bitmaps; scores and \
+         argmax emitted per input"
+        hidden
+        (((hidden * npix) + (nclasses * hidden)) * 4 / 1024)
+        ninputs;
+    build;
+    reference;
+  }
+
+(* Ground-truth classes of each entry's input set, for the known-answer
+   tests: the classifier must label a one-pixel-perturbed prototype with
+   its source digit. *)
+let labels = [ 3; 7 ]
+let labels_large = [ 0; 1; 4; 8; 9 ]
+let entry = make ~name:"nn" ~hidden:176 ~labels
+let entry_large = make ~name:"nn-large" ~hidden:224 ~labels:labels_large
+
+(* The class index emitted after each input's ten scores, decoded from
+   an output stream (little-endian i32s, 11 per input). *)
+let predictions output =
+  let n = String.length output / (4 * (nclasses + 1)) in
+  List.init n (fun p ->
+      let off = ((p * (nclasses + 1)) + nclasses) * 4 in
+      Int32.to_int (String.get_int32_le output off))

@@ -65,6 +65,8 @@ type t = {
   coord : string option;
   lease_ttl : float;
   domain : Domain.t;
+  adaptive : bool;
+  ci_target : float;
 }
 
 let default =
@@ -88,6 +90,8 @@ let default =
     coord = None;
     lease_ttl = 30.;
     domain = Domain.Reg;
+    adaptive = false;
+    ci_target = 0.02;
   }
 
 (* [jobs] semantics shared by env and flags: a positive value is taken
@@ -166,11 +170,19 @@ let of_env ?(getenv = Sys.getenv_opt) () =
       (match Option.bind (getenv "ONEBIT_DOMAIN") Domain.of_string with
       | Some d -> d
       | None -> default.domain);
+    adaptive =
+      (match getenv "ONEBIT_ADAPTIVE" with
+      | Some ("1" | "true" | "yes" | "on") -> true
+      | Some _ | None -> default.adaptive);
+    ci_target =
+      (match Option.bind (getenv "ONEBIT_CI") float_of_string_opt with
+      | Some t when t > 0. && t < 1. -> t
+      | Some _ | None -> default.ci_target);
   }
 
 let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
     ?progress ?metrics ?trace ?backend ?checkpoint ?checkpoint_interval ?batch
-    ?incremental ?coord ?lease_ttl ?domain t =
+    ?incremental ?coord ?lease_ttl ?domain ?adaptive ?ci_target t =
   let opt v fallback = Option.value v ~default:fallback in
   {
     n = opt n t.n;
@@ -199,6 +211,11 @@ let override ?n ?seed ?programs ?cap ?prune_n ?jobs ?shard_size ?store
       | Some ttl when ttl > 0. -> ttl
       | Some _ | None -> t.lease_ttl);
     domain = opt domain t.domain;
+    adaptive = opt adaptive t.adaptive;
+    ci_target =
+      (match ci_target with
+      | Some c when c > 0. && c < 1. -> c
+      | Some _ | None -> t.ci_target);
   }
 
 (* Process-wide active backend: what [Experiment]/[Workload] dispatch on

@@ -41,7 +41,14 @@
     - [ONEBIT_LEASE_TTL] — fleet lease TTL in seconds (default 30)
     - [ONEBIT_DOMAIN] — fault domain: "reg" (dynamic register
       operands, the paper's model and the default), "mem" (live arena
-      bytes), or "code" (stored-program bits, the icache analog) *)
+      bytes), or "code" (stored-program bits, the icache analog)
+    - [ONEBIT_ADAPTIVE] — CI-targeted sequential sampling
+      ([Engine.Adaptive]): allocate experiments round by round across
+      the campaign grid and stop each cell once its SDC estimate is
+      tight enough ("1"/"true"/"yes"/"on"; default off)
+    - [ONEBIT_CI] — adaptive stopping target: the Wilson 95% CI
+      half-width (a proportion, e.g. 0.02 = ±2 points) at which a
+      cell's SDC estimate closes (default 0.02) *)
 
 type backend = Seed | Compiled
 (** Which VM executes workloads: the seed interpreter ({!Vm.Exec.run})
@@ -86,6 +93,12 @@ type t = {
       (** fleet coordinator address ([ONEBIT_COORD]; empty = none) *)
   lease_ttl : float;  (** fleet lease TTL in seconds ([ONEBIT_LEASE_TTL]) *)
   domain : Domain.t;  (** fault domain ([ONEBIT_DOMAIN]; default [Reg]) *)
+  adaptive : bool;
+      (** CI-targeted sequential sampling ([ONEBIT_ADAPTIVE] or
+          [--adaptive]; default off).  [n] becomes the per-cell cap. *)
+  ci_target : float;
+      (** adaptive stopping target: Wilson 95% CI half-width at which a
+          cell's SDC estimate closes ([ONEBIT_CI]; default 0.02) *)
 }
 
 val default : t
@@ -114,10 +127,13 @@ val override :
   ?coord:string ->
   ?lease_ttl:float ->
   ?domain:Domain.t ->
+  ?adaptive:bool ->
+  ?ci_target:float ->
   t -> t
 (** Layer explicit values (CLI flags) over a resolved configuration.
     [jobs <= 0] means one worker per recommended domain; a
-    non-positive [shard_size] or [lease_ttl] is ignored. *)
+    non-positive [shard_size] or [lease_ttl] is ignored, as is a
+    [ci_target] outside (0, 1). *)
 
 val resolve_jobs : int -> int
 (** [resolve_jobs j] is [j] if positive, else the recommended domain

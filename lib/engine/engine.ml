@@ -24,18 +24,13 @@ module Deque = Deque
 module Pool = Pool
 module Progress = Progress
 module Incremental = Incremental
+module Adaptive = Adaptive
 
 let default_shard_size = 25
 
 let resolve_jobs = Core.Config.resolve_jobs
 
-let shards_of ~n ~shard_size =
-  if n <= 0 then invalid_arg "Engine.shards_of: n must be positive";
-  let s = max 1 shard_size in
-  let rec go lo acc =
-    if lo >= n then List.rev acc else go (lo + s) ((lo, min n (lo + s)) :: acc)
-  in
-  go 0 []
+let shards_of = Shards.tile
 
 type run_stats = Obs.Snapshot.t = {
   mem_hits : int;

@@ -16,6 +16,7 @@ module Deque = Deque
 module Pool = Pool
 module Progress = Progress
 module Incremental = Incremental
+module Adaptive = Adaptive
 
 val default_shard_size : int
 (** 25 experiments per shard. *)

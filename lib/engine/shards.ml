@@ -1,0 +1,13 @@
+(* The canonical (lo, hi) shard tiling of [0, n).  Shared by the fixed-N
+   engine and the adaptive sampler: boundaries depend only on
+   (n, shard_size), and a prefix of the tiling up to any boundary b is
+   itself [tile ~n:b ~shard_size] — the property that makes adaptive
+   prefixes byte-identical to fixed-N campaigns. *)
+
+let tile ~n ~shard_size =
+  if n <= 0 then invalid_arg "Engine.shards_of: n must be positive";
+  let s = max 1 shard_size in
+  let rec go lo acc =
+    if lo >= n then List.rev acc else go (lo + s) ((lo, min n (lo + s)) :: acc)
+  in
+  go 0 []

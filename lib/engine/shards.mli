@@ -1,0 +1,4 @@
+val tile : n:int -> shard_size:int -> (int * int) list
+(** The canonical [(lo, hi)] shard tiling of [0, n); requires [n > 0].
+    A prefix of the tiling up to any shard boundary [b] equals
+    [tile ~n:b ~shard_size]. *)

@@ -30,7 +30,10 @@ type t = {
   lease_ttl : float;
   shard_size : int;
   store : Store.t option;
-  slots : slot array;
+  mutable slots : slot array;
+      (* fixed-N: the full grid tiling, immutable after create.
+         Adaptive: grows by one round's grants at each barrier. *)
+  adaptive : Engine.Adaptive.Control.t option;
   workers : (string, wstate) Hashtbl.t;
   lock : Mutex.t;
   mutable n_completed : int;
@@ -55,7 +58,73 @@ let store_key (cell : Proto.cell) ~lo ~hi =
   Store.key ~program:cell.c_program ~digest:cell.c_digest ~spec:cell.c_spec
     ~n:cell.c_n ~seed:cell.c_seed ~lo ~hi
 
-let create ?(ttl = 30.) ?shard_size ?store ~cells () =
+(* Merged observations of a cell's completed shards; at a round barrier
+   every granted shard is completed, so this is the granted prefix. *)
+let obs_locked t ci =
+  let trials = ref 0 and sdc = ref 0 in
+  Array.iter
+    (fun s ->
+      if s.task.Proto.t_cell = ci then
+        match s.shard with
+        | Some (sh : Core.Campaign.shard) ->
+            trials := !trials + (sh.hi - sh.lo);
+            sdc := !sdc + sh.s_sdc
+        | None -> ())
+    t.slots;
+  (!trials, !sdc)
+
+let all_completed_locked t =
+  Array.for_all (fun s -> s.status = Completed) t.slots
+
+(* Adaptive round barrier: when every granted slot has completed, step
+   the controller on the merged prefix observations and append the next
+   round's grants as fresh slots — prefilled from the store where
+   possible, so a restarted coordinator (or one sharing a store with an
+   engine run) replays the deterministic round schedule and re-leases
+   only what never completed.  Loops because a fully prefilled round is
+   itself a completed barrier. *)
+let advance_locked t =
+  match t.adaptive with
+  | None -> ()
+  | Some ctl ->
+      let continue_ = ref true in
+      while
+        !continue_ && all_completed_locked t
+        && not (Engine.Adaptive.Control.finished ctl)
+      do
+        match Engine.Adaptive.Control.step ctl ~obs:(obs_locked t) with
+        | [] -> continue_ := false
+        | grants ->
+            let next = ref (Array.length t.slots) in
+            let fresh = ref [] in
+            List.iter
+              (fun (ci, ranges) ->
+                List.iter
+                  (fun (lo, hi) ->
+                    let task =
+                      { Proto.t_id = !next; t_cell = ci; t_lo = lo; t_hi = hi }
+                    in
+                    incr next;
+                    let shard =
+                      Option.bind t.store (fun st ->
+                          Store.lookup st (store_key t.cells.(ci) ~lo ~hi))
+                    in
+                    let status, shard =
+                      match shard with
+                      | Some s ->
+                          t.n_completed <- t.n_completed + 1;
+                          (Completed, Some s)
+                      | None -> (Todo, None)
+                    in
+                    fresh := { task; status; shard } :: !fresh)
+                  ranges)
+              grants;
+            t.slots <-
+              Array.append t.slots (Array.of_list (List.rev !fresh))
+      done
+
+let create ?(ttl = 30.) ?shard_size ?store ?ci_target ?initial ?round_budget
+    ~cells () =
   if cells = [] then invalid_arg "Coord.create: empty grid";
   if ttl <= 0. then invalid_arg "Coord.create: ttl must be positive";
   let shard_size =
@@ -64,32 +133,45 @@ let create ?(ttl = 30.) ?shard_size ?store ~cells () =
     | Some _ | None -> (Core.Config.of_env ()).Core.Config.shard_size
   in
   let cells = Array.of_list cells in
+  Array.iter
+    (fun (cell : Proto.cell) ->
+      if cell.c_n <= 0 then invalid_arg "Coord.create: n must be positive")
+    cells;
+  let adaptive =
+    match ci_target with
+    | None -> None
+    | Some target ->
+        Some
+          (Engine.Adaptive.Control.create ?initial ?round_budget ~target
+             ~shard_size
+             (Array.map (fun (c : Proto.cell) -> c.c_n) cells))
+  in
   let slots = ref [] in
   let next = ref 0 in
-  Array.iteri
-    (fun ci (cell : Proto.cell) ->
-      if cell.c_n <= 0 then invalid_arg "Coord.create: n must be positive";
-      List.iter
-        (fun (lo, hi) ->
-          let task =
-            { Proto.t_id = !next; t_cell = ci; t_lo = lo; t_hi = hi }
-          in
-          incr next;
-          (* Resume: a shard already in the store was completed by an
-             earlier coordinator (or any engine run sharing the store) —
-             it never needs a lease. *)
-          let shard =
-            Option.bind store (fun st ->
-                Store.lookup st (store_key cell ~lo ~hi))
-          in
-          let status, shard =
-            match shard with
-            | Some s -> (Completed, Some s)
-            | None -> (Todo, None)
-          in
-          slots := { task; status; shard } :: !slots)
-        (Engine.shards_of ~n:cell.c_n ~shard_size))
-    cells;
+  if adaptive = None then
+    Array.iteri
+      (fun ci (cell : Proto.cell) ->
+        List.iter
+          (fun (lo, hi) ->
+            let task =
+              { Proto.t_id = !next; t_cell = ci; t_lo = lo; t_hi = hi }
+            in
+            incr next;
+            (* Resume: a shard already in the store was completed by an
+               earlier coordinator (or any engine run sharing the store) —
+               it never needs a lease. *)
+            let shard =
+              Option.bind store (fun st ->
+                  Store.lookup st (store_key cell ~lo ~hi))
+            in
+            let status, shard =
+              match shard with
+              | Some s -> (Completed, Some s)
+              | None -> (Todo, None)
+            in
+            slots := { task; status; shard } :: !slots)
+          (Engine.shards_of ~n:cell.c_n ~shard_size))
+      cells;
   let slots = Array.of_list (List.rev !slots) in
   let n_completed =
     Array.fold_left
@@ -97,18 +179,25 @@ let create ?(ttl = 30.) ?shard_size ?store ~cells () =
       0 slots
   in
   (match store with Some st -> Store.lease st | None -> ());
-  {
-    cells;
-    lease_ttl = ttl;
-    shard_size;
-    store;
-    slots;
-    workers = Hashtbl.create 8;
-    lock = Mutex.create ();
-    n_completed;
-    n_reassigned = 0;
-    n_duplicates = 0;
-  }
+  let t =
+    {
+      cells;
+      lease_ttl = ttl;
+      shard_size;
+      store;
+      slots;
+      adaptive;
+      workers = Hashtbl.create 8;
+      lock = Mutex.create ();
+      n_completed;
+      n_reassigned = 0;
+      n_duplicates = 0;
+    }
+  in
+  (* Adaptive: grant the first round (replaying any store-resumable
+     prefix of the schedule). *)
+  advance_locked t;
+  t
 
 let ttl t = t.lease_ttl
 let total_tasks t = Array.length t.slots
@@ -117,7 +206,12 @@ let locked t f =
   Mutex.lock t.lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
-let finished_locked t = t.n_completed = Array.length t.slots
+let finished_locked t =
+  t.n_completed = Array.length t.slots
+  && (match t.adaptive with
+     | None -> true
+     | Some ctl -> Engine.Adaptive.Control.finished ctl)
+
 let finished t = locked t (fun () -> finished_locked t)
 
 let touch t ~now ~conn worker =
@@ -215,6 +309,16 @@ let state_locked t ~now =
                  }
            | Todo | Completed -> None)
   in
+  let rounds, open_ =
+    match t.adaptive with
+    | None -> (0, 0)
+    | Some ctl ->
+        let open_ = ref 0 in
+        for i = 0 to Engine.Adaptive.Control.n_cells ctl - 1 do
+          if not (Engine.Adaptive.Control.closed ctl i) then incr open_
+        done;
+        (Engine.Adaptive.Control.rounds ctl, !open_)
+  in
   {
     Proto.st_cells = Array.length t.cells;
     st_tasks = Array.length t.slots;
@@ -223,6 +327,9 @@ let state_locked t ~now =
     st_finished = finished_locked t;
     st_workers = workers;
     st_leases = leases;
+    st_adaptive = t.adaptive <> None;
+    st_rounds = rounds;
+    st_open = open_;
   }
 
 let state t ~now = locked t (fun () -> state_locked t ~now)
@@ -285,6 +392,9 @@ let handle t ~now ~conn (msg : Proto.msg) : Proto.msg =
         end
         else begin
           complete_slot t ~worker:(Some w) slot shard;
+          (* An adaptive round barrier may have been reached: grant the
+             next round before replying, so the next Lease sees it. *)
+          advance_locked t;
           Proto.Ack { dup = false }
         end
   | Proto.Drain -> Proto.State (state_locked t ~now)
@@ -327,12 +437,34 @@ let results t =
            |> List.filter_map (fun s ->
                   if s.task.Proto.t_cell = ci then s.shard else None)
          in
+         (* Adaptive cells merge at their stopping point — a shard
+            boundary of the cap tiling, so the result is byte-identical
+            to a fixed-N campaign of that N. *)
+         let n =
+           match t.adaptive with
+           | None -> cell.c_n
+           | Some ctl -> Engine.Adaptive.Control.closed_at ctl ci
+         in
          let result =
-           Core.Campaign.merge ~workload_name:cell.c_program cell.c_spec
-             ~n:cell.c_n ~seed:cell.c_seed shards
+           Core.Campaign.merge ~workload_name:cell.c_program cell.c_spec ~n
+             ~seed:cell.c_seed shards
          in
          (cell, result))
        t.cells)
+
+let adaptive_summary t =
+  locked t @@ fun () ->
+  match t.adaptive with
+  | None -> None
+  | Some ctl ->
+      Some
+        (Array.to_list
+           (Array.mapi
+              (fun ci (cell : Proto.cell) ->
+                ( cell,
+                  Engine.Adaptive.Control.closed_at ctl ci,
+                  Engine.Adaptive.Control.met ctl ci ))
+              t.cells))
 
 (* ---- socket server ---- *)
 

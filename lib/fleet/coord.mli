@@ -24,12 +24,26 @@ val create :
   ?ttl:float ->
   ?shard_size:int ->
   ?store:Store.t ->
+  ?ci_target:float ->
+  ?initial:int ->
+  ?round_budget:int ->
   cells:Proto.cell list ->
   unit -> t
 (** [ttl] (default 30s) is the lease deadline extended by heartbeats;
     [shard_size] defaults to the [Core.Config.of_env] resolution, and the
     tiling is [Engine.shards_of] — the same shards a single-process
     engine run would store.
+
+    With [ci_target], the coordinator leases adaptive rounds instead of
+    a fixed grid ({!Engine.Adaptive.Control}): each cell's [c_n] becomes
+    its cap, and at every round barrier — all granted shards completed —
+    the controller closes cells whose SDC Wilson half-width reached
+    [ci_target] and appends the next round's grants.  Allocation reads
+    only merged prefix results at barriers, so any fleet shape or kill
+    history produces the identical experiment set, equal to the
+    in-process {!Engine.Adaptive.run_grid} schedule.  [initial] and
+    [round_budget] are the controller's knobs; the wire protocol is
+    unchanged (workers cannot tell the modes apart).
 
     @raise Invalid_argument on an empty grid or a non-positive [n]. *)
 
@@ -50,9 +64,17 @@ val finished : t -> bool
 val state : t -> now:float -> Proto.state
 
 val results : t -> (Proto.cell * Core.Campaign.result) list
-(** Merged per-cell results, in grid order.
+(** Merged per-cell results, in grid order.  Adaptive cells merge at
+    their stopping point ([result.n] is the closed-at N, a shard
+    boundary of the cap tiling), byte-identical to a fixed-N campaign
+    of that N.
 
     @raise Invalid_argument unless {!finished}. *)
+
+val adaptive_summary : t -> (Proto.cell * int * bool) list option
+(** In adaptive mode, [(cell, closed_at, met)] per cell — [met] is
+    false when the cap ran out before the CI target; [None] when the
+    coordinator leases a fixed grid. *)
 
 (** {1 Socket server} *)
 

@@ -37,6 +37,9 @@ type state = {
   st_finished : bool;
   st_workers : worker_info list;
   st_leases : lease_info list;
+  st_adaptive : bool;
+  st_rounds : int;  (* adaptive round barriers crossed; 0 when fixed-N *)
+  st_open : int;  (* adaptive cells still open; 0 when fixed-N *)
 }
 
 type msg =
@@ -118,6 +121,9 @@ let state_json s =
                    ("remaining", J.Float l.li_remaining);
                  ])
              s.st_leases) );
+      ("adaptive", J.Bool s.st_adaptive);
+      ("rounds", J.Int s.st_rounds);
+      ("open", J.Int s.st_open);
     ]
 
 let state_fields s =
@@ -241,6 +247,12 @@ let state_of_json j =
   let* leases_j = Option.bind (J.mem "leases" j) J.to_list in
   let* workers = all_some (List.map worker_info_of_json workers_j) in
   let* leases = all_some (List.map lease_info_of_json leases_j) in
+  (* Adaptive fields default for states from pre-adaptive peers. *)
+  let adaptive =
+    match bool_field "adaptive" j with Some b -> b | None -> false
+  in
+  let rounds = match int_field "rounds" j with Some r -> r | None -> 0 in
+  let open_ = match int_field "open" j with Some o -> o | None -> 0 in
   Some
     {
       st_cells = cells;
@@ -250,6 +262,9 @@ let state_of_json j =
       st_finished = finished;
       st_workers = workers;
       st_leases = leases;
+      st_adaptive = adaptive;
+      st_rounds = rounds;
+      st_open = open_;
     }
 
 let of_json j : (msg, string) result =

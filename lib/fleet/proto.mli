@@ -66,6 +66,14 @@ type state = {
   st_finished : bool;
   st_workers : worker_info list;  (** sorted by worker id *)
   st_leases : lease_info list;  (** live leases, sorted by task id *)
+  st_adaptive : bool;
+      (** coordinator is leasing adaptive rounds ({!Coord.create} with
+          [ci_target]); [st_tasks] then grows as rounds are granted *)
+  st_rounds : int;  (** adaptive round barriers crossed (0 when fixed-N) *)
+  st_open : int;
+      (** adaptive cells still below the CI target (0 when fixed-N).
+          All three decode leniently — a state from a pre-adaptive peer
+          reads as a fixed-N grid. *)
 }
 
 type msg =

@@ -27,6 +27,40 @@ module Proportion = struct
 
   let half_width ci = (ci.hi -. ci.lo) /. 2.
   let percent ci = (100. *. ci.p, 100. *. ci.lo, 100. *. ci.hi)
+
+  (* Wilson half-width at a real-valued proportion [p] and trial count
+     [n]; the unclamped analogue of [half_width (wilson ...)].  Strictly
+     decreasing in [n] for fixed [p], which is what makes the planner's
+     binary search and the adaptive engine's stopping rule sound. *)
+  let plan_half_width ?(z = z95) ~p n =
+    let n = float_of_int n in
+    let z2 = z *. z in
+    let denom = 1. +. (z2 /. n) in
+    z *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n))) /. denom
+
+  let needed_trials ?(z = z95) ~p ~half_width () =
+    if not (Float.is_finite p) || p < 0. || p > 1. then
+      invalid_arg "Proportion.needed_trials: p must be in [0, 1]";
+    if not (half_width > 0.) then
+      invalid_arg "Proportion.needed_trials: half_width must be positive";
+    if plan_half_width ~z ~p 1 <= half_width then 1
+    else begin
+      (* Exponential bracket then bisect: find the least n with
+         hw(n) <= half_width.  hw is monotone decreasing in n. *)
+      let hi = ref 2 in
+      while plan_half_width ~z ~p !hi > half_width && !hi < max_int / 2 do
+        hi := !hi * 2
+      done;
+      let lo = ref (!hi / 2) and hi = ref !hi in
+      while !hi - !lo > 1 do
+        let mid = !lo + ((!hi - !lo) / 2) in
+        if plan_half_width ~z ~p mid <= half_width then hi := mid
+        else lo := mid
+      done;
+      !hi
+    end
+
+  let met ci ~target = half_width ci <= target
 end
 
 module Histogram = struct

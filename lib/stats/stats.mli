@@ -29,6 +29,22 @@ module Proportion : sig
 
   val percent : ci -> float * float * float
   (** [(p, lo, hi)] scaled to percentages. *)
+
+  val plan_half_width : ?z:float -> p:float -> int -> float
+  (** Unclamped Wilson half-width at a real-valued proportion [p] and
+      trial count; strictly decreasing in the trial count for fixed [p].
+      The planning-side analogue of [half_width (wilson ...)]. *)
+
+  val needed_trials : ?z:float -> p:float -> half_width:float -> unit -> int
+  (** Least [n] such that [plan_half_width ~p n <= half_width] — the
+      sample size at which a proportion near [p] reaches the requested
+      Wilson CI half-width.  Inverse of [plan_half_width] in the sense
+      that [plan_half_width ~p (needed_trials ~p ~half_width ())
+      <= half_width] while any smaller [n] is still too wide.
+      Requires [p] in \[0, 1\] and [half_width > 0]. *)
+
+  val met : ci -> target:float -> bool
+  (** Stopping rule: has this interval's half-width reached [target]? *)
 end
 
 module Histogram : sig

@@ -127,7 +127,11 @@ let gen_lease_info =
 let gen_state =
   QCheck.Gen.(
     map
-      (fun (cells, tasks, completed, reassigned, (finished, workers, leases)) ->
+      (fun ( cells,
+             tasks,
+             completed,
+             reassigned,
+             (finished, workers, leases, (adaptive, rounds, open_)) ) ->
         {
           Proto.st_cells = cells;
           st_tasks = tasks;
@@ -136,11 +140,15 @@ let gen_state =
           st_finished = finished;
           st_workers = workers;
           st_leases = leases;
+          st_adaptive = adaptive;
+          st_rounds = rounds;
+          st_open = open_;
         })
       (tup5 (int_bound 50) (int_bound 10_000) (int_bound 10_000) (int_bound 100)
-         (tup3 bool
+         (tup4 bool
             (list_size (int_bound 4) gen_worker_info)
-            (list_size (int_bound 4) gen_lease_info))))
+            (list_size (int_bound 4) gen_lease_info)
+            (tup3 bool (int_bound 100) (int_bound 50)))))
 
 let gen_msg =
   QCheck.Gen.(

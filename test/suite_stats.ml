@@ -45,6 +45,86 @@ let prop_wald_narrows =
       in
       w_big < w_small +. 1e-12)
 
+(* --- campaign-size planner (the adaptive sampler's stopping maths) --- *)
+
+let test_needed_trials_known () =
+  (* At p = 0.5 and a 5-point target, the classic answer is a few hundred
+     trials; check the planner against plan_half_width directly. *)
+  let n = Stats.Proportion.needed_trials ~p:0.5 ~half_width:0.05 () in
+  Alcotest.(check bool) "hw(n) <= target" true
+    (Stats.Proportion.plan_half_width ~p:0.5 n <= 0.05);
+  Alcotest.(check bool) "hw(n-1) > target" true
+    (Stats.Proportion.plan_half_width ~p:0.5 (n - 1) > 0.05);
+  Alcotest.(check bool) "ballpark" true (n > 300 && n < 450)
+
+let test_needed_trials_rejects () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Proportion.needed_trials: p must be in [0, 1]")
+    (fun () ->
+      ignore (Stats.Proportion.needed_trials ~p:1.5 ~half_width:0.05 ()));
+  Alcotest.check_raises "half_width must be positive"
+    (Invalid_argument "Proportion.needed_trials: half_width must be positive")
+    (fun () -> ignore (Stats.Proportion.needed_trials ~p:0.5 ~half_width:0. ()))
+
+let test_met_stopping_rule () =
+  let ci = Stats.Proportion.wilson ~successes:50 ~trials:100 () in
+  let hw = Stats.Proportion.half_width ci in
+  Alcotest.(check bool) "met at own width" true
+    (Stats.Proportion.met ci ~target:hw);
+  Alcotest.(check bool) "not met below" false
+    (Stats.Proportion.met ci ~target:(hw /. 2.))
+
+let prop_plan_monotone_in_n =
+  QCheck.Test.make ~name:"plan_half_width: strictly decreasing in n"
+    ~count:300
+    QCheck.(pair (float_range 0. 1.) (int_range 1 5000))
+    (fun (p, n) ->
+      Stats.Proportion.plan_half_width ~p (n + 1)
+      < Stats.Proportion.plan_half_width ~p n)
+
+let prop_needed_trials_inverse =
+  QCheck.Test.make
+    ~name:"needed_trials: least n reaching the target half-width" ~count:300
+    QCheck.(pair (float_range 0. 1.) (float_range 0.005 0.4))
+    (fun (p, hw) ->
+      let n = Stats.Proportion.needed_trials ~p ~half_width:hw () in
+      n >= 1
+      && Stats.Proportion.plan_half_width ~p n <= hw
+      && (n = 1 || Stats.Proportion.plan_half_width ~p (n - 1) > hw))
+
+let prop_wilson_within_clamp_bounds =
+  QCheck.Test.make
+    ~name:"wilson: interval inside [0,1] and contains point estimate"
+    ~count:500
+    QCheck.(pair (int_range 0 200) (int_range 1 200))
+    (fun (s0, n) ->
+      let s = min s0 n in
+      let ci = Stats.Proportion.wilson ~successes:s ~trials:n () in
+      (* At s = 0 or s = n the bound lands on the point estimate up to
+         one rounding error, hence the epsilon. *)
+      let eps = 1e-12 in
+      0. <= ci.lo
+      && ci.lo <= ci.p +. eps
+      && ci.p <= ci.hi +. eps
+      && ci.hi <= 1.)
+
+let prop_plan_matches_measured_at_half =
+  (* At s = n/2 the measured Wilson half-width is the planner's value at
+     the realised proportion — the planner is the campaign's estimator,
+     not an approximation of it. *)
+  QCheck.Test.make ~name:"plan_half_width agrees with measured wilson"
+    ~count:200
+    (QCheck.int_range 2 2000)
+    (fun n ->
+      let s = n / 2 in
+      let p = float_of_int s /. float_of_int n in
+      let measured =
+        Stats.Proportion.(half_width (wilson ~successes:s ~trials:n ()))
+      in
+      let planned = Stats.Proportion.plan_half_width ~p n in
+      (* The measured interval clamps to [0,1]; at mid p nothing clamps. *)
+      Float.abs (measured -. planned) < 1e-9)
+
 let test_histogram_basic () =
   let h = Stats.Histogram.create () in
   List.iter (Stats.Histogram.add h) [ 1; 1; 2; 5; 30 ];
@@ -101,6 +181,15 @@ let suites =
         Alcotest.test_case "rejects zero trials" `Quick test_rejects_zero_trials;
         QCheck_alcotest.to_alcotest prop_wilson_contains_p;
         QCheck_alcotest.to_alcotest prop_wald_narrows;
+        Alcotest.test_case "needed_trials known value" `Quick
+          test_needed_trials_known;
+        Alcotest.test_case "needed_trials rejects" `Quick
+          test_needed_trials_rejects;
+        Alcotest.test_case "met stopping rule" `Quick test_met_stopping_rule;
+        QCheck_alcotest.to_alcotest prop_plan_monotone_in_n;
+        QCheck_alcotest.to_alcotest prop_needed_trials_inverse;
+        QCheck_alcotest.to_alcotest prop_wilson_within_clamp_bounds;
+        QCheck_alcotest.to_alcotest prop_plan_matches_measured_at_half;
         Alcotest.test_case "histogram basic" `Quick test_histogram_basic;
         Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
         Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
